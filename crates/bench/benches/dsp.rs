@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the signal-processing substrate: the
+//! per-window primitives that would run on the smartwatch MCU.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ppg_dsp::features::AccelFeatures;
+use ppg_dsp::fft::{power_spectrum, welch_psd};
+use ppg_dsp::filter::{band_pass, rolling_mean};
+use ppg_dsp::peaks::{count_sign_changes, region_maxima, regions_above};
+
+fn test_window() -> Vec<f32> {
+    (0..256)
+        .map(|i| {
+            let t = i as f32 / 32.0;
+            (2.0 * std::f32::consts::PI * 1.2 * t).sin()
+                + 0.3 * (2.0 * std::f32::consts::PI * 2.9 * t).sin()
+        })
+        .collect()
+}
+
+fn bench_dsp(c: &mut Criterion) {
+    let window = test_window();
+    let long: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.05).sin()).collect();
+
+    c.bench_function("dsp/rolling_mean_24_over_256", |b| {
+        b.iter(|| rolling_mean(black_box(&window), 24).unwrap())
+    });
+
+    c.bench_function("dsp/band_pass_256", |b| {
+        b.iter(|| band_pass(black_box(&window), 0.7, 3.5, 32.0).unwrap())
+    });
+
+    c.bench_function("dsp/power_spectrum_256", |b| {
+        b.iter(|| power_spectrum(black_box(&window)).unwrap())
+    });
+
+    c.bench_function("dsp/welch_psd_4096_segments_256", |b| {
+        b.iter(|| welch_psd(black_box(&long), 256).unwrap())
+    });
+
+    c.bench_function("dsp/at_peak_pipeline_256", |b| {
+        b.iter(|| {
+            let threshold = rolling_mean(black_box(&window), 24).unwrap();
+            let regions = regions_above(&window, &threshold).unwrap();
+            region_maxima(&window, &regions, 3)
+        })
+    });
+
+    c.bench_function("dsp/accel_features_256x3", |b| {
+        b.iter(|| AccelFeatures::from_axes(black_box(&window), &window, &window).unwrap())
+    });
+
+    c.bench_function("dsp/count_sign_changes_256", |b| {
+        b.iter(|| count_sign_changes(black_box(&window)))
+    });
+}
+
+criterion_group!(benches, bench_dsp);
+criterion_main!(benches);

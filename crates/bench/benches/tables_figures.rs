@@ -1,0 +1,154 @@
+//! Criterion benchmarks that regenerate every table and figure of the paper
+//! as a measured workload, plus the ablation sweeps called out in DESIGN.md
+//! (energy-accounting mode and BLE cost).  Each benchmark body *is* the
+//! experiment: running `cargo bench` therefore re-derives all reported data
+//! while also measuring how long the reproduction pipeline takes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chris_bench::{bench_windows, build_engine};
+use chris_core::config::{Configuration, DifficultyThreshold, EnergyAccounting};
+use chris_core::prelude::*;
+use hw_sim::ble::BleLink;
+use hw_sim::platform::Platform;
+use hw_sim::units::{Power, TimeSpan};
+
+fn bench_tables(c: &mut Criterion) {
+    let zoo = ModelZoo::paper_setup();
+
+    // Table I / Table III / Fig. 3: the per-model characterization.
+    c.bench_function("experiments/table1_table3_fig3_characterization", |b| {
+        b.iter(|| black_box(zoo.table()))
+    });
+
+    let windows = bench_windows();
+
+    // Table II + Fig. 4: profile the 60 configurations and extract the front.
+    c.bench_function("experiments/table2_fig4_profile_and_pareto", |b| {
+        b.iter(|| {
+            let engine = build_engine(&zoo, black_box(&windows));
+            (engine.pareto(ConnectionStatus::Connected).len(), engine.len())
+        })
+    });
+
+    // Fig. 5: threshold sweep of the AT + TimePPG-Big hybrid.
+    let profiler = Profiler::new(&zoo);
+    c.bench_function("experiments/fig5_threshold_sweep", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            for threshold in 0..=9u8 {
+                let config = Configuration::new(
+                    ModelKind::AdaptiveThreshold,
+                    ModelKind::TimePpgBig,
+                    DifficultyThreshold::new(threshold).unwrap(),
+                    ExecutionTarget::Hybrid,
+                )
+                .unwrap();
+                out.push(
+                    profiler
+                        .profile(config, black_box(&windows), ProfilingOptions::default())
+                        .unwrap(),
+                );
+            }
+            out
+        })
+    });
+
+    // Headline: the constraint-driven selections through the full runtime.
+    let engine = build_engine(&zoo, &windows);
+    c.bench_function("experiments/headline_constraint_runs", |b| {
+        b.iter(|| {
+            let mut runtime =
+                ChrisRuntime::new(zoo.clone(), engine.clone(), RuntimeOptions::default());
+            let r1 = runtime
+                .run(
+                    black_box(&windows),
+                    &UserConstraint::MaxMae(5.6),
+                    &hw_sim::ble::ConnectionSchedule::AlwaysConnected,
+                )
+                .unwrap();
+            let r2 = runtime
+                .run(
+                    black_box(&windows),
+                    &UserConstraint::MaxMae(7.2),
+                    &hw_sim::ble::ConnectionSchedule::AlwaysConnected,
+                )
+                .unwrap();
+            (r1.avg_watch_energy, r2.avg_watch_energy)
+        })
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let zoo = ModelZoo::paper_setup();
+    let windows = bench_windows();
+    let profiler = Profiler::new(&zoo);
+    let config = Configuration::new(
+        ModelKind::AdaptiveThreshold,
+        ModelKind::TimePpgBig,
+        DifficultyThreshold::new(6).unwrap(),
+        ExecutionTarget::Hybrid,
+    )
+    .unwrap();
+
+    // Ablation 1: offload-energy accounting mode.
+    let mut group = c.benchmark_group("ablation/energy_accounting");
+    for accounting in EnergyAccounting::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{accounting:?}")),
+            &accounting,
+            |b, &accounting| {
+                let options = ProfilingOptions { accounting, ..ProfilingOptions::default() };
+                b.iter(|| profiler.profile(config, black_box(&windows), options).unwrap())
+            },
+        );
+    }
+    group.finish();
+
+    // Ablation 2: BLE transmission cost (x0.5, x1, x2 of the calibrated link).
+    let mut group = c.benchmark_group("ablation/ble_cost");
+    for scale in [0.5f64, 1.0, 2.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &scale| {
+            let base = BleLink::paper_calibrated();
+            let ble = BleLink::new(
+                base.throughput_bytes_per_s,
+                Power::from_milliwatts(base.tx_power.as_milliwatts() * scale),
+                TimeSpan::ZERO,
+            )
+            .unwrap();
+            let scaled_zoo = ModelZoo::new(Platform::stm32wb55(), Platform::raspberry_pi3(), ble);
+            let scaled_profiler = Profiler::new(&scaled_zoo);
+            b.iter(|| {
+                scaled_profiler
+                    .profile(config, black_box(&windows), ProfilingOptions::default())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    // Ablation 3: sleep-power sensitivity of the smartwatch platform.
+    let mut group = c.benchmark_group("ablation/sleep_power");
+    for sleep_mw in [0.05f64, 0.0968, 0.2] {
+        group.bench_with_input(BenchmarkId::from_parameter(sleep_mw), &sleep_mw, |b, &mw| {
+            let mut watch = Platform::stm32wb55();
+            watch.sleep_power = Power::from_milliwatts(mw);
+            let scaled_zoo = ModelZoo::new(watch, Platform::raspberry_pi3(), BleLink::paper_calibrated());
+            let scaled_profiler = Profiler::new(&scaled_zoo);
+            b.iter(|| {
+                scaled_profiler
+                    .profile(config, black_box(&windows), ProfilingOptions::default())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables, bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Fig. 3 — baseline models: energy decomposition (board compute + idle,
+//! phone compute, BLE transmission) on the left, average MAE on the right.
+
+use chris_bench::rule;
+use chris_core::prelude::*;
+use hw_sim::profile::Workload;
+
+fn bar(value: f64, scale: f64) -> String {
+    let n = ((value * scale).round() as usize).min(60);
+    "#".repeat(n.max(if value > 0.0 { 1 } else { 0 }))
+}
+
+fn main() {
+    let zoo = ModelZoo::paper_setup();
+    println!("Fig. 3 — baseline models: energy decomposition and MAE\n");
+    println!("left: energy per prediction on a log-like scale (each # ~ 0.1 mJ, capped)");
+    rule(92);
+    println!(
+        "{:<16} {:>14} {:>14} {:>12}   energy decomposition",
+        "model", "board [mJ]", "phone [mJ]", "BLE [mJ]"
+    );
+    rule(92);
+    for row in zoo.table() {
+        let board = row.watch_energy.as_millijoules();
+        let compute_only = zoo.watch().compute_energy(&row.kind.workload_watch()).as_millijoules();
+        let idle = board - compute_only;
+        println!(
+            "{:<16} {:>14.3} {:>14.3} {:>12.3}   board |{}|",
+            row.kind.name(),
+            board,
+            row.phone_energy.as_millijoules(),
+            row.ble_energy.as_millijoules(),
+            bar(board, 10.0)
+        );
+        println!(
+            "{:<16} {:>14} {:>14} {:>12}     (compute {:.3} mJ + idle {:.3} mJ)",
+            "", "", "", "", compute_only, idle
+        );
+        println!(
+            "{:<16} {:>14} {:>14} {:>12}   phone |{}|  ble |{}|",
+            "",
+            "",
+            "",
+            "",
+            bar(row.phone_energy.as_millijoules(), 2.0),
+            bar(row.ble_energy.as_millijoules(), 10.0)
+        );
+    }
+    rule(92);
+    println!("\nright: average MAE over the dataset (each # ~ 0.5 BPM)");
+    for row in zoo.table() {
+        println!(
+            "{:<16} {:>6.2} BPM |{}|",
+            row.kind.name(),
+            row.mae_bpm,
+            bar(f64::from(row.mae_bpm), 2.0)
+        );
+    }
+    // The sanity checks of Sec. IV-A in one place.
+    let at = zoo.characterize(ModelKind::AdaptiveThreshold);
+    let small = zoo.characterize(ModelKind::TimePpgSmall);
+    let big = zoo.characterize(ModelKind::TimePpgBig);
+    println!("\nobservations (paper Sec. IV-A):");
+    println!(
+        "  offloading AT is sub-optimal       : board {:.3} mJ vs BLE {:.3} + phone {:.3} mJ",
+        at.watch_energy.as_millijoules(),
+        at.ble_energy.as_millijoules(),
+        at.phone_energy.as_millijoules()
+    );
+    println!(
+        "  offloading Small helps the watch   : board {:.3} mJ vs BLE {:.3} mJ",
+        small.watch_energy.as_millijoules(),
+        small.ble_energy.as_millijoules()
+    );
+    println!(
+        "  offloading Big is always optimal   : board {:.3} mJ vs BLE {:.3} + phone {:.3} mJ",
+        big.watch_energy.as_millijoules(),
+        big.ble_energy.as_millijoules(),
+        big.phone_energy.as_millijoules()
+    );
+    let _ = Workload::Macs(0);
+}

@@ -1,0 +1,104 @@
+//! Fig. 4 — CHRIS configurations in the MAE vs smartwatch-energy plane:
+//! single-model baselines, local and hybrid combinations, the Pareto front,
+//! and the two constraint-driven selections highlighted in the paper.
+
+use chris_bench::{build_engine, experiment_windows, mj};
+use chris_core::prelude::*;
+
+fn main() {
+    let windows = experiment_windows();
+    let zoo = ModelZoo::paper_setup();
+    let engine = build_engine(&zoo, &windows);
+
+    println!("Fig. 4 — CHRIS configuration space (MAE vs smartwatch energy)");
+    println!("profiled on {} windows\n", windows.len());
+
+    // Baselines (green diamonds in the paper).
+    println!("single-model / single-device baselines:");
+    for row in zoo.table() {
+        println!(
+            "  {:<28} {:>7.2} BPM {:>10} mJ",
+            format!("{} on the watch", row.kind.name()),
+            row.mae_bpm,
+            mj(row.watch_energy)
+        );
+    }
+    let stream = zoo.ble().transfer_energy(hw_sim::WINDOW_PAYLOAD_BYTES);
+    println!(
+        "  {:<28} {:>7.2} BPM {:>10} mJ   (BLE + TimePPG-Big)",
+        "always offload to the phone",
+        ModelKind::TimePpgBig.nominal_mae_bpm(),
+        mj(stream)
+    );
+
+    // The full configuration cloud, grouped by pair/target.
+    println!("\nconfiguration cloud (series as in the figure):");
+    for (simple, complex) in [
+        (ModelKind::AdaptiveThreshold, ModelKind::TimePpgSmall),
+        (ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig),
+        (ModelKind::TimePpgSmall, ModelKind::TimePpgBig),
+    ] {
+        for target in [ExecutionTarget::Local, ExecutionTarget::Hybrid] {
+            let series: Vec<_> = engine
+                .profiles()
+                .iter()
+                .filter(|p| {
+                    p.configuration.simple == simple
+                        && p.configuration.complex == complex
+                        && p.configuration.target == target
+                })
+                .collect();
+            println!("  [{} + {}] {}:", simple.name(), complex.name(), target.name());
+            for p in series {
+                println!(
+                    "    thr={} {:>7.2} BPM {:>10} mJ ({:>3.0}% offloaded)",
+                    p.configuration.threshold.value(),
+                    p.mae_bpm,
+                    mj(p.watch_energy),
+                    p.offload_fraction * 100.0
+                );
+            }
+        }
+    }
+
+    // Pareto fronts.
+    for status in [ConnectionStatus::Connected, ConnectionStatus::Disconnected] {
+        let front = engine.pareto(status);
+        println!("\nPareto front, phone {status:?} ({} points):", front.len());
+        for p in front {
+            println!(
+                "  {:<38} {:>7.2} BPM {:>10} mJ",
+                p.configuration.label(),
+                p.mae_bpm,
+                mj(p.watch_energy)
+            );
+        }
+    }
+
+    // Constraint-driven selections (Sel. Model 1 and 2 of the paper).
+    let small_local = zoo.characterize(ModelKind::TimePpgSmall).watch_energy;
+    for (name, constraint) in [
+        ("Sel. Model 1 (Constraint 1: MAE <= 5.60 BPM)", UserConstraint::MaxMae(5.60)),
+        ("Sel. Model 2 (Constraint 2: MAE <= 7.20 BPM)", UserConstraint::MaxMae(7.20)),
+    ] {
+        if let Some(p) = engine.select(&constraint, ConnectionStatus::Connected) {
+            println!(
+                "\n{name}:\n  {} -> {:.2} BPM at {} mJ per prediction ({:.0}% offloaded)",
+                p.configuration.label(),
+                p.mae_bpm,
+                mj(p.watch_energy),
+                p.offload_fraction * 100.0
+            );
+            println!(
+                "  vs TimePPG-Small on the watch: {:.2}x less smartwatch energy",
+                small_local.as_millijoules() / p.watch_energy.as_millijoules()
+            );
+            println!(
+                "  vs streaming every window    : {:.2}x less smartwatch energy",
+                stream.as_millijoules() / p.watch_energy.as_millijoules()
+            );
+        }
+    }
+    println!("\npaper reference: Sel. Model 1 = 5.54 BPM at 2.03x less than local TimePPG-Small;");
+    println!("Sel. Model 2 = 7.16 BPM at 179 uJ (3.03x less than local Small, 1.82x less than streaming).");
+}

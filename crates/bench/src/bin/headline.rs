@@ -1,0 +1,96 @@
+//! The abstract's headline numbers, reproduced end-to-end with the full CHRIS
+//! runtime (decision engine + activity classifier + hardware model), plus the
+//! connection-loss scenario of Section IV-B.
+
+use chris_bench::{build_engine, experiment_windows, mj};
+use chris_core::prelude::*;
+use hw_sim::ble::ConnectionSchedule;
+use ppg_models::random_forest::{RandomForest, RandomForestConfig};
+
+fn main() {
+    let windows = experiment_windows();
+    let zoo = ModelZoo::paper_setup();
+    let engine = build_engine(&zoo, &windows);
+
+    // Train the RF difficulty detector on half the subjects, as the runtime
+    // would use in the field.
+    let train: Vec<_> = windows.iter().filter(|w| w.subject.0 < 3).cloned().collect();
+    let rf = RandomForest::train(&train, RandomForestConfig::default())
+        .expect("training data is non-empty");
+
+    let small_local = zoo.characterize(ModelKind::TimePpgSmall).watch_energy;
+    let stream_all = zoo.ble().transfer_energy(hw_sim::WINDOW_PAYLOAD_BYTES);
+
+    println!("CHRIS headline results (full runtime, RF difficulty detector)\n");
+
+    for (label, constraint, paper) in [
+        (
+            "Constraint 1: MAE <= 5.60 BPM (TimePPG-Small's accuracy)",
+            UserConstraint::MaxMae(5.60),
+            "paper: 5.54 BPM, 2.03x less watch energy than local TimePPG-Small, ~80% offloaded",
+        ),
+        (
+            "Constraint 2: MAE <= 7.20 BPM",
+            UserConstraint::MaxMae(7.20),
+            "paper: 7.16 BPM at 179 uJ (3.03x less than local Small, 1.82x less than streaming)",
+        ),
+    ] {
+        let mut runtime = ChrisRuntime::with_classifier(
+            zoo.clone(),
+            engine.clone(),
+            Box::new(rf.clone()),
+            RuntimeOptions::default(),
+        );
+        let report = runtime
+            .run(&windows, &constraint, &ConnectionSchedule::AlwaysConnected)
+            .expect("runtime succeeds");
+        println!("{label}");
+        println!(
+            "  measured: {:.2} BPM at {} mJ per prediction ({:.0}% offloaded, {:.0}% on AT)",
+            report.mae_bpm,
+            mj(report.avg_watch_energy),
+            report.offload_fraction * 100.0,
+            report.simple_fraction * 100.0
+        );
+        println!(
+            "  {:.2}x less watch energy than local TimePPG-Small, {:.2}x less than streaming every window",
+            small_local.as_millijoules() / report.avg_watch_energy.as_millijoules(),
+            stream_all.as_millijoules() / report.avg_watch_energy.as_millijoules()
+        );
+        println!("  {paper}\n");
+    }
+
+    // Connection-loss scenario: the BLE link disappears entirely.
+    let front_down = engine.pareto(ConnectionStatus::Disconnected);
+    let maes: Vec<f32> = front_down.iter().map(|p| p.mae_bpm).collect();
+    let energies: Vec<f64> =
+        front_down.iter().map(|p| p.watch_energy.as_millijoules()).collect();
+    println!("BLE connection lost: {} local Pareto points remain,", front_down.len());
+    println!(
+        "  spanning {:.2}..{:.2} BPM and {:.3}..{:.2} mJ per prediction",
+        maes.iter().cloned().fold(f32::INFINITY, f32::min),
+        maes.iter().cloned().fold(f32::NEG_INFINITY, f32::max),
+        energies.iter().cloned().fold(f64::INFINITY, f64::min),
+        energies.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    println!("  paper: 19 Pareto points from 4.87 to 10.99 BPM and 0.234 to 41.07 mJ");
+
+    // Intermittent connectivity, the scenario only the runtime can show.
+    let mut runtime = ChrisRuntime::with_classifier(
+        zoo,
+        engine,
+        Box::new(rf),
+        RuntimeOptions::default(),
+    );
+    let schedule = ConnectionSchedule::DutyCycle { up: 4, down: 1 };
+    let report = runtime
+        .run(&windows, &UserConstraint::MaxMae(5.60), &schedule)
+        .expect("runtime succeeds");
+    println!("\nintermittent link (80% availability), constraint MAE <= 5.60 BPM:");
+    println!(
+        "  {:.2} BPM at {} mJ per prediction, {:.0}% of windows handled while disconnected",
+        report.mae_bpm,
+        mj(report.avg_watch_energy),
+        report.disconnected_fraction * 100.0
+    );
+}

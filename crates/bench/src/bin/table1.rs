@@ -1,0 +1,32 @@
+//! Table I — example of models used to construct CHRIS configurations:
+//! per-model MAE and energy on the board, on the phone and over BLE.
+
+use chris_bench::{mj, rule};
+use chris_core::prelude::*;
+
+fn main() {
+    let zoo = ModelZoo::paper_setup();
+    println!("Table I — models used to construct CHRIS configurations");
+    println!("(energy per prediction; board energy includes idle until the next window)\n");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>10}",
+        "model", "MAE [BPM]", "Board [mJ]", "Phone [mJ]", "BLE [mJ]"
+    );
+    rule(64);
+    for row in zoo.table() {
+        println!(
+            "{:<16} {:>10.2} {:>12} {:>12} {:>10}",
+            row.kind.name(),
+            row.mae_bpm,
+            mj(row.watch_energy),
+            mj(row.phone_energy),
+            mj(row.ble_energy)
+        );
+    }
+    rule(64);
+    println!("paper reference values (Table I / III):");
+    println!("  AT            : 10.99 BPM, board 0.234 mJ, phone 1.60 mJ");
+    println!("  TimePPG-Small :  5.60 BPM, board 0.735 mJ, phone 5.54 mJ");
+    println!("  TimePPG-Big   :  4.87 BPM, board 41.11 mJ, phone 25.60 mJ");
+    println!("  BLE           :  0.52 mJ per transmitted window");
+}

@@ -1,0 +1,59 @@
+//! Table II — the configurations stored inside CHRIS (profiled MAE, energy,
+//! model pair, difficulty threshold, execution target).
+//!
+//! The paper shows a handful of example rows; this binary prints the full
+//! profiled table sorted by energy, plus the Pareto-optimal subset that is
+//! actually stored on the MCU.
+
+use chris_bench::{build_engine, experiment_windows, mj, rule};
+use chris_core::prelude::*;
+
+fn main() {
+    let windows = experiment_windows();
+    let zoo = ModelZoo::paper_setup();
+    let engine = build_engine(&zoo, &windows);
+
+    println!("Table II — configurations stored inside CHRIS");
+    println!("(profiled on {} windows of the synthetic profiling split)\n", windows.len());
+    println!(
+        "{:<6} {:>10} {:>10}  {:<28} {:>6} {:>8}",
+        "id", "MAE [BPM]", "E. [mJ]", "Models", "Diff.", "Exec."
+    );
+    rule(76);
+    for (i, p) in engine.profiles().iter().enumerate() {
+        println!(
+            "C{:<5} {:>10.2} {:>10}  [{}, {}]{:>pad$} {:>6} {:>8}",
+            i + 1,
+            p.mae_bpm,
+            mj(p.watch_energy),
+            p.configuration.simple.name(),
+            p.configuration.complex.name(),
+            "",
+            p.configuration.threshold.value(),
+            p.configuration.target.name(),
+            pad = 26usize
+                .saturating_sub(p.configuration.simple.name().len() + p.configuration.complex.name().len() + 4)
+        );
+    }
+    rule(76);
+
+    let front = engine.pareto(ConnectionStatus::Connected);
+    println!(
+        "\nPareto-optimal configurations stored on the smartwatch ({} of {}):",
+        front.len(),
+        engine.len()
+    );
+    for p in front {
+        println!(
+            "  {:<38} {:>7.2} BPM {:>10} mJ ({:>4.0}% offloaded)",
+            p.configuration.label(),
+            p.mae_bpm,
+            mj(p.watch_energy),
+            p.offload_fraction * 100.0
+        );
+    }
+    println!("\npaper reference rows (Table II):");
+    println!("  C1: 10.11 BPM, 0.92 mJ, [AT, TimePPGSmall], diff 9, Local");
+    println!("  C2: 10.05 BPM, 0.87 mJ, [AT, TimePPGBig],   diff 9, Hybrid");
+    println!("  CN:  5.11 BPM, 40.05 mJ, [AT, TimePPGBig],  diff 1, Local");
+}

@@ -1,0 +1,49 @@
+//! Table III — deployment of the baseline models on the STM32WB55 and on the
+//! Raspberry Pi3: cycles, execution time, energy per prediction and MAE.
+
+use chris_bench::rule;
+use chris_core::prelude::*;
+
+fn main() {
+    let zoo = ModelZoo::paper_setup();
+    println!("Table III — deployment of baseline models");
+    println!("STM32WB55 @ 64 MHz, Raspberry Pi3 @ 600 MHz\n");
+    println!(
+        "{:<16} {:>12} {:>11} {:>12} | {:>11} {:>12} | {:>10}",
+        "model", "Cycles", "Time [ms]", "Energy [mJ]", "Time [ms]", "Energy [mJ]", "MAE [BPM]"
+    );
+    println!(
+        "{:<16} {:>12} {:>11} {:>12} | {:>11} {:>12} | {:>10}",
+        "", "(STM32WB55)", "", "", "(RPi3)", "", ""
+    );
+    rule(100);
+    for row in zoo.table() {
+        println!(
+            "{:<16} {:>12} {:>11.3} {:>12.3} | {:>11.2} {:>12.2} | {:>10.2}",
+            row.kind.name(),
+            row.watch_cycles,
+            row.watch_time.as_millis(),
+            row.watch_energy.as_millijoules(),
+            row.phone_time.as_millis(),
+            row.phone_energy.as_millijoules(),
+            row.mae_bpm
+        );
+    }
+    let ble = zoo.characterize(ModelKind::AdaptiveThreshold);
+    println!(
+        "{:<16} {:>12} {:>11.3} {:>12.3} | {:>11} {:>12} | {:>10}",
+        "Bluetooth",
+        "n.a.",
+        ble.ble_time.as_millis(),
+        ble.ble_energy.as_millijoules(),
+        "n.a.",
+        "n.a.",
+        "n.a."
+    );
+    rule(100);
+    println!("paper reference rows:");
+    println!("  AT            : 100k cycles, 1.563 ms, 0.234 mJ | 1.00 ms, 1.60 mJ | 10.99 BPM");
+    println!("  TimePPG-Small : 1.365M, 21.326 ms, 0.735 mJ     | 3.45 ms, 5.54 mJ |  5.60 BPM");
+    println!("  TimePPG-Big   : 103.16M, 1611.88 ms, 41.11 mJ   | 15.96 ms, 25.60 mJ | 4.87 BPM");
+    println!("  Bluetooth     : 10.240 ms, 0.52 mJ");
+}

@@ -1,0 +1,107 @@
+//! Shared helpers for the CHRIS experiment binaries and Criterion benches.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the paper:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table I — model characterization (MAE, board/phone/BLE energy) |
+//! | `table2` | Table II — configurations stored in the MCU memory |
+//! | `table3` | Table III — deployment on the STM32WB55 and the Raspberry Pi3 |
+//! | `fig3` | Fig. 3 — baseline energy decomposition and MAE bars |
+//! | `fig4` | Fig. 4 — MAE vs smartwatch energy configuration space + Pareto front |
+//! | `fig5` | Fig. 5 — energy/MAE sweep over the number of "easy" activities |
+//! | `headline` | the abstract's headline numbers and the connection-loss scenario |
+//!
+//! Run all of them with `cargo run --release -p chris-bench --bin <name>`.
+
+use chris_core::prelude::*;
+use ppg_data::{DatasetBuilder, LabeledWindow};
+
+/// Default number of subjects used by the experiment binaries.
+pub const EXPERIMENT_SUBJECTS: usize = 6;
+/// Default seconds of recording per activity per subject.
+pub const EXPERIMENT_SECONDS_PER_ACTIVITY: f32 = 60.0;
+/// Default dataset seed, fixed for reproducibility.
+pub const EXPERIMENT_SEED: u64 = 2023;
+
+/// Generates the evaluation dataset used by the experiment binaries.
+///
+/// # Panics
+///
+/// Panics if the fixed experiment parameters are rejected by the builder,
+/// which cannot happen for the constants above.
+pub fn experiment_windows() -> Vec<LabeledWindow> {
+    DatasetBuilder::new()
+        .subjects(EXPERIMENT_SUBJECTS)
+        .seconds_per_activity(EXPERIMENT_SECONDS_PER_ACTIVITY)
+        .seed(EXPERIMENT_SEED)
+        .build()
+        .expect("experiment dataset parameters are valid")
+        .windows()
+}
+
+/// Generates a smaller dataset for fast Criterion benchmarking.
+///
+/// # Panics
+///
+/// Panics if the fixed parameters are rejected (they are not).
+pub fn bench_windows() -> Vec<LabeledWindow> {
+    DatasetBuilder::new()
+        .subjects(2)
+        .seconds_per_activity(20.0)
+        .seed(7)
+        .build()
+        .expect("bench dataset parameters are valid")
+        .windows()
+}
+
+/// Profiles all 60 configurations on the given windows and returns the
+/// decision engine, the standard preamble of most experiments.
+///
+/// # Panics
+///
+/// Panics when `windows` is empty.
+pub fn build_engine(zoo: &ModelZoo, windows: &[LabeledWindow]) -> DecisionEngine {
+    let profiler = Profiler::new(zoo);
+    DecisionEngine::new(
+        profiler
+            .profile_all(windows, ProfilingOptions::default())
+            .expect("profiling a non-empty dataset succeeds"),
+    )
+}
+
+/// Formats an energy value in millijoules with three decimals.
+pub fn mj(e: hw_sim::units::Energy) -> String {
+    format!("{:.3}", e.as_millijoules())
+}
+
+/// Prints a horizontal rule used by the table binaries.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_dataset_is_non_empty_and_balanced() {
+        let ws = bench_windows();
+        assert!(!ws.is_empty());
+        let activities: std::collections::HashSet<_> = ws.iter().map(|w| w.activity).collect();
+        assert_eq!(activities.len(), 9);
+    }
+
+    #[test]
+    fn engine_builder_produces_sixty_configurations() {
+        let zoo = ModelZoo::paper_setup();
+        let engine = build_engine(&zoo, &bench_windows());
+        assert_eq!(engine.len(), 60);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(mj(hw_sim::units::Energy::from_millijoules(0.52)), "0.520");
+        rule(10);
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type for the CHRIS runtime and its supporting machinery.
+
+use std::fmt;
+
+/// Errors produced while profiling configurations or running CHRIS.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChrisError {
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the requirement.
+        requirement: &'static str,
+    },
+    /// No configuration satisfies the requested constraint and connectivity.
+    NoFeasibleConfiguration {
+        /// Human-readable description of the request.
+        request: String,
+    },
+    /// The profiling table is empty.
+    EmptyProfileTable,
+    /// No windows were provided to profile or run on.
+    EmptyWorkload,
+    /// A model failed while predicting.
+    Model(ppg_models::ModelError),
+    /// A hardware model rejected a request.
+    Hardware(hw_sim::HwError),
+    /// A DSP routine failed while aggregating metrics.
+    Dsp(ppg_dsp::DspError),
+}
+
+impl fmt::Display for ChrisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChrisError::InvalidParameter { name, requirement } => {
+                write!(f, "invalid parameter `{name}` ({requirement})")
+            }
+            ChrisError::NoFeasibleConfiguration { request } => {
+                write!(f, "no feasible configuration for {request}")
+            }
+            ChrisError::EmptyProfileTable => write!(f, "the profiling table is empty"),
+            ChrisError::EmptyWorkload => write!(f, "no windows provided"),
+            ChrisError::Model(e) => write!(f, "model error: {e}"),
+            ChrisError::Hardware(e) => write!(f, "hardware error: {e}"),
+            ChrisError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChrisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChrisError::Model(e) => Some(e),
+            ChrisError::Hardware(e) => Some(e),
+            ChrisError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ppg_models::ModelError> for ChrisError {
+    fn from(e: ppg_models::ModelError) -> Self {
+        ChrisError::Model(e)
+    }
+}
+
+impl From<hw_sim::HwError> for ChrisError {
+    fn from(e: hw_sim::HwError) -> Self {
+        ChrisError::Hardware(e)
+    }
+}
+
+impl From<ppg_dsp::DspError> for ChrisError {
+    fn from(e: ppg_dsp::DspError) -> Self {
+        ChrisError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ChrisError::EmptyProfileTable.to_string().contains("empty"));
+        assert!(ChrisError::EmptyWorkload.to_string().contains("windows"));
+        assert!(ChrisError::InvalidParameter { name: "threshold", requirement: "0..=9" }
+            .to_string()
+            .contains("threshold"));
+        assert!(ChrisError::NoFeasibleConfiguration { request: "MAE <= 1".to_string() }
+            .to_string()
+            .contains("MAE"));
+    }
+
+    #[test]
+    fn wrapped_errors_expose_sources() {
+        use std::error::Error;
+        let e: ChrisError = hw_sim::HwError::LinkDown.into();
+        assert!(e.source().is_some());
+        let e: ChrisError = ppg_dsp::DspError::EmptyInput { op: "mae" }.into();
+        assert!(e.source().is_some());
+        let e: ChrisError = ppg_models::ModelError::NotTrained { model: "rf" }.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ChrisError>();
+    }
+}

@@ -1,0 +1,121 @@
+//! Pareto-front extraction in the (MAE, energy) plane.
+//!
+//! Both objectives are minimized. A point is Pareto-optimal when no other
+//! point is at least as good on both objectives and strictly better on one.
+
+/// Returns the indices of the Pareto-optimal items under the two-objective
+/// minimization defined by `objectives`.
+///
+/// The returned indices are sorted by the first objective (ascending); ties on
+/// both objectives keep the first occurrence only, so the front contains no
+/// duplicated points.
+///
+/// ```
+/// let points = [(1.0, 5.0), (2.0, 3.0), (3.0, 4.0), (4.0, 1.0)];
+/// let front = chris_core::pareto::pareto_front(&points, |&(a, b)| (a, b));
+/// assert_eq!(front, vec![0, 1, 3]); // (3,4) is dominated by (2,3)
+/// ```
+pub fn pareto_front<T, F>(items: &[T], objectives: F) -> Vec<usize>
+where
+    F: Fn(&T) -> (f64, f64),
+{
+    let points: Vec<(f64, f64)> = items.iter().map(&objectives).collect();
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    // Sort by first objective, then by second.
+    order.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .partial_cmp(&points[b].0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(points[a].1.partial_cmp(&points[b].1).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    let mut front = Vec::new();
+    let mut best_second = f64::INFINITY;
+    let mut last_kept: Option<(f64, f64)> = None;
+    for idx in order {
+        let (first, second) = points[idx];
+        if second < best_second {
+            // Skip exact duplicates of the previously kept point.
+            if last_kept != Some((first, second)) {
+                front.push(idx);
+                last_kept = Some((first, second));
+            }
+            best_second = second;
+        }
+    }
+    front
+}
+
+/// Returns `true` when `candidate` is dominated by `other` (other is no worse
+/// on both objectives and strictly better on at least one).
+pub fn dominated_by(candidate: (f64, f64), other: (f64, f64)) -> bool {
+    other.0 <= candidate.0
+        && other.1 <= candidate.1
+        && (other.0 < candidate.0 || other.1 < candidate.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_gives_empty_front() {
+        let items: Vec<(f64, f64)> = Vec::new();
+        assert!(pareto_front(&items, |&p| p).is_empty());
+    }
+
+    #[test]
+    fn single_point_is_optimal() {
+        assert_eq!(pareto_front(&[(1.0, 1.0)], |&p| p), vec![0]);
+    }
+
+    #[test]
+    fn dominated_points_are_removed() {
+        let points = [(1.0, 5.0), (2.0, 3.0), (3.0, 4.0), (4.0, 1.0), (5.0, 0.9)];
+        let front = pareto_front(&points, |&p| p);
+        assert_eq!(front, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn identical_points_are_kept_once() {
+        let points = [(1.0, 1.0), (1.0, 1.0), (2.0, 0.5)];
+        let front = pareto_front(&points, |&p| p);
+        assert_eq!(front.len(), 2);
+    }
+
+    #[test]
+    fn all_points_on_a_diagonal_are_optimal() {
+        let points: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 10.0 - i as f64)).collect();
+        assert_eq!(pareto_front(&points, |&p| p).len(), 10);
+    }
+
+    #[test]
+    fn front_is_sorted_by_first_objective() {
+        let points = [(5.0, 1.0), (1.0, 5.0), (3.0, 3.0)];
+        let front = pareto_front(&points, |&p| p);
+        let firsts: Vec<f64> = front.iter().map(|&i| points[i].0).collect();
+        let mut sorted = firsts.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(firsts, sorted);
+    }
+
+    #[test]
+    fn dominance_predicate() {
+        assert!(dominated_by((2.0, 2.0), (1.0, 2.0)));
+        assert!(dominated_by((2.0, 2.0), (1.0, 1.0)));
+        assert!(!dominated_by((2.0, 2.0), (2.0, 2.0)));
+        assert!(!dominated_by((1.0, 3.0), (2.0, 2.0)));
+    }
+
+    #[test]
+    fn works_with_arbitrary_item_types() {
+        struct P {
+            mae: f32,
+            energy: f32,
+        }
+        let items =
+            vec![P { mae: 5.0, energy: 1.0 }, P { mae: 4.0, energy: 2.0 }, P { mae: 6.0, energy: 3.0 }];
+        let front = pareto_front(&items, |p| (p.energy as f64, p.mae as f64));
+        assert_eq!(front, vec![0, 1]);
+    }
+}

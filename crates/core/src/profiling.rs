@@ -1,0 +1,377 @@
+//! Offline profiling of CHRIS configurations.
+//!
+//! Before deployment, every configuration is profiled on a profiling dataset:
+//! its average MAE, average smartwatch energy per prediction, average phone
+//! energy and offload statistics are measured and stored in the smartwatch MCU
+//! memory, ordered by energy (the paper's Table II). At runtime the decision
+//! engine only reads this table; no model is ever re-profiled on-line.
+
+use serde::{Deserialize, Serialize};
+
+use hw_sim::units::Energy;
+use ppg_data::LabeledWindow;
+use ppg_dsp::stats::ErrorAccumulator;
+use ppg_models::traits::{ActivityClassifier, HrEstimator, OracleActivityClassifier};
+use ppg_models::zoo::{ModelKind, ModelZoo};
+
+use crate::config::{enumerate_configurations, Configuration, EnergyAccounting};
+use crate::error::ChrisError;
+
+/// Options controlling a profiling pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfilingOptions {
+    /// How offloaded windows are charged to the smartwatch.
+    pub accounting: EnergyAccounting,
+    /// Seed of the calibrated estimators' error sequences.
+    pub seed: u64,
+}
+
+impl Default for ProfilingOptions {
+    fn default() -> Self {
+        Self { accounting: EnergyAccounting::default(), seed: 0xC4215 }
+    }
+}
+
+/// The profiled behaviour of one configuration — one row of the table stored
+/// in the MCU memory (Table II of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfigurationProfile {
+    /// The configuration this row describes.
+    pub configuration: Configuration,
+    /// Average MAE over the profiling windows, in BPM.
+    pub mae_bpm: f32,
+    /// Average smartwatch energy per prediction.
+    pub watch_energy: Energy,
+    /// Average phone energy per prediction (zero for local configurations).
+    pub phone_energy: Energy,
+    /// Fraction of windows offloaded to the phone.
+    pub offload_fraction: f32,
+    /// Fraction of windows handled by the simple model of the pair.
+    pub simple_fraction: f32,
+    /// Number of profiling windows this row was measured on.
+    pub windows: usize,
+}
+
+/// Profiles configurations against a [`ModelZoo`] on a profiling dataset.
+#[derive(Debug, Clone)]
+pub struct Profiler<'a> {
+    zoo: &'a ModelZoo,
+}
+
+impl<'a> Profiler<'a> {
+    /// Creates a profiler for the given zoo (platforms + BLE link).
+    pub fn new(zoo: &'a ModelZoo) -> Self {
+        Self { zoo }
+    }
+
+    /// Smartwatch energy charged for one window handled by `model`, either
+    /// locally or offloaded, under the selected accounting.
+    pub fn window_watch_energy(
+        &self,
+        model: ModelKind,
+        offloaded: bool,
+        accounting: EnergyAccounting,
+    ) -> Energy {
+        if !offloaded {
+            return self.zoo.watch().energy_per_prediction(&model.workload_watch());
+        }
+        let ble = self.zoo.ble();
+        match accounting {
+            EnergyAccounting::BleOnly => ble.transfer_energy(hw_sim::WINDOW_PAYLOAD_BYTES),
+            EnergyAccounting::BleWithSleep => {
+                let tx_time = ble.transfer_time(hw_sim::WINDOW_PAYLOAD_BYTES);
+                let sleep_time =
+                    (hw_sim::units::TimeSpan::from_seconds(hw_sim::PREDICTION_PERIOD_S) - tx_time)
+                        .max_zero();
+                ble.transfer_energy(hw_sim::WINDOW_PAYLOAD_BYTES)
+                    + self.zoo.watch().sleep_power * sleep_time
+            }
+            EnergyAccounting::IncrementalPayload => {
+                let payload = hw_sim::WINDOW_PAYLOAD_BYTES / 4;
+                let tx_time = ble.transfer_time(payload);
+                let sleep_time =
+                    (hw_sim::units::TimeSpan::from_seconds(hw_sim::PREDICTION_PERIOD_S) - tx_time)
+                        .max_zero();
+                ble.transfer_energy(payload) + self.zoo.watch().sleep_power * sleep_time
+            }
+        }
+    }
+
+    /// Phone energy charged for one window handled by `model` when offloaded.
+    pub fn window_phone_energy(&self, model: ModelKind) -> Energy {
+        self.zoo.phone().compute_energy(&model.workload_phone())
+    }
+
+    /// Profiles one configuration on the given windows with the oracle
+    /// activity classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChrisError::EmptyWorkload`] when `windows` is empty and
+    /// propagates model errors.
+    pub fn profile(
+        &self,
+        configuration: Configuration,
+        windows: &[LabeledWindow],
+        options: ProfilingOptions,
+    ) -> Result<ConfigurationProfile, ChrisError> {
+        self.profile_with(configuration, windows, &OracleActivityClassifier::new(), options)
+    }
+
+    /// Profiles one configuration using an explicit activity classifier, so
+    /// that classifier mispredictions are reflected in the profile (as in the
+    /// paper's evaluation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChrisError::EmptyWorkload`] when `windows` is empty and
+    /// propagates model errors.
+    pub fn profile_with(
+        &self,
+        configuration: Configuration,
+        windows: &[LabeledWindow],
+        classifier: &dyn ActivityClassifier,
+        options: ProfilingOptions,
+    ) -> Result<ConfigurationProfile, ChrisError> {
+        if windows.is_empty() {
+            return Err(ChrisError::EmptyWorkload);
+        }
+        let mut simple_est = self.zoo.calibrated_estimator(configuration.simple, options.seed);
+        let mut complex_est =
+            self.zoo.calibrated_estimator(configuration.complex, options.seed.wrapping_add(1));
+
+        let mut errors = ErrorAccumulator::new();
+        let mut watch_energy = Energy::ZERO;
+        let mut phone_energy = Energy::ZERO;
+        let mut offloaded_count = 0usize;
+        let mut simple_count = 0usize;
+
+        for window in windows {
+            let predicted_activity = classifier.classify(window)?;
+            let difficulty = predicted_activity.difficulty();
+            let model = configuration.model_for(difficulty);
+            let offloaded = configuration.offloads(difficulty);
+
+            let estimator: &mut Box<dyn HrEstimator> = if model == configuration.simple {
+                simple_count += 1;
+                &mut simple_est
+            } else {
+                &mut complex_est
+            };
+            let prediction = estimator.predict(window)?;
+            errors.record(prediction, window.hr_bpm);
+
+            watch_energy += self.window_watch_energy(model, offloaded, options.accounting);
+            if offloaded {
+                offloaded_count += 1;
+                phone_energy += self.window_phone_energy(model);
+            }
+        }
+
+        let n = windows.len();
+        Ok(ConfigurationProfile {
+            configuration,
+            mae_bpm: errors.mae().unwrap_or(0.0),
+            watch_energy: watch_energy / n as f64,
+            phone_energy: phone_energy / n as f64,
+            offload_fraction: offloaded_count as f32 / n as f32,
+            simple_fraction: simple_count as f32 / n as f32,
+            windows: n,
+        })
+    }
+
+    /// Profiles every one of the 60 configurations with the oracle classifier,
+    /// returning the table sorted by increasing smartwatch energy (the
+    /// ordering the paper stores in MCU memory).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Profiler::profile`].
+    pub fn profile_all(
+        &self,
+        windows: &[LabeledWindow],
+        options: ProfilingOptions,
+    ) -> Result<Vec<ConfigurationProfile>, ChrisError> {
+        self.profile_all_with(windows, &OracleActivityClassifier::new(), options)
+    }
+
+    /// Profiles every configuration with an explicit activity classifier.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Profiler::profile`].
+    pub fn profile_all_with(
+        &self,
+        windows: &[LabeledWindow],
+        classifier: &dyn ActivityClassifier,
+        options: ProfilingOptions,
+    ) -> Result<Vec<ConfigurationProfile>, ChrisError> {
+        let mut table: Vec<ConfigurationProfile> = enumerate_configurations()
+            .into_iter()
+            .map(|c| self.profile_with(c, windows, classifier, options))
+            .collect::<Result<_, _>>()?;
+        table.sort_by(|a, b| {
+            a.watch_energy
+                .partial_cmp(&b.watch_energy)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.mae_bpm.partial_cmp(&b.mae_bpm).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DifficultyThreshold, ExecutionTarget};
+    use ppg_data::DatasetBuilder;
+
+    fn windows() -> Vec<LabeledWindow> {
+        DatasetBuilder::new()
+            .subjects(2)
+            .seconds_per_activity(24.0)
+            .seed(21)
+            .build()
+            .unwrap()
+            .windows()
+    }
+
+    fn config(simple: ModelKind, complex: ModelKind, thr: u8, target: ExecutionTarget) -> Configuration {
+        Configuration::new(simple, complex, DifficultyThreshold::new(thr).unwrap(), target).unwrap()
+    }
+
+    #[test]
+    fn empty_windows_are_rejected() {
+        let zoo = ModelZoo::paper_setup();
+        let profiler = Profiler::new(&zoo);
+        let c = config(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 5, ExecutionTarget::Hybrid);
+        assert!(matches!(
+            profiler.profile(c, &[], ProfilingOptions::default()),
+            Err(ChrisError::EmptyWorkload)
+        ));
+    }
+
+    #[test]
+    fn always_simple_local_matches_single_model_characterization() {
+        let zoo = ModelZoo::paper_setup();
+        let profiler = Profiler::new(&zoo);
+        let ws = windows();
+        let c = config(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 9, ExecutionTarget::Local);
+        let p = profiler.profile(c, &ws, ProfilingOptions::default()).unwrap();
+        assert_eq!(p.simple_fraction, 1.0);
+        assert_eq!(p.offload_fraction, 0.0);
+        assert_eq!(p.phone_energy, Energy::ZERO);
+        let at = zoo.characterize(ModelKind::AdaptiveThreshold);
+        assert!((p.watch_energy.as_millijoules() - at.watch_energy.as_millijoules()).abs() < 1e-6);
+        // MAE close to the AT calibration (equal activity representation).
+        assert!((p.mae_bpm - 10.99).abs() < 2.0, "AT-only MAE {}", p.mae_bpm);
+    }
+
+    #[test]
+    fn always_complex_hybrid_offloads_everything() {
+        let zoo = ModelZoo::paper_setup();
+        let profiler = Profiler::new(&zoo);
+        let ws = windows();
+        let c = config(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 0, ExecutionTarget::Hybrid);
+        let p = profiler.profile(c, &ws, ProfilingOptions::default()).unwrap();
+        assert_eq!(p.offload_fraction, 1.0);
+        assert_eq!(p.simple_fraction, 0.0);
+        assert!(p.phone_energy.as_millijoules() > 20.0, "Big on phone per prediction");
+        // With the BleOnly accounting, each offloaded window costs ~0.52 mJ.
+        assert!((p.watch_energy.as_millijoules() - 0.52).abs() < 0.01);
+    }
+
+    #[test]
+    fn intermediate_threshold_mixes_models() {
+        let zoo = ModelZoo::paper_setup();
+        let profiler = Profiler::new(&zoo);
+        let ws = windows();
+        let c = config(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 4, ExecutionTarget::Hybrid);
+        let p = profiler.profile(c, &ws, ProfilingOptions::default()).unwrap();
+        // With equal activity representation, 4/9 of windows are easy.
+        assert!((p.simple_fraction - 4.0 / 9.0).abs() < 0.05);
+        assert!((p.offload_fraction - 5.0 / 9.0).abs() < 0.05);
+        // Energy sits between the two extremes.
+        let at_only = profiler
+            .profile(
+                config(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 9, ExecutionTarget::Hybrid),
+                &ws,
+                ProfilingOptions::default(),
+            )
+            .unwrap();
+        let big_only = profiler
+            .profile(
+                config(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 0, ExecutionTarget::Hybrid),
+                &ws,
+                ProfilingOptions::default(),
+            )
+            .unwrap();
+        assert!(p.watch_energy > at_only.watch_energy);
+        assert!(p.watch_energy < big_only.watch_energy);
+        assert!(p.mae_bpm < at_only.mae_bpm);
+        assert!(p.mae_bpm > big_only.mae_bpm);
+    }
+
+    #[test]
+    fn local_big_execution_is_extremely_expensive() {
+        let zoo = ModelZoo::paper_setup();
+        let profiler = Profiler::new(&zoo);
+        let ws = windows();
+        let local = config(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 0, ExecutionTarget::Local);
+        let hybrid = config(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 0, ExecutionTarget::Hybrid);
+        let p_local = profiler.profile(local, &ws, ProfilingOptions::default()).unwrap();
+        let p_hybrid = profiler.profile(hybrid, &ws, ProfilingOptions::default()).unwrap();
+        assert!(
+            p_local.watch_energy.as_millijoules() > p_hybrid.watch_energy.as_millijoules() * 10.0,
+            "local Big should dwarf offloaded Big on the watch"
+        );
+    }
+
+    #[test]
+    fn accounting_modes_order_offload_cost() {
+        let zoo = ModelZoo::paper_setup();
+        let profiler = Profiler::new(&zoo);
+        let ble_only = profiler.window_watch_energy(ModelKind::TimePpgBig, true, EnergyAccounting::BleOnly);
+        let with_sleep =
+            profiler.window_watch_energy(ModelKind::TimePpgBig, true, EnergyAccounting::BleWithSleep);
+        let incremental = profiler
+            .window_watch_energy(ModelKind::TimePpgBig, true, EnergyAccounting::IncrementalPayload);
+        assert!(with_sleep > ble_only);
+        assert!(incremental < ble_only + Energy::from_millijoules(0.2));
+        // Local energy is independent of the accounting mode.
+        let local_a = profiler.window_watch_energy(ModelKind::TimePpgSmall, false, EnergyAccounting::BleOnly);
+        let local_b =
+            profiler.window_watch_energy(ModelKind::TimePpgSmall, false, EnergyAccounting::BleWithSleep);
+        assert_eq!(local_a, local_b);
+    }
+
+    #[test]
+    fn profile_all_returns_sixty_rows_sorted_by_energy() {
+        let zoo = ModelZoo::paper_setup();
+        let profiler = Profiler::new(&zoo);
+        let ws = windows();
+        let table = profiler.profile_all(&ws, ProfilingOptions::default()).unwrap();
+        assert_eq!(table.len(), 60);
+        for pair in table.windows(2) {
+            assert!(pair[0].watch_energy <= pair[1].watch_energy);
+        }
+        // The cheapest row must be an always-simple AT configuration and the
+        // most expensive ones local TimePPG-Big.
+        assert_eq!(table[0].configuration.simple, ModelKind::AdaptiveThreshold);
+        assert_eq!(table[0].simple_fraction, 1.0);
+        let last = table.last().unwrap();
+        assert_eq!(last.configuration.complex, ModelKind::TimePpgBig);
+        assert_eq!(last.configuration.target, ExecutionTarget::Local);
+    }
+
+    #[test]
+    fn profiles_are_deterministic_for_a_seed() {
+        let zoo = ModelZoo::paper_setup();
+        let profiler = Profiler::new(&zoo);
+        let ws = windows();
+        let c = config(ModelKind::AdaptiveThreshold, ModelKind::TimePpgSmall, 5, ExecutionTarget::Hybrid);
+        let a = profiler.profile(c, &ws, ProfilingOptions::default()).unwrap();
+        let b = profiler.profile(c, &ws, ProfilingOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

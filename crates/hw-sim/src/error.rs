@@ -1,0 +1,65 @@
+//! Error type for the hardware models.
+
+use std::fmt;
+
+/// Errors produced by the hardware/energy models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HwError {
+    /// A model parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the requirement.
+        requirement: &'static str,
+    },
+    /// The battery does not hold enough charge for the requested drain.
+    BatteryDepleted {
+        /// Remaining energy in millijoules.
+        remaining_mj: f64,
+        /// Requested energy in millijoules.
+        requested_mj: f64,
+    },
+    /// A transfer was requested while the BLE link is down.
+    LinkDown,
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::InvalidParameter { name, requirement } => {
+                write!(f, "invalid hardware parameter `{name}` ({requirement})")
+            }
+            HwError::BatteryDepleted { remaining_mj, requested_mj } => {
+                write!(
+                    f,
+                    "battery depleted: {remaining_mj:.3} mJ remaining, {requested_mj:.3} mJ requested"
+                )
+            }
+            HwError::LinkDown => write!(f, "ble link is not connected"),
+        }
+    }
+}
+
+impl std::error::Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(HwError::InvalidParameter { name: "clock_hz", requirement: "must be positive" }
+            .to_string()
+            .contains("clock_hz"));
+        assert!(HwError::BatteryDepleted { remaining_mj: 1.0, requested_mj: 2.0 }
+            .to_string()
+            .contains("depleted"));
+        assert_eq!(HwError::LinkDown.to_string(), "ble link is not connected");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HwError>();
+    }
+}

@@ -1,0 +1,236 @@
+//! Compute-platform models: STM32WB55 (smartwatch) and Raspberry Pi3 (phone).
+//!
+//! Each platform is described by a clock frequency, a linear
+//! `overhead + cycles_per_mac × MACs` cycle model for neural-network
+//! inference, and two power levels (active and sleep). The constants are
+//! calibrated so that the paper's Table III is reproduced:
+//!
+//! | model          | cycles   | time      | energy (STM32WB55) |
+//! |----------------|----------|-----------|--------------------|
+//! | AT             | 100 k    | 1.563 ms  | 0.234 mJ           |
+//! | TimePPG-Small  | 1.365 M  | 21.326 ms | 0.735 mJ           |
+//! | TimePPG-Big    | 103.16 M | 1611.9 ms | 41.11 mJ           |
+//!
+//! The per-prediction energy of the paper includes the sleep energy spent
+//! waiting for the next 2-second window; [`Platform::energy_per_prediction`]
+//! reproduces that accounting while [`Platform::compute_energy`] reports the
+//! active part only.
+
+use serde::{Deserialize, Serialize};
+
+use crate::profile::{ExecutionProfile, Workload};
+use crate::units::{Cycles, Energy, Power, TimeSpan};
+use crate::PREDICTION_PERIOD_S;
+
+/// STM32WB55 (Cortex-M4) application clock, 64 MHz.
+pub const STM32WB55_CLOCK_HZ: f64 = 64e6;
+/// Raspberry Pi3 (Cortex-A53) clock used by the paper, 600 MHz.
+pub const RASPBERRY_PI3_CLOCK_HZ: f64 = 600e6;
+
+/// Active power of the STM32WB55 while computing, fitted from Table III.
+pub const STM32WB55_ACTIVE_MW: f64 = 25.48;
+/// Sleep/idle power of the HWatch between predictions, fitted from Table III.
+pub const STM32WB55_SLEEP_MW: f64 = 0.0968;
+/// Active power of the Raspberry Pi3 while computing, fitted from Table III.
+pub const RASPBERRY_PI3_ACTIVE_MW: f64 = 1604.0;
+/// Idle power attributed to the phone between predictions. The paper does not
+/// optimize (or report) phone idle energy, so it is zero by default.
+pub const RASPBERRY_PI3_SLEEP_MW: f64 = 0.0;
+
+/// Cycles per MAC of the X-CUBE-AI int8 kernels on the Cortex-M4.
+pub const STM32WB55_CYCLES_PER_MAC: f64 = 8.35;
+/// Fixed per-inference overhead (pre-processing, scheduling) on the MCU.
+pub const STM32WB55_OVERHEAD_CYCLES: u64 = 717_000;
+/// Cycles per MAC of the TFLite int8 kernels on the Cortex-A53 (NEON).
+pub const RASPBERRY_PI3_CYCLES_PER_MAC: f64 = 0.6157;
+/// Fixed per-inference overhead of the TFLite interpreter on the Pi3.
+pub const RASPBERRY_PI3_OVERHEAD_CYCLES: u64 = 2_022_000;
+
+/// An execution platform (MCU or application processor) with its clock,
+/// cycle and power models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Human-readable name, e.g. `"STM32WB55"`.
+    pub name: String,
+    /// Core clock frequency in Hz.
+    pub clock_hz: f64,
+    /// Cycles per multiply-accumulate for NN workloads.
+    pub cycles_per_mac: f64,
+    /// Fixed cycle overhead added to every NN inference.
+    pub inference_overhead_cycles: u64,
+    /// Power drawn while the core is actively computing.
+    pub active_power: Power,
+    /// Power drawn while sleeping between predictions.
+    pub sleep_power: Power,
+}
+
+impl Platform {
+    /// The HWatch smartwatch MCU (STM32WB55, Cortex-M4 @ 64 MHz).
+    pub fn stm32wb55() -> Self {
+        Self {
+            name: "STM32WB55".to_string(),
+            clock_hz: STM32WB55_CLOCK_HZ,
+            cycles_per_mac: STM32WB55_CYCLES_PER_MAC,
+            inference_overhead_cycles: STM32WB55_OVERHEAD_CYCLES,
+            active_power: Power::from_milliwatts(STM32WB55_ACTIVE_MW),
+            sleep_power: Power::from_milliwatts(STM32WB55_SLEEP_MW),
+        }
+    }
+
+    /// The phone proxy (Raspberry Pi3, Cortex-A53 @ 600 MHz).
+    pub fn raspberry_pi3() -> Self {
+        Self {
+            name: "Raspberry Pi3".to_string(),
+            clock_hz: RASPBERRY_PI3_CLOCK_HZ,
+            cycles_per_mac: RASPBERRY_PI3_CYCLES_PER_MAC,
+            inference_overhead_cycles: RASPBERRY_PI3_OVERHEAD_CYCLES,
+            active_power: Power::from_milliwatts(RASPBERRY_PI3_ACTIVE_MW),
+            sleep_power: Power::from_milliwatts(RASPBERRY_PI3_SLEEP_MW),
+        }
+    }
+
+    /// Number of cycles the platform needs for a workload.
+    pub fn cycles(&self, workload: &Workload) -> Cycles {
+        match *workload {
+            Workload::Cycles(c) => Cycles(c),
+            Workload::Macs(macs) => Cycles(
+                self.inference_overhead_cycles + (macs as f64 * self.cycles_per_mac).round() as u64,
+            ),
+        }
+    }
+
+    /// Wall-clock execution time of a workload.
+    pub fn execution_time(&self, workload: &Workload) -> TimeSpan {
+        self.cycles(workload).at_clock(self.clock_hz)
+    }
+
+    /// Energy of the active computation only (no idle accounting).
+    pub fn compute_energy(&self, workload: &Workload) -> Energy {
+        self.active_power * self.execution_time(workload)
+    }
+
+    /// Energy per prediction including the sleep energy spent waiting for the
+    /// rest of the prediction period (the paper's Fig. 3 accounting). If the
+    /// computation is longer than the period, no sleep energy is added.
+    pub fn energy_per_prediction(&self, workload: &Workload) -> Energy {
+        let active_time = self.execution_time(workload);
+        let sleep_time =
+            (TimeSpan::from_seconds(PREDICTION_PERIOD_S) - active_time).max_zero();
+        self.active_power * active_time + self.sleep_power * sleep_time
+    }
+
+    /// Full execution profile (cycles, time, active energy) of a workload.
+    pub fn profile(&self, workload: &Workload) -> ExecutionProfile {
+        ExecutionProfile {
+            cycles: self.cycles(workload),
+            time: self.execution_time(workload),
+            energy: self.compute_energy(workload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Cycle counts of the paper's three models on the STM32WB55 (Table III).
+    const AT_CYCLES: u64 = 100_000;
+    const SMALL_MACS: u64 = 77_630;
+    const BIG_MACS: u64 = 12_270_000;
+
+    #[test]
+    fn stm32_at_entry_matches_table3() {
+        let watch = Platform::stm32wb55();
+        let wl = Workload::Cycles(AT_CYCLES);
+        assert!((watch.execution_time(&wl).as_millis() - 1.563).abs() < 0.01);
+        let e = watch.energy_per_prediction(&wl);
+        assert!(
+            (e.as_millijoules() - 0.234).abs() < 0.01,
+            "AT on watch: {} mJ",
+            e.as_millijoules()
+        );
+    }
+
+    #[test]
+    fn stm32_timeppg_small_matches_table3() {
+        let watch = Platform::stm32wb55();
+        let wl = Workload::Macs(SMALL_MACS);
+        let t = watch.execution_time(&wl).as_millis();
+        assert!((t - 21.326).abs() < 0.5, "time {t} ms");
+        let e = watch.energy_per_prediction(&wl).as_millijoules();
+        assert!((e - 0.735).abs() < 0.02, "energy {e} mJ");
+    }
+
+    #[test]
+    fn stm32_timeppg_big_matches_table3() {
+        let watch = Platform::stm32wb55();
+        let wl = Workload::Macs(BIG_MACS);
+        let t = watch.execution_time(&wl).as_millis();
+        assert!((t - 1611.88).abs() < 20.0, "time {t} ms");
+        let e = watch.energy_per_prediction(&wl).as_millijoules();
+        assert!((e - 41.11).abs() < 0.6, "energy {e} mJ");
+    }
+
+    #[test]
+    fn pi3_times_match_table3() {
+        let phone = Platform::raspberry_pi3();
+        let small = phone.execution_time(&Workload::Macs(SMALL_MACS)).as_millis();
+        assert!((small - 3.45).abs() < 0.1, "small {small} ms");
+        let big = phone.execution_time(&Workload::Macs(BIG_MACS)).as_millis();
+        assert!((big - 15.96).abs() < 0.5, "big {big} ms");
+        let at = phone.execution_time(&Workload::Cycles(600_000)).as_millis();
+        assert!((at - 1.0).abs() < 0.01, "at {at} ms");
+    }
+
+    #[test]
+    fn pi3_energies_match_table3() {
+        let phone = Platform::raspberry_pi3();
+        let small = phone.compute_energy(&Workload::Macs(SMALL_MACS)).as_millijoules();
+        assert!((small - 5.54).abs() < 0.2, "small {small} mJ");
+        let big = phone.compute_energy(&Workload::Macs(BIG_MACS)).as_millijoules();
+        assert!((big - 25.60).abs() < 0.8, "big {big} mJ");
+        let at = phone.compute_energy(&Workload::Cycles(600_000)).as_millijoules();
+        assert!((at - 1.60).abs() < 0.05, "at {at} mJ");
+    }
+
+    #[test]
+    fn energy_per_prediction_exceeds_compute_energy_on_watch() {
+        let watch = Platform::stm32wb55();
+        let wl = Workload::Macs(SMALL_MACS);
+        assert!(watch.energy_per_prediction(&wl) > watch.compute_energy(&wl));
+    }
+
+    #[test]
+    fn no_sleep_energy_when_compute_fills_period() {
+        let watch = Platform::stm32wb55();
+        // A workload longer than 2 s.
+        let wl = Workload::Macs(20_000_000);
+        let diff = watch.energy_per_prediction(&wl) - watch.compute_energy(&wl);
+        assert!(diff.as_microjoules().abs() < 1e-6);
+    }
+
+    #[test]
+    fn profile_is_consistent() {
+        let watch = Platform::stm32wb55();
+        let wl = Workload::Macs(SMALL_MACS);
+        let p = watch.profile(&wl);
+        assert_eq!(p.cycles, watch.cycles(&wl));
+        assert_eq!(p.time, watch.execution_time(&wl));
+        assert_eq!(p.energy, watch.compute_energy(&wl));
+    }
+
+    #[test]
+    fn phone_is_faster_but_watch_active_power_is_lower() {
+        let watch = Platform::stm32wb55();
+        let phone = Platform::raspberry_pi3();
+        let wl = Workload::Macs(BIG_MACS);
+        assert!(phone.execution_time(&wl) < watch.execution_time(&wl));
+        assert!(watch.active_power.as_milliwatts() < phone.active_power.as_milliwatts());
+    }
+
+    #[test]
+    fn raw_cycles_workload_ignores_mac_model() {
+        let watch = Platform::stm32wb55();
+        assert_eq!(watch.cycles(&Workload::Cycles(12_345)), Cycles(12_345));
+    }
+}

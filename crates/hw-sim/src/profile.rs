@@ -1,0 +1,60 @@
+//! Workload descriptions and execution profiles.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Cycles, Energy, TimeSpan};
+
+/// A computational workload to be mapped onto a [`crate::platform::Platform`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Workload {
+    /// A neural-network inference described by its multiply-accumulate count;
+    /// the platform adds its per-inference overhead and cycles-per-MAC factor.
+    Macs(u64),
+    /// A classical algorithm with a known cycle count on the target platform
+    /// (for example the Adaptive-Threshold peak detector).
+    Cycles(u64),
+}
+
+impl Workload {
+    /// The MAC count, if this is a MAC-based workload.
+    pub fn macs(&self) -> Option<u64> {
+        match self {
+            Workload::Macs(m) => Some(*m),
+            Workload::Cycles(_) => None,
+        }
+    }
+}
+
+/// The cost of executing one workload on one platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionProfile {
+    /// Clock cycles consumed.
+    pub cycles: Cycles,
+    /// Wall-clock execution time.
+    pub time: TimeSpan,
+    /// Active (compute-only) energy.
+    pub energy: Energy,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_macs_accessor() {
+        assert_eq!(Workload::Macs(100).macs(), Some(100));
+        assert_eq!(Workload::Cycles(100).macs(), None);
+    }
+
+    #[test]
+    fn profile_fields_are_accessible() {
+        let p = ExecutionProfile {
+            cycles: Cycles(1000),
+            time: TimeSpan::from_millis(1.0),
+            energy: Energy::from_microjoules(10.0),
+        };
+        assert_eq!(p.cycles.0, 1000);
+        assert!((p.time.as_millis() - 1.0).abs() < 1e-9);
+        assert!((p.energy.as_microjoules() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Ground-truth heart-rate trajectory generation.
+//!
+//! Each activity segment gets a smooth per-sample heart-rate trajectory: the
+//! subject's HR drifts towards an activity- and subject-dependent set point
+//! with a first-order response, plus band-limited variability. The trajectory
+//! plays the role of the ECG-derived ground truth of PPGDalia: it drives the
+//! synthetic PPG pulse train and provides the per-window reference the MAE is
+//! computed against.
+
+use rand::Rng;
+
+use crate::activity::Activity;
+use crate::noise::{ar1_noise, normal};
+use crate::subject::SubjectProfile;
+
+/// Physiological bounds applied to every generated trajectory.
+pub const HR_MIN_BPM: f32 = 40.0;
+/// Upper physiological bound.
+pub const HR_MAX_BPM: f32 = 190.0;
+
+/// Generates a per-sample heart-rate trajectory (in BPM) for one activity
+/// segment of `n_samples` samples at `sample_rate_hz`.
+///
+/// `start_hr_bpm` is the heart rate at the end of the previous segment so
+/// consecutive segments join continuously; pass the subject's resting HR for
+/// the first segment.
+pub fn hr_trajectory<R: Rng + ?Sized>(
+    rng: &mut R,
+    subject: &SubjectProfile,
+    activity: Activity,
+    n_samples: usize,
+    sample_rate_hz: f32,
+    start_hr_bpm: f32,
+) -> Vec<f32> {
+    if n_samples == 0 {
+        return Vec::new();
+    }
+    let (band_lo, band_hi) = activity.hr_band_bpm();
+    // Subject-specific set point within the activity band.
+    let band_mid = (band_lo + band_hi) / 2.0;
+    let elevation = (band_mid - 62.0).max(0.0) * subject.hr_reactivity;
+    let set_point = (subject.resting_hr_bpm + elevation
+        + normal(rng, 0.0, (band_hi - band_lo) / 6.0))
+    .clamp(HR_MIN_BPM + 5.0, HR_MAX_BPM - 10.0);
+
+    // First-order approach to the set point with a ~30 s time constant.
+    let tau_s = 30.0;
+    let alpha = (1.0 / (tau_s * sample_rate_hz)).min(1.0);
+
+    // Band-limited variability around the trend.
+    let variability = ar1_noise(rng, n_samples, 0.999, subject.hr_variability_bpm);
+
+    let mut out = Vec::with_capacity(n_samples);
+    let mut hr = start_hr_bpm.clamp(HR_MIN_BPM, HR_MAX_BPM);
+    for v in variability {
+        hr += alpha * (set_point - hr);
+        out.push((hr + v).clamp(HR_MIN_BPM, HR_MAX_BPM));
+    }
+    out
+}
+
+/// Average of a heart-rate trajectory over a window `[start, start + len)`,
+/// which is the ground-truth label convention used for the 8 s windows.
+pub fn window_mean_hr(trajectory: &[f32], start: usize, len: usize) -> f32 {
+    let end = (start + len).min(trajectory.len());
+    let slice = &trajectory[start..end];
+    slice.iter().sum::<f32>() / slice.len().max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subject::SubjectId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn subject() -> SubjectProfile {
+        SubjectProfile::nominal(SubjectId(0))
+    }
+
+    #[test]
+    fn trajectory_has_requested_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = hr_trajectory(&mut rng, &subject(), Activity::Sitting, 1000, 32.0, 65.0);
+        assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn trajectory_respects_physiological_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for activity in Activity::ALL {
+            let t = hr_trajectory(&mut rng, &subject(), activity, 32 * 120, 32.0, 65.0);
+            assert!(t.iter().all(|&hr| (HR_MIN_BPM..=HR_MAX_BPM).contains(&hr)));
+        }
+    }
+
+    #[test]
+    fn exercise_raises_heart_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rest = hr_trajectory(&mut rng, &subject(), Activity::Resting, 32 * 300, 32.0, 65.0);
+        let stairs = hr_trajectory(&mut rng, &subject(), Activity::Stairs, 32 * 300, 32.0, 65.0);
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        // Compare the steady-state tail.
+        assert!(
+            mean(&stairs[stairs.len() / 2..]) > mean(&rest[rest.len() / 2..]) + 10.0,
+            "stairs HR should be well above resting HR"
+        );
+    }
+
+    #[test]
+    fn trajectory_is_continuous_with_start_hr() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = hr_trajectory(&mut rng, &subject(), Activity::Cycling, 320, 32.0, 70.0);
+        assert!((t[0] - 70.0).abs() < 8.0, "first sample {} should stay near 70", t[0]);
+    }
+
+    #[test]
+    fn trajectory_is_smooth() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = hr_trajectory(&mut rng, &subject(), Activity::Walking, 32 * 60, 32.0, 70.0);
+        let max_step = t.windows(2).map(|p| (p[1] - p[0]).abs()).fold(0.0f32, f32::max);
+        assert!(max_step < 1.0, "per-sample HR step should be small, got {max_step}");
+    }
+
+    #[test]
+    fn empty_request_returns_empty() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(hr_trajectory(&mut rng, &subject(), Activity::Resting, 0, 32.0, 65.0).is_empty());
+    }
+
+    #[test]
+    fn window_mean_hr_averages() {
+        let t = vec![60.0, 62.0, 64.0, 66.0];
+        assert!((window_mean_hr(&t, 0, 4) - 63.0).abs() < 1e-5);
+        assert!((window_mean_hr(&t, 2, 2) - 65.0).abs() < 1e-5);
+        // Window extending past the end is clamped.
+        assert!((window_mean_hr(&t, 2, 100) - 65.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reactive_subject_has_higher_exercise_hr() {
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let mut low = subject();
+        low.hr_reactivity = 0.75;
+        let mut high = subject();
+        high.hr_reactivity = 1.25;
+        let t_low = hr_trajectory(&mut rng_a, &low, Activity::Stairs, 32 * 240, 32.0, 65.0);
+        let t_high = hr_trajectory(&mut rng_b, &high, Activity::Stairs, 32 * 240, 32.0, 65.0);
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(mean(&t_high[t_high.len() / 2..]) > mean(&t_low[t_low.len() / 2..]));
+    }
+}

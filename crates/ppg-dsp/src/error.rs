@@ -1,0 +1,103 @@
+//! Error type shared by the DSP routines.
+
+use std::fmt;
+
+/// Errors produced by the DSP routines of this crate.
+///
+/// All variants carry enough context to diagnose the offending call without a
+/// debugger; the [`fmt::Display`] representation is lowercase and concise per
+/// the Rust API guidelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DspError {
+    /// The input slice was empty but the operation requires at least one sample.
+    EmptyInput {
+        /// Name of the operation that rejected the input.
+        op: &'static str,
+    },
+    /// Two inputs that must have equal lengths did not.
+    LengthMismatch {
+        /// Name of the operation that rejected the inputs.
+        op: &'static str,
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// The requested length is not supported (for example, an FFT length that
+    /// is not a power of two).
+    InvalidLength {
+        /// Name of the operation that rejected the length.
+        op: &'static str,
+        /// The offending length.
+        len: usize,
+        /// Human-readable description of the requirement.
+        requirement: &'static str,
+    },
+    /// A numeric parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the operation that rejected the parameter.
+        op: &'static str,
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the requirement.
+        requirement: &'static str,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::EmptyInput { op } => write!(f, "{op}: input is empty"),
+            DspError::LengthMismatch { op, left, right } => {
+                write!(f, "{op}: input lengths differ ({left} vs {right})")
+            }
+            DspError::InvalidLength { op, len, requirement } => {
+                write!(f, "{op}: invalid length {len} ({requirement})")
+            }
+            DspError::InvalidParameter { op, name, requirement } => {
+                write!(f, "{op}: invalid parameter `{name}` ({requirement})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_empty_input() {
+        let e = DspError::EmptyInput { op: "mae" };
+        assert_eq!(e.to_string(), "mae: input is empty");
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = DspError::LengthMismatch { op: "mae", left: 3, right: 4 };
+        assert!(e.to_string().contains("3 vs 4"));
+    }
+
+    #[test]
+    fn display_invalid_length() {
+        let e = DspError::InvalidLength { op: "fft", len: 3, requirement: "power of two" };
+        assert!(e.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = DspError::InvalidParameter {
+            op: "bandpass",
+            name: "low_hz",
+            requirement: "must be positive",
+        };
+        assert!(e.to_string().contains("low_hz"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the DSP substrate.
+
+use ppg_dsp::fft::{fft_real, power_spectrum};
+use ppg_dsp::filter::{rolling_mean, MovingAverage};
+use ppg_dsp::peaks::{count_sign_changes, regions_above};
+use ppg_dsp::stats::{mae, percentile, rmse};
+use ppg_dsp::window::{sliding_windows, window_count};
+use proptest::prelude::*;
+
+fn finite_signal(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1000.0f32..1000.0, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn rolling_mean_is_bounded_by_signal_extrema(signal in finite_signal(256), len in 1usize..64) {
+        let out = rolling_mean(&signal, len).unwrap();
+        let lo = signal.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = signal.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for &v in &out {
+            prop_assert!(v >= lo - 1e-3 && v <= hi + 1e-3);
+        }
+    }
+
+    #[test]
+    fn moving_average_of_constant_is_constant(value in -100.0f32..100.0, len in 1usize..32, n in 1usize..128) {
+        let mut ma = MovingAverage::new(len);
+        let mut last = value;
+        for _ in 0..n {
+            last = ma.push(value);
+        }
+        prop_assert!((last - value).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mae_is_non_negative_and_le_rmse(pairs in prop::collection::vec((-200.0f32..200.0, -200.0f32..200.0), 1..128)) {
+        let (p, t): (Vec<f32>, Vec<f32>) = pairs.into_iter().unzip();
+        let m = mae(&p, &t).unwrap();
+        let r = rmse(&p, &t).unwrap();
+        prop_assert!(m >= 0.0);
+        prop_assert!(r + 1e-4 >= m);
+    }
+
+    #[test]
+    fn mae_of_identical_series_is_zero(signal in finite_signal(128)) {
+        prop_assert!(mae(&signal, &signal).unwrap().abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentile_is_within_range(signal in finite_signal(128), p in 0.0f32..100.0) {
+        let v = percentile(&signal, p).unwrap();
+        let lo = signal.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = signal.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4);
+    }
+
+    #[test]
+    fn window_iterator_matches_window_count(len in 0usize..2048, size in 1usize..512, stride in 1usize..128) {
+        let data = vec![0u8; len];
+        let n = sliding_windows(&data, size, stride).unwrap().count();
+        prop_assert_eq!(n, window_count(len, size, stride));
+    }
+
+    #[test]
+    fn windows_have_requested_size(len in 1usize..1024, size in 1usize..256, stride in 1usize..64) {
+        let data: Vec<usize> = (0..len).collect();
+        for w in sliding_windows(&data, size, stride).unwrap() {
+            prop_assert_eq!(w.len(), size);
+        }
+    }
+
+    #[test]
+    fn sign_changes_bounded_by_length(signal in finite_signal(256)) {
+        let c = count_sign_changes(&signal);
+        prop_assert!(c < signal.len());
+    }
+
+    #[test]
+    fn regions_above_are_disjoint_and_sorted(signal in finite_signal(256)) {
+        let threshold: Vec<f32> = vec![0.0; signal.len()];
+        let regions = regions_above(&signal, &threshold).unwrap();
+        for pair in regions.windows(2) {
+            prop_assert!(pair[0].end <= pair[1].start);
+        }
+        for r in &regions {
+            prop_assert!(r.start < r.end);
+            for i in r.start..r.end {
+                prop_assert!(signal[i] > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fft_linearity(a in prop::collection::vec(-10.0f32..10.0, 64..=64), b in prop::collection::vec(-10.0f32..10.0, 64..=64)) {
+        let sum: Vec<f32> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let fa = fft_real(&a).unwrap();
+        let fb = fft_real(&b).unwrap();
+        let fsum = fft_real(&sum).unwrap();
+        for k in 0..64 {
+            prop_assert!((fa[k].re + fb[k].re - fsum[k].re).abs() < 1e-2);
+            prop_assert!((fa[k].im + fb[k].im - fsum[k].im).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn power_spectrum_is_non_negative(signal in prop::collection::vec(-10.0f32..10.0, 128..=128)) {
+        for p in power_spectrum(&signal).unwrap() {
+            prop_assert!(p >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The Adaptive-Threshold (AT) heart-rate estimator.
+//!
+//! This is the paper's cheapest model (its ref. [20], Shin et al.): compute
+//! the rolling mean of the PPG over a 24-sample window, find the *regions of
+//! interest* where the raw signal exceeds that rolling mean, take the largest
+//! sample of each region as a beat, and convert the mean peak-to-peak distance
+//! into BPM. It needs only ≈3 k arithmetic operations per window (≈100 k
+//! cycles on the STM32WB55 including windowing overhead) but is very sensitive
+//! to motion artifacts, which is exactly why CHRIS only uses it on "easy"
+//! windows.
+
+use hw_sim::profile::Workload;
+use ppg_data::LabeledWindow;
+use ppg_dsp::filter::rolling_mean;
+use ppg_dsp::peaks::{peaks_to_bpm, region_maxima, regions_above};
+
+use crate::error::ModelError;
+use crate::traits::{clamp_bpm, HrEstimator};
+
+/// Cycle count of one AT prediction on the STM32WB55 (paper Table III).
+pub const AT_CYCLES_STM32: u64 = 100_000;
+/// Cycle count of one AT prediction on the Raspberry Pi3 (1 ms at 600 MHz).
+pub const AT_CYCLES_PI3: u64 = 600_000;
+/// Rolling-mean window length used by the reference implementation.
+pub const AT_ROLLING_MEAN_LEN: usize = 24;
+/// Minimum region-of-interest length (in samples) for a peak to count.
+pub const AT_MIN_REGION_LEN: usize = 3;
+
+/// Adaptive-Threshold peak-tracking HR estimator.
+///
+/// Stateful: when a window yields fewer than two usable peaks the estimator
+/// falls back to its previous prediction (or a population prior of 75 BPM for
+/// the very first window).
+#[derive(Debug, Clone)]
+pub struct AdaptiveThreshold {
+    rolling_len: usize,
+    min_region_len: usize,
+    last_bpm: Option<f32>,
+}
+
+impl Default for AdaptiveThreshold {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AdaptiveThreshold {
+    /// Creates the estimator with the reference parameters (24-sample rolling
+    /// mean, 3-sample minimum region length).
+    pub fn new() -> Self {
+        Self {
+            rolling_len: AT_ROLLING_MEAN_LEN,
+            min_region_len: AT_MIN_REGION_LEN,
+            last_bpm: None,
+        }
+    }
+
+    /// Creates the estimator with a custom rolling-mean length (used by the
+    /// parameter-sensitivity ablation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidTrainingData`] when `rolling_len` is zero.
+    pub fn with_rolling_len(rolling_len: usize) -> Result<Self, ModelError> {
+        if rolling_len == 0 {
+            return Err(ModelError::InvalidTrainingData {
+                reason: "rolling mean length must be non-zero".to_string(),
+            });
+        }
+        Ok(Self { rolling_len, min_region_len: AT_MIN_REGION_LEN, last_bpm: None })
+    }
+
+    /// The estimate the model falls back to when no peaks are found.
+    fn fallback(&self) -> f32 {
+        self.last_bpm.unwrap_or(75.0)
+    }
+}
+
+impl HrEstimator for AdaptiveThreshold {
+    fn name(&self) -> &str {
+        "AT"
+    }
+
+    fn predict(&mut self, window: &LabeledWindow) -> Result<f32, ModelError> {
+        if window.ppg.len() < self.rolling_len {
+            return Err(ModelError::InvalidWindow {
+                model: "AT",
+                reason: format!(
+                    "window has {} samples, rolling mean needs {}",
+                    window.ppg.len(),
+                    self.rolling_len
+                ),
+            });
+        }
+        let threshold = rolling_mean(&window.ppg, self.rolling_len)?;
+        let regions = regions_above(&window.ppg, &threshold)?;
+        let peaks = region_maxima(&window.ppg, &regions, self.min_region_len);
+        let bpm = match peaks_to_bpm(&peaks, ppg_data::SAMPLE_RATE_HZ) {
+            Some(raw) => clamp_bpm(raw),
+            None => self.fallback(),
+        };
+        self.last_bpm = Some(bpm);
+        Ok(bpm)
+    }
+
+    fn workload(&self) -> Workload {
+        Workload::Cycles(AT_CYCLES_STM32)
+    }
+
+    fn reset(&mut self) {
+        self.last_bpm = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppg_data::{Activity, DatasetBuilder, SubjectId};
+    use ppg_dsp::stats::mae;
+
+    fn synthetic_window(hr_bpm: f32, motion: f32, seed: u64) -> LabeledWindow {
+        use ppg_data::ppg_synth::ppg_segment;
+        use ppg_data::subject::SubjectProfile;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let subject = SubjectProfile::nominal(SubjectId(0));
+        let hr = vec![hr_bpm; 256];
+        let env = vec![motion; 256];
+        let ppg = ppg_segment(&mut rng, &subject, &hr, &env, 32.0);
+        LabeledWindow {
+            subject: SubjectId(0),
+            activity: Activity::Resting,
+            hr_bpm,
+            ppg,
+            accel_x: vec![0.0; 256],
+            accel_y: vec![0.0; 256],
+            accel_z: vec![1.0; 256],
+            mean_motion_g: motion,
+        }
+    }
+
+    #[test]
+    fn tracks_clean_signal_within_a_few_bpm() {
+        let mut at = AdaptiveThreshold::new();
+        for (i, &hr) in [60.0f32, 75.0, 90.0, 110.0].iter().enumerate() {
+            let w = synthetic_window(hr, 0.0, i as u64);
+            let est = at.predict(&w).unwrap();
+            assert!(
+                (est - hr).abs() < 8.0,
+                "clean window at {hr} BPM estimated as {est} BPM"
+            );
+        }
+    }
+
+    #[test]
+    fn degrades_with_motion_artifacts() {
+        // Average error over several windows must grow with the motion level.
+        let mut at = AdaptiveThreshold::new();
+        let eval = |at: &mut AdaptiveThreshold, motion: f32| {
+            let (mut preds, mut truths) = (Vec::new(), Vec::new());
+            for i in 0..20 {
+                let hr = 65.0 + (i as f32 * 3.0) % 40.0;
+                let w = synthetic_window(hr, motion, 100 + i);
+                preds.push(at.predict(&w).unwrap());
+                truths.push(hr);
+            }
+            mae(&preds, &truths).unwrap()
+        };
+        let clean = eval(&mut at, 0.01);
+        at.reset();
+        let noisy = eval(&mut at, 0.9);
+        assert!(
+            noisy > clean * 1.5,
+            "motion should degrade AT: clean {clean:.2} BPM vs noisy {noisy:.2} BPM"
+        );
+    }
+
+    #[test]
+    fn falls_back_to_previous_estimate_on_flat_window() {
+        let mut at = AdaptiveThreshold::new();
+        let good = synthetic_window(80.0, 0.0, 7);
+        let first = at.predict(&good).unwrap();
+        let mut flat = good.clone();
+        flat.ppg = vec![0.0; 256];
+        let second = at.predict(&flat).unwrap();
+        assert_eq!(first, second, "flat window should reuse the previous estimate");
+    }
+
+    #[test]
+    fn first_window_without_peaks_uses_prior() {
+        let mut at = AdaptiveThreshold::new();
+        let mut flat = synthetic_window(80.0, 0.0, 8);
+        flat.ppg = vec![0.0; 256];
+        assert_eq!(at.predict(&flat).unwrap(), 75.0);
+    }
+
+    #[test]
+    fn rejects_too_short_windows() {
+        let mut at = AdaptiveThreshold::new();
+        let mut w = synthetic_window(80.0, 0.0, 9);
+        w.ppg.truncate(10);
+        assert!(matches!(at.predict(&w), Err(ModelError::InvalidWindow { .. })));
+    }
+
+    #[test]
+    fn reset_clears_fallback() {
+        let mut at = AdaptiveThreshold::new();
+        let good = synthetic_window(100.0, 0.0, 10);
+        at.predict(&good).unwrap();
+        at.reset();
+        let mut flat = good;
+        flat.ppg = vec![0.0; 256];
+        assert_eq!(at.predict(&flat).unwrap(), 75.0);
+    }
+
+    #[test]
+    fn workload_is_the_paper_cycle_count() {
+        let at = AdaptiveThreshold::new();
+        assert_eq!(at.workload(), Workload::Cycles(100_000));
+        assert_eq!(at.name(), "AT");
+    }
+
+    #[test]
+    fn with_rolling_len_validates() {
+        assert!(AdaptiveThreshold::with_rolling_len(0).is_err());
+        assert!(AdaptiveThreshold::with_rolling_len(12).is_ok());
+    }
+
+    #[test]
+    fn output_is_always_in_physiological_range_on_real_dataset() {
+        let d =
+            DatasetBuilder::new().subjects(2).seconds_per_activity(24.0).seed(5).build().unwrap();
+        let mut at = AdaptiveThreshold::new();
+        for w in d.windows() {
+            let bpm = at.predict(&w).unwrap();
+            assert!((40.0..=190.0).contains(&bpm), "estimate {bpm} out of range");
+        }
+    }
+}

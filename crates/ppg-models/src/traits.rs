@@ -1,0 +1,102 @@
+//! Core traits implemented by every HR estimator and activity classifier.
+
+use hw_sim::profile::Workload;
+use ppg_data::{Activity, LabeledWindow};
+
+use crate::error::ModelError;
+
+/// Physiologically plausible output range enforced by all estimators, in BPM.
+pub const HR_OUTPUT_RANGE_BPM: (f32, f32) = (40.0, 190.0);
+
+/// A heart-rate estimator operating on one analysis window at a time.
+///
+/// Estimators are stateful (`&mut self`): the classical trackers keep the
+/// previous estimate as a fallback for windows where no peak is found, and the
+/// neural networks cache activations during the forward pass.
+pub trait HrEstimator: std::fmt::Debug + Send {
+    /// Short human-readable model name (e.g. `"TimePPG-Small"`).
+    fn name(&self) -> &str;
+
+    /// Predicts the mean heart rate of the window, in BPM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when the window is malformed or the model cannot
+    /// produce any estimate.
+    fn predict(&mut self, window: &LabeledWindow) -> Result<f32, ModelError>;
+
+    /// The computational workload of one prediction, used by the hardware
+    /// model to derive latency and energy.
+    fn workload(&self) -> Workload;
+
+    /// Resets any internal state (previous-estimate fallbacks, caches).
+    fn reset(&mut self) {}
+}
+
+/// A classifier mapping one window's accelerometer data to an [`Activity`].
+pub trait ActivityClassifier: std::fmt::Debug + Send {
+    /// Short human-readable classifier name.
+    fn name(&self) -> &str;
+
+    /// Predicts the activity performed during the window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when the window is malformed or the classifier
+    /// has not been trained.
+    fn classify(&self, window: &LabeledWindow) -> Result<Activity, ModelError>;
+}
+
+/// Clamps a raw estimate into the physiologically plausible range.
+pub fn clamp_bpm(bpm: f32) -> f32 {
+    bpm.clamp(HR_OUTPUT_RANGE_BPM.0, HR_OUTPUT_RANGE_BPM.1)
+}
+
+/// An activity classifier that always returns the window's true label.
+///
+/// Used to isolate CHRIS' behaviour from classifier mistakes in ablation
+/// experiments (the paper reports that RF mispredictions barely matter; this
+/// oracle lets us quantify that claim).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OracleActivityClassifier;
+
+impl OracleActivityClassifier {
+    /// Creates the oracle classifier.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl ActivityClassifier for OracleActivityClassifier {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn classify(&self, window: &LabeledWindow) -> Result<Activity, ModelError> {
+        Ok(window.activity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppg_data::{DatasetBuilder, SubjectId};
+
+    #[test]
+    fn clamp_bpm_enforces_range() {
+        assert_eq!(clamp_bpm(10.0), 40.0);
+        assert_eq!(clamp_bpm(250.0), 190.0);
+        assert_eq!(clamp_bpm(72.0), 72.0);
+    }
+
+    #[test]
+    fn oracle_returns_true_activity() {
+        let d = DatasetBuilder::new().subjects(1).seconds_per_activity(16.0).seed(1).build().unwrap();
+        let oracle = OracleActivityClassifier::new();
+        for w in d.windows() {
+            assert_eq!(oracle.classify(&w).unwrap(), w.activity);
+        }
+        assert_eq!(oracle.name(), "oracle");
+        let _ = SubjectId(0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for the tinydl engine.
+
+use std::fmt;
+
+/// Errors produced while building or running networks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TinyDlError {
+    /// A tensor was created with a shape that does not match its data length.
+    ShapeMismatch {
+        /// Expected number of elements implied by the shape.
+        expected: usize,
+        /// Actual number of elements provided.
+        actual: usize,
+    },
+    /// An operation received a tensor with the wrong shape.
+    InvalidShape {
+        /// Name of the operation.
+        op: &'static str,
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// The shape that was provided.
+        actual: Vec<usize>,
+    },
+    /// A layer was constructed with an invalid hyper-parameter.
+    InvalidParameter {
+        /// Name of the operation or layer.
+        op: &'static str,
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the requirement.
+        requirement: &'static str,
+    },
+    /// Backward was called before forward (no cached activation).
+    MissingForwardPass {
+        /// Name of the layer.
+        layer: &'static str,
+    },
+    /// The network is empty.
+    EmptyNetwork,
+}
+
+impl fmt::Display for TinyDlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TinyDlError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: shape implies {expected} elements, data has {actual}")
+            }
+            TinyDlError::InvalidShape { op, expected, actual } => {
+                write!(f, "{op}: expected shape {expected}, got {actual:?}")
+            }
+            TinyDlError::InvalidParameter { op, name, requirement } => {
+                write!(f, "{op}: invalid parameter `{name}` ({requirement})")
+            }
+            TinyDlError::MissingForwardPass { layer } => {
+                write!(f, "{layer}: backward called before forward")
+            }
+            TinyDlError::EmptyNetwork => write!(f, "network contains no layers"),
+        }
+    }
+}
+
+impl std::error::Error for TinyDlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(TinyDlError::ShapeMismatch { expected: 4, actual: 3 }.to_string().contains('4'));
+        assert!(TinyDlError::EmptyNetwork.to_string().contains("no layers"));
+        assert!(TinyDlError::MissingForwardPass { layer: "conv1d" }
+            .to_string()
+            .contains("backward"));
+        let e = TinyDlError::InvalidShape {
+            op: "conv1d",
+            expected: "[channels, length]".to_string(),
+            actual: vec![3],
+        };
+        assert!(e.to_string().contains("conv1d"));
+        let e = TinyDlError::InvalidParameter {
+            op: "conv1d",
+            name: "kernel",
+            requirement: "must be non-zero",
+        };
+        assert!(e.to_string().contains("kernel"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TinyDlError>();
+    }
+}

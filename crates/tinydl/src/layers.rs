@@ -1,0 +1,967 @@
+//! Network layers: 1-D convolution, dense, ReLU, pooling and flatten.
+//!
+//! Every layer implements the [`Layer`] trait: a forward pass that caches what
+//! the backward pass needs, a backward pass that accumulates parameter
+//! gradients and returns the gradient with respect to the input, plus
+//! parameter and MAC counting used by the hardware model.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+use crate::TinyDlError;
+
+/// Common interface of all layers.
+pub trait Layer: std::fmt::Debug + Send {
+    /// Short layer name used in error messages and summaries.
+    fn name(&self) -> &'static str;
+
+    /// Computes the layer output, caching activations needed by backward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyDlError::InvalidShape`] when the input does not match the
+    /// layer's expected shape.
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TinyDlError>;
+
+    /// Propagates the output gradient back to the input, accumulating
+    /// parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyDlError::MissingForwardPass`] if called before
+    /// [`Layer::forward`].
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TinyDlError>;
+
+    /// Output shape for a given input shape, without running the layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyDlError::InvalidShape`] when the input shape is not
+    /// supported.
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, TinyDlError>;
+
+    /// Number of trainable parameters.
+    fn parameter_count(&self) -> usize {
+        0
+    }
+
+    /// Multiply-accumulate operations for one forward pass on the given input
+    /// shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyDlError::InvalidShape`] when the input shape is not
+    /// supported.
+    fn macs(&self, input_shape: &[usize]) -> Result<u64, TinyDlError> {
+        let _ = input_shape;
+        Ok(0)
+    }
+
+    /// Applies one SGD step with learning rate `lr` and clears the gradients.
+    fn apply_gradients(&mut self, lr: f32) {
+        let _ = lr;
+    }
+
+    /// Clears accumulated gradients.
+    fn zero_gradients(&mut self) {}
+
+    /// Dynamic-cast support, used by the post-training quantizer to recognize
+    /// concrete layer types inside a [`crate::network::Sequential`].
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+fn deterministic_uniform(seed: &mut u64) -> f32 {
+    // xorshift64* — deterministic weight init without threading an RNG through
+    // every constructor.
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    let x = (*seed >> 11) as f64 / (1u64 << 53) as f64;
+    (x * 2.0 - 1.0) as f32
+}
+
+// ---------------------------------------------------------------------------
+// Conv1d
+// ---------------------------------------------------------------------------
+
+/// 1-D convolution over `[channels, length]` tensors with dilation and stride.
+///
+/// With `same_padding` the input is zero-padded by `dilation * (kernel - 1) / 2`
+/// on both sides so a stride-1 convolution preserves the temporal length; a
+/// stride-`s` convolution then produces `ceil(length / s)` samples, which is
+/// the behaviour of the TimePPG blocks.
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    dilation: usize,
+    padding: usize,
+    /// Weights laid out as `[out_channels][in_channels][kernel]`.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weights: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv1d {
+    /// Creates a convolution layer with deterministic Xavier-style weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyDlError::InvalidParameter`] when any of the channel,
+    /// kernel, stride or dilation arguments is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        dilation: usize,
+        same_padding: bool,
+    ) -> Result<Self, TinyDlError> {
+        for (name, v) in [
+            ("in_channels", in_channels),
+            ("out_channels", out_channels),
+            ("kernel", kernel),
+            ("stride", stride),
+            ("dilation", dilation),
+        ] {
+            if v == 0 {
+                return Err(TinyDlError::InvalidParameter {
+                    op: "Conv1d::new",
+                    name,
+                    requirement: "must be non-zero",
+                });
+            }
+        }
+        let padding = if same_padding { dilation * (kernel - 1) / 2 } else { 0 };
+        let n_weights = out_channels * in_channels * kernel;
+        let scale = (2.0 / (in_channels * kernel) as f32).sqrt();
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64
+            ^ ((in_channels as u64) << 32 | (out_channels as u64) << 16 | kernel as u64);
+        let weights = (0..n_weights).map(|_| scale * deterministic_uniform(&mut seed)).collect();
+        Ok(Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            dilation,
+            padding,
+            weights,
+            bias: vec![0.0; out_channels],
+            grad_weights: vec![0.0; n_weights],
+            grad_bias: vec![0.0; out_channels],
+            cached_input: None,
+        })
+    }
+
+    /// Re-initializes the weights from the provided random-number generator
+    /// (Xavier-uniform). Useful when training several models that must not
+    /// share an initialization.
+    pub fn randomize<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let scale = (2.0 / (self.in_channels * self.kernel) as f32).sqrt();
+        for w in &mut self.weights {
+            *w = rng.random_range(-scale..scale);
+        }
+        for b in &mut self.bias {
+            *b = 0.0;
+        }
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels (filters).
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Dilation factor.
+    pub fn dilation(&self) -> usize {
+        self.dilation
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    fn check_input(&self, shape: &[usize]) -> Result<usize, TinyDlError> {
+        if shape.len() != 2 || shape[0] != self.in_channels {
+            return Err(TinyDlError::InvalidShape {
+                op: "Conv1d",
+                expected: format!("[{}, length]", self.in_channels),
+                actual: shape.to_vec(),
+            });
+        }
+        Ok(shape[1])
+    }
+
+    fn out_len(&self, in_len: usize) -> usize {
+        let span = self.dilation * (self.kernel - 1);
+        let padded = in_len + 2 * self.padding;
+        if padded <= span {
+            0
+        } else {
+            (padded - span - 1) / self.stride + 1
+        }
+    }
+
+    fn weight(&self, oc: usize, ic: usize, k: usize) -> f32 {
+        self.weights[(oc * self.in_channels + ic) * self.kernel + k]
+    }
+
+    /// Read-only access to the flat weight buffer (`[out][in][kernel]` order).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Read-only access to the bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+}
+
+impl Layer for Conv1d {
+    fn name(&self) -> &'static str {
+        "conv1d"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TinyDlError> {
+        let in_len = self.check_input(input.shape())?;
+        let out_len = self.out_len(in_len);
+        let mut out = Tensor::zeros(&[self.out_channels, out_len])?;
+        for oc in 0..self.out_channels {
+            for t in 0..out_len {
+                let mut acc = self.bias[oc];
+                for ic in 0..self.in_channels {
+                    for k in 0..self.kernel {
+                        let pos = (t * self.stride + k * self.dilation) as isize
+                            - self.padding as isize;
+                        if pos >= 0 && (pos as usize) < in_len {
+                            acc += self.weight(oc, ic, k) * input.at(ic, pos as usize);
+                        }
+                    }
+                }
+                out.set(oc, t, acc);
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TinyDlError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(TinyDlError::MissingForwardPass { layer: "conv1d" })?;
+        let in_len = input.shape()[1];
+        let out_len = self.out_len(in_len);
+        if grad_output.shape() != [self.out_channels, out_len] {
+            return Err(TinyDlError::InvalidShape {
+                op: "Conv1d::backward",
+                expected: format!("[{}, {}]", self.out_channels, out_len),
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        let mut grad_input = Tensor::zeros(&[self.in_channels, in_len])?;
+        for oc in 0..self.out_channels {
+            for t in 0..out_len {
+                let go = grad_output.at(oc, t);
+                self.grad_bias[oc] += go;
+                for ic in 0..self.in_channels {
+                    for k in 0..self.kernel {
+                        let pos = (t * self.stride + k * self.dilation) as isize
+                            - self.padding as isize;
+                        if pos >= 0 && (pos as usize) < in_len {
+                            let pos = pos as usize;
+                            let widx = (oc * self.in_channels + ic) * self.kernel + k;
+                            self.grad_weights[widx] += go * input.at(ic, pos);
+                            let gi = grad_input.at(ic, pos) + go * self.weights[widx];
+                            grad_input.set(ic, pos, gi);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, TinyDlError> {
+        let in_len = self.check_input(input_shape)?;
+        Ok(vec![self.out_channels, self.out_len(in_len)])
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn macs(&self, input_shape: &[usize]) -> Result<u64, TinyDlError> {
+        let in_len = self.check_input(input_shape)?;
+        let out_len = self.out_len(in_len) as u64;
+        Ok(out_len * self.out_channels as u64 * self.in_channels as u64 * self.kernel as u64)
+    }
+
+    fn apply_gradients(&mut self, lr: f32) {
+        for (w, g) in self.weights.iter_mut().zip(&self.grad_weights) {
+            *w -= lr * g;
+        }
+        for (b, g) in self.bias.iter_mut().zip(&self.grad_bias) {
+            *b -= lr * g;
+        }
+        self.zero_gradients();
+    }
+
+    fn zero_gradients(&mut self) {
+        self.grad_weights.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_bias.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------------
+
+/// Fully connected layer over rank-1 tensors.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    /// Weights laid out as `[out_features][in_features]`.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weights: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with deterministic Xavier-style weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyDlError::InvalidParameter`] when either dimension is zero.
+    pub fn new(in_features: usize, out_features: usize) -> Result<Self, TinyDlError> {
+        if in_features == 0 || out_features == 0 {
+            return Err(TinyDlError::InvalidParameter {
+                op: "Dense::new",
+                name: "features",
+                requirement: "input and output feature counts must be non-zero",
+            });
+        }
+        let scale = (2.0 / in_features as f32).sqrt();
+        let mut seed = 0xD6E8_FEB8_6659_FD93u64 ^ ((in_features as u64) << 20 | out_features as u64);
+        let weights = (0..in_features * out_features)
+            .map(|_| scale * deterministic_uniform(&mut seed))
+            .collect();
+        Ok(Self {
+            in_features,
+            out_features,
+            weights,
+            bias: vec![0.0; out_features],
+            grad_weights: vec![0.0; in_features * out_features],
+            grad_bias: vec![0.0; out_features],
+            cached_input: None,
+        })
+    }
+
+    /// Re-initializes the weights from a random-number generator.
+    pub fn randomize<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let scale = (2.0 / self.in_features as f32).sqrt();
+        for w in &mut self.weights {
+            *w = rng.random_range(-scale..scale);
+        }
+        for b in &mut self.bias {
+            *b = 0.0;
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Read-only access to the flat weight buffer (`[out][in]` order).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Read-only access to the bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    fn check_input(&self, shape: &[usize]) -> Result<(), TinyDlError> {
+        let flat: usize = shape.iter().product();
+        if flat != self.in_features {
+            return Err(TinyDlError::InvalidShape {
+                op: "Dense",
+                expected: format!("[{}]", self.in_features),
+                actual: shape.to_vec(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TinyDlError> {
+        self.check_input(input.shape())?;
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; self.out_features];
+        for (o, out_val) in out.iter_mut().enumerate() {
+            let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+            *out_val = self.bias[o] + row.iter().zip(x).map(|(&w, &xv)| w * xv).sum::<f32>();
+        }
+        self.cached_input = Some(input.clone());
+        Tensor::from_vec(out, &[self.out_features])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TinyDlError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(TinyDlError::MissingForwardPass { layer: "dense" })?;
+        if grad_output.len() != self.out_features {
+            return Err(TinyDlError::InvalidShape {
+                op: "Dense::backward",
+                expected: format!("[{}]", self.out_features),
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        let x = input.as_slice();
+        let go = grad_output.as_slice();
+        let mut grad_input = vec![0.0f32; self.in_features];
+        for o in 0..self.out_features {
+            self.grad_bias[o] += go[o];
+            for i in 0..self.in_features {
+                self.grad_weights[o * self.in_features + i] += go[o] * x[i];
+                grad_input[i] += go[o] * self.weights[o * self.in_features + i];
+            }
+        }
+        Tensor::from_vec(grad_input, &[self.in_features])
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, TinyDlError> {
+        self.check_input(input_shape)?;
+        Ok(vec![self.out_features])
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn macs(&self, input_shape: &[usize]) -> Result<u64, TinyDlError> {
+        self.check_input(input_shape)?;
+        Ok(self.in_features as u64 * self.out_features as u64)
+    }
+
+    fn apply_gradients(&mut self, lr: f32) {
+        for (w, g) in self.weights.iter_mut().zip(&self.grad_weights) {
+            *w -= lr * g;
+        }
+        for (b, g) in self.bias.iter_mut().zip(&self.grad_bias) {
+            *b -= lr * g;
+        }
+        self.zero_gradients();
+    }
+
+    fn zero_gradients(&mut self) {
+        self.grad_weights.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_bias.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReLU
+// ---------------------------------------------------------------------------
+
+/// Rectified linear unit, applied element-wise.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TinyDlError> {
+        let mut out = input.clone();
+        let mask: Vec<bool> = input.as_slice().iter().map(|&x| x > 0.0).collect();
+        for (v, &keep) in out.as_mut_slice().iter_mut().zip(&mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TinyDlError> {
+        let mask =
+            self.mask.as_ref().ok_or(TinyDlError::MissingForwardPass { layer: "relu" })?;
+        if mask.len() != grad_output.len() {
+            return Err(TinyDlError::InvalidShape {
+                op: "Relu::backward",
+                expected: format!("{} elements", mask.len()),
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        let mut out = grad_output.clone();
+        for (v, &keep) in out.as_mut_slice().iter_mut().zip(mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        Ok(out)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, TinyDlError> {
+        Ok(input_shape.to_vec())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GlobalAvgPool
+// ---------------------------------------------------------------------------
+
+/// Global average pooling over the temporal dimension: `[C, L]` → `[C]`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn check(&self, shape: &[usize]) -> Result<(), TinyDlError> {
+        if shape.len() != 2 || shape[1] == 0 {
+            return Err(TinyDlError::InvalidShape {
+                op: "GlobalAvgPool",
+                expected: "[channels, length >= 1]".to_string(),
+                actual: shape.to_vec(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TinyDlError> {
+        self.check(input.shape())?;
+        let (c, l) = (input.rows(), input.cols());
+        let mut out = vec![0.0f32; c];
+        for (ch, out_val) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for t in 0..l {
+                acc += input.at(ch, t);
+            }
+            *out_val = acc / l as f32;
+        }
+        self.cached_shape = Some(input.shape().to_vec());
+        Tensor::from_vec(out, &[c])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TinyDlError> {
+        let shape = self
+            .cached_shape
+            .as_ref()
+            .ok_or(TinyDlError::MissingForwardPass { layer: "global_avg_pool" })?;
+        let (c, l) = (shape[0], shape[1]);
+        if grad_output.len() != c {
+            return Err(TinyDlError::InvalidShape {
+                op: "GlobalAvgPool::backward",
+                expected: format!("[{c}]"),
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        let mut grad = Tensor::zeros(&[c, l])?;
+        for ch in 0..c {
+            let g = grad_output.as_slice()[ch] / l as f32;
+            for t in 0..l {
+                grad.set(ch, t, g);
+            }
+        }
+        Ok(grad)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, TinyDlError> {
+        self.check(input_shape)?;
+        Ok(vec![input_shape[0]])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flatten
+// ---------------------------------------------------------------------------
+
+/// Flattens any tensor into a rank-1 tensor.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TinyDlError> {
+        self.cached_shape = Some(input.shape().to_vec());
+        input.reshape(&[input.len()])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TinyDlError> {
+        let shape = self
+            .cached_shape
+            .as_ref()
+            .ok_or(TinyDlError::MissingForwardPass { layer: "flatten" })?;
+        grad_output.reshape(shape)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, TinyDlError> {
+        Ok(vec![input_shape.iter().product()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv1d_rejects_zero_parameters() {
+        assert!(Conv1d::new(0, 1, 3, 1, 1, true).is_err());
+        assert!(Conv1d::new(1, 0, 3, 1, 1, true).is_err());
+        assert!(Conv1d::new(1, 1, 0, 1, 1, true).is_err());
+        assert!(Conv1d::new(1, 1, 3, 0, 1, true).is_err());
+        assert!(Conv1d::new(1, 1, 3, 1, 0, true).is_err());
+    }
+
+    #[test]
+    fn conv1d_identity_kernel_preserves_signal() {
+        // kernel = 1, weight = 1, bias = 0 -> output == input.
+        let mut conv = Conv1d::new(1, 1, 1, 1, 1, true).unwrap();
+        conv.weights[0] = 1.0;
+        conv.bias[0] = 0.0;
+        let input = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5], &[1, 4]).unwrap();
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[1, 4]);
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn conv1d_same_padding_preserves_length() {
+        let mut conv = Conv1d::new(2, 3, 3, 1, 2, true).unwrap();
+        let input = Tensor::zeros(&[2, 64]).unwrap();
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[3, 64]);
+        assert_eq!(conv.output_shape(&[2, 64]).unwrap(), vec![3, 64]);
+    }
+
+    #[test]
+    fn conv1d_stride_halves_length() {
+        let conv = Conv1d::new(4, 4, 3, 2, 1, true).unwrap();
+        assert_eq!(conv.output_shape(&[4, 64]).unwrap(), vec![4, 32]);
+        assert_eq!(conv.output_shape(&[4, 63]).unwrap(), vec![4, 32]);
+    }
+
+    #[test]
+    fn conv1d_moving_average_kernel() {
+        let mut conv = Conv1d::new(1, 1, 3, 1, 1, false).unwrap();
+        conv.weights.copy_from_slice(&[1.0 / 3.0; 3]);
+        conv.bias[0] = 0.0;
+        let input = Tensor::from_vec(vec![3.0, 6.0, 9.0, 12.0], &[1, 4]).unwrap();
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[1, 2]);
+        assert!((out.at(0, 0) - 6.0).abs() < 1e-5);
+        assert!((out.at(0, 1) - 9.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn conv1d_rejects_wrong_channel_count() {
+        let mut conv = Conv1d::new(2, 1, 3, 1, 1, true).unwrap();
+        let input = Tensor::zeros(&[3, 16]).unwrap();
+        assert!(conv.forward(&input).is_err());
+        assert!(conv.macs(&[3, 16]).is_err());
+    }
+
+    #[test]
+    fn conv1d_macs_formula() {
+        let conv = Conv1d::new(2, 8, 5, 1, 1, true).unwrap();
+        // out_len = 64, macs = 64 * 8 * 2 * 5
+        assert_eq!(conv.macs(&[2, 64]).unwrap(), 64 * 8 * 2 * 5);
+        assert_eq!(conv.parameter_count(), 8 * 2 * 5 + 8);
+    }
+
+    #[test]
+    fn conv1d_backward_requires_forward() {
+        let mut conv = Conv1d::new(1, 1, 3, 1, 1, true).unwrap();
+        let grad = Tensor::zeros(&[1, 4]).unwrap();
+        assert!(matches!(
+            conv.backward(&grad),
+            Err(TinyDlError::MissingForwardPass { .. })
+        ));
+    }
+
+    #[test]
+    fn conv1d_gradient_check() {
+        // Numerical gradient check on a tiny convolution.
+        let mut conv = Conv1d::new(1, 1, 3, 1, 1, true).unwrap();
+        let input = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.25, -0.75], &[1, 5]).unwrap();
+        let out = conv.forward(&input).unwrap();
+        // Loss = sum(out); dLoss/dout = 1.
+        let grad_out = Tensor::from_vec(vec![1.0; out.len()], out.shape()).unwrap();
+        let grad_in = conv.backward(&grad_out).unwrap();
+
+        let eps = 1e-3f32;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let f_plus: f32 = conv.forward(&plus).unwrap().as_slice().iter().sum();
+            let f_minus: f32 = conv.forward(&minus).unwrap().as_slice().iter().sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in.as_slice()[i]).abs() < 1e-2,
+                "input grad {i}: numeric {numeric} vs analytic {}",
+                grad_in.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn conv1d_weight_gradient_check() {
+        let mut conv = Conv1d::new(1, 2, 3, 1, 1, true).unwrap();
+        let input = Tensor::from_vec(vec![0.3, -0.6, 1.2, 0.9], &[1, 4]).unwrap();
+        let out = conv.forward(&input).unwrap();
+        let grad_out = Tensor::from_vec(vec![1.0; out.len()], out.shape()).unwrap();
+        conv.zero_gradients();
+        conv.forward(&input).unwrap();
+        conv.backward(&grad_out).unwrap();
+        let analytic = conv.grad_weights.clone();
+
+        let eps = 1e-3f32;
+        for w_idx in 0..conv.weights.len() {
+            let orig = conv.weights[w_idx];
+            conv.weights[w_idx] = orig + eps;
+            let f_plus: f32 = conv.forward(&input).unwrap().as_slice().iter().sum();
+            conv.weights[w_idx] = orig - eps;
+            let f_minus: f32 = conv.forward(&input).unwrap().as_slice().iter().sum();
+            conv.weights[w_idx] = orig;
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[w_idx]).abs() < 1e-2,
+                "weight grad {w_idx}: numeric {numeric} vs analytic {}",
+                analytic[w_idx]
+            );
+        }
+    }
+
+    #[test]
+    fn dense_forward_matches_manual_computation() {
+        let mut dense = Dense::new(3, 2).unwrap();
+        dense.weights.copy_from_slice(&[1.0, 0.0, -1.0, 0.5, 0.5, 0.5]);
+        dense.bias.copy_from_slice(&[1.0, -1.0]);
+        let input = Tensor::from_slice(&[2.0, 4.0, 6.0]);
+        let out = dense.forward(&input).unwrap();
+        assert!((out.as_slice()[0] - (2.0 - 6.0 + 1.0)).abs() < 1e-6);
+        assert!((out.as_slice()[1] - (1.0 + 2.0 + 3.0 - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dense_rejects_zero_dims_and_bad_input() {
+        assert!(Dense::new(0, 2).is_err());
+        assert!(Dense::new(2, 0).is_err());
+        let mut dense = Dense::new(4, 2).unwrap();
+        assert!(dense.forward(&Tensor::from_slice(&[1.0, 2.0])).is_err());
+    }
+
+    #[test]
+    fn dense_gradient_check() {
+        let mut dense = Dense::new(4, 3).unwrap();
+        let input = Tensor::from_slice(&[0.5, -0.25, 1.5, -2.0]);
+        let out = dense.forward(&input).unwrap();
+        let grad_out = Tensor::from_vec(vec![1.0; out.len()], out.shape()).unwrap();
+        let grad_in = dense.backward(&grad_out).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let f_plus: f32 = dense.forward(&plus).unwrap().as_slice().iter().sum();
+            let f_minus: f32 = dense.forward(&minus).unwrap().as_slice().iter().sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            assert!((numeric - grad_in.as_slice()[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn dense_macs_and_params() {
+        let dense = Dense::new(16, 4).unwrap();
+        assert_eq!(dense.macs(&[16]).unwrap(), 64);
+        assert_eq!(dense.parameter_count(), 16 * 4 + 4);
+        assert_eq!(dense.output_shape(&[16]).unwrap(), vec![4]);
+        assert_eq!(dense.in_features(), 16);
+        assert_eq!(dense.out_features(), 4);
+    }
+
+    #[test]
+    fn relu_clamps_negatives_and_masks_gradient() {
+        let mut relu = Relu::new();
+        let input = Tensor::from_slice(&[-1.0, 2.0, -3.0, 4.0]);
+        let out = relu.forward(&input).unwrap();
+        assert_eq!(out.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+        let grad = relu.backward(&Tensor::from_slice(&[1.0, 1.0, 1.0, 1.0])).unwrap();
+        assert_eq!(grad.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(relu.output_shape(&[1, 4]).unwrap(), vec![1, 4]);
+        assert_eq!(relu.parameter_count(), 0);
+    }
+
+    #[test]
+    fn relu_backward_without_forward_fails() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::from_slice(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn global_avg_pool_averages_channels() {
+        let mut pool = GlobalAvgPool::new();
+        let input = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[2, 4]).unwrap();
+        let out = pool.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[2]);
+        assert!((out.as_slice()[0] - 4.0).abs() < 1e-6);
+        assert!((out.as_slice()[1] - 2.0).abs() < 1e-6);
+        let grad = pool.backward(&Tensor::from_slice(&[4.0, 8.0])).unwrap();
+        assert_eq!(grad.shape(), &[2, 4]);
+        assert!((grad.at(0, 0) - 1.0).abs() < 1e-6);
+        assert!((grad.at(1, 3) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn global_avg_pool_rejects_rank1() {
+        let mut pool = GlobalAvgPool::new();
+        assert!(pool.forward(&Tensor::from_slice(&[1.0, 2.0])).is_err());
+        assert!(pool.output_shape(&[4]).is_err());
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut flatten = Flatten::new();
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let out = flatten.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[6]);
+        let grad = flatten.backward(&out).unwrap();
+        assert_eq!(grad.shape(), &[2, 3]);
+        assert_eq!(flatten.output_shape(&[2, 3]).unwrap(), vec![6]);
+    }
+
+    #[test]
+    fn sgd_step_reduces_simple_loss() {
+        // One dense layer trained to map x -> 2x.
+        let mut dense = Dense::new(1, 1).unwrap();
+        let inputs = [0.5f32, 1.0, -1.0, 2.0];
+        let lr = 0.05;
+        let loss_of = |d: &mut Dense| -> f32 {
+            inputs
+                .iter()
+                .map(|&x| {
+                    let y = d.forward(&Tensor::from_slice(&[x])).unwrap().as_slice()[0];
+                    (y - 2.0 * x).powi(2)
+                })
+                .sum()
+        };
+        let before = loss_of(&mut dense);
+        for _ in 0..200 {
+            for &x in &inputs {
+                let y = dense.forward(&Tensor::from_slice(&[x])).unwrap().as_slice()[0];
+                let grad = Tensor::from_slice(&[2.0 * (y - 2.0 * x)]);
+                dense.backward(&grad).unwrap();
+                dense.apply_gradients(lr);
+            }
+        }
+        let after = loss_of(&mut dense);
+        assert!(after < before * 0.01, "training should reduce loss: {before} -> {after}");
+    }
+
+    #[test]
+    fn randomize_changes_weights() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut conv = Conv1d::new(1, 4, 3, 1, 1, true).unwrap();
+        let before = conv.weights().to_vec();
+        conv.randomize(&mut StdRng::seed_from_u64(1));
+        assert_ne!(before, conv.weights());
+        let mut dense = Dense::new(4, 2).unwrap();
+        let before = dense.weights().to_vec();
+        dense.randomize(&mut StdRng::seed_from_u64(1));
+        assert_ne!(before, dense.weights());
+    }
+
+    #[test]
+    fn accessors_report_hyperparameters() {
+        let conv = Conv1d::new(3, 8, 5, 2, 4, true).unwrap();
+        assert_eq!(conv.in_channels(), 3);
+        assert_eq!(conv.out_channels(), 8);
+        assert_eq!(conv.stride(), 2);
+        assert_eq!(conv.dilation(), 4);
+        assert_eq!(conv.bias().len(), 8);
+    }
+}

@@ -1,0 +1,63 @@
+//! # tinydl — a minimal deep-learning engine for temporal convolutional networks
+//!
+//! The CHRIS paper deploys two temporal convolutional networks (TCNs),
+//! **TimePPG-Small** and **TimePPG-Big**, on an STM32WB55 MCU through
+//! X-CUBE-AI and on a Raspberry Pi3 through the TensorFlow-Lite interpreter,
+//! both with 8-bit post-training/QAT quantization.  Neither toolchain is
+//! available as a Rust library, so this crate provides the substrate the
+//! reproduction needs:
+//!
+//! * [`tensor::Tensor`] — a small dense `f32` tensor with a `[channels, length]`
+//!   layout for 1-D signals,
+//! * layers — [`layers::Conv1d`] (arbitrary dilation, stride and padding),
+//!   [`layers::Dense`], [`layers::Relu`], [`layers::GlobalAvgPool`] and
+//!   [`layers::Flatten`], each implementing forward, backward and
+//!   parameter/MAC counting,
+//! * [`network::Sequential`] — a feed-forward container with SGD training,
+//! * [`loss`] — MSE and L1 losses with gradients,
+//! * [`quant`] — symmetric int8 post-training quantization of a trained
+//!   network plus a quantized inference path (int8 storage, i32 accumulation),
+//!   the same arithmetic the deployed models use.
+//!
+//! The engine favours clarity over speed: networks of a few hundred thousand
+//! MACs per inference (the TimePPG sizes) run comfortably on a host machine,
+//! which is all the experiments require.  MAC counts — not wall-clock time —
+//! feed the hardware model in `hw-sim`.
+//!
+//! ## Example
+//!
+//! ```
+//! use tinydl::layers::{Conv1d, Dense, GlobalAvgPool, Relu};
+//! use tinydl::network::Sequential;
+//! use tinydl::tensor::Tensor;
+//!
+//! # fn main() -> Result<(), tinydl::TinyDlError> {
+//! // A toy TCN: 1 input channel, 4 filters, global pooling, 1 output.
+//! let mut net = Sequential::new();
+//! net.push(Conv1d::new(1, 4, 3, 1, 1, true)?);
+//! net.push(Relu::new());
+//! net.push(GlobalAvgPool::new());
+//! net.push(Dense::new(4, 1)?);
+//!
+//! let input = Tensor::from_vec(vec![0.5; 64], &[1, 64])?;
+//! let output = net.forward(&input)?;
+//! assert_eq!(output.len(), 1);
+//! assert!(net.parameter_count() > 0);
+//! assert!(net.macs(&[1, 64])? > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod layers;
+pub mod loss;
+pub mod network;
+pub mod quant;
+pub mod tensor;
+
+pub use error::TinyDlError;
+pub use network::Sequential;
+pub use tensor::Tensor;

@@ -1,0 +1,119 @@
+//! Regression losses with gradients.
+//!
+//! HR estimation is a scalar regression task; the TimePPG papers train with an
+//! L1-flavoured loss (MAE) while MSE is the common default. Both are provided,
+//! each returning the loss value and the gradient with respect to the
+//! prediction so the training loop can feed it straight into
+//! [`crate::network::Sequential::backward`].
+
+use crate::tensor::Tensor;
+use crate::TinyDlError;
+
+/// Loss functions available to the training loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Mean squared error.
+    MeanSquaredError,
+    /// Mean absolute error (L1).
+    MeanAbsoluteError,
+}
+
+impl Loss {
+    /// Computes the loss value and its gradient with respect to `prediction`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyDlError::InvalidShape`] when prediction and target have
+    /// different lengths or are empty.
+    pub fn evaluate(
+        self,
+        prediction: &Tensor,
+        target: &Tensor,
+    ) -> Result<(f32, Tensor), TinyDlError> {
+        if prediction.len() != target.len() || prediction.is_empty() {
+            return Err(TinyDlError::InvalidShape {
+                op: "Loss::evaluate",
+                expected: format!("non-empty tensors of equal length {}", prediction.len()),
+                actual: target.shape().to_vec(),
+            });
+        }
+        let n = prediction.len() as f32;
+        let mut grad = prediction.clone();
+        let mut loss = 0.0f32;
+        for (g, (&p, &t)) in
+            grad.as_mut_slice().iter_mut().zip(prediction.as_slice().iter().zip(target.as_slice()))
+        {
+            let d = p - t;
+            match self {
+                Loss::MeanSquaredError => {
+                    loss += d * d;
+                    *g = 2.0 * d / n;
+                }
+                Loss::MeanAbsoluteError => {
+                    loss += d.abs();
+                    *g = d.signum() / n;
+                }
+            }
+        }
+        Ok((loss / n, grad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_equal_tensors_is_zero() {
+        let p = Tensor::from_slice(&[1.0, 2.0]);
+        let (loss, grad) = Loss::MeanSquaredError.evaluate(&p, &p).unwrap();
+        assert_eq!(loss, 0.0);
+        assert!(grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let p = Tensor::from_slice(&[3.0]);
+        let t = Tensor::from_slice(&[1.0]);
+        let (loss, grad) = Loss::MeanSquaredError.evaluate(&p, &t).unwrap();
+        assert!((loss - 4.0).abs() < 1e-6);
+        assert!((grad.as_slice()[0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mae_value_and_gradient() {
+        let p = Tensor::from_slice(&[3.0, -1.0]);
+        let t = Tensor::from_slice(&[1.0, 1.0]);
+        let (loss, grad) = Loss::MeanAbsoluteError.evaluate(&p, &t).unwrap();
+        assert!((loss - 2.0).abs() < 1e-6);
+        assert!((grad.as_slice()[0] - 0.5).abs() < 1e-6);
+        assert!((grad.as_slice()[1] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mismatched_lengths_are_rejected() {
+        let p = Tensor::from_slice(&[1.0, 2.0]);
+        let t = Tensor::from_slice(&[1.0]);
+        assert!(Loss::MeanSquaredError.evaluate(&p, &t).is_err());
+        let empty = Tensor::from_slice(&[]);
+        assert!(Loss::MeanAbsoluteError.evaluate(&empty, &empty).is_err());
+    }
+
+    #[test]
+    fn mse_gradient_matches_numerical_derivative() {
+        let t = Tensor::from_slice(&[2.0, -1.0, 0.5]);
+        let p = Tensor::from_slice(&[1.0, 1.0, 1.0]);
+        let (_, grad) = Loss::MeanSquaredError.evaluate(&p, &t).unwrap();
+        let eps = 1e-3;
+        for i in 0..p.len() {
+            let mut plus = p.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = p.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let (lp, _) = Loss::MeanSquaredError.evaluate(&plus, &t).unwrap();
+            let (lm, _) = Loss::MeanSquaredError.evaluate(&minus, &t).unwrap();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grad.as_slice()[i]).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! Post-training int8 quantization and quantized inference.
+//!
+//! The paper deploys TimePPG-Small and TimePPG-Big quantized to 8 bits (via
+//! quantization-aware training) both on the STM32WB55 (X-CUBE-AI) and on the
+//! Raspberry Pi3 (TFLite). This module reproduces the arithmetic of that
+//! deployment path: weights are stored as `i8` with a per-tensor symmetric
+//! scale, activations are quantized dynamically per tensor, and accumulation
+//! happens in `i32` before rescaling back to `f32`.
+//!
+//! The quantizer consumes a trained [`Sequential`] float network and produces
+//! a [`QuantizedNetwork`] whose inference results track the float network
+//! within quantization error (verified by the round-trip tests below).
+
+use serde::{Deserialize, Serialize};
+
+use crate::layers::{Conv1d, Dense, Flatten, GlobalAvgPool, Relu};
+use crate::network::Sequential;
+use crate::tensor::Tensor;
+use crate::TinyDlError;
+
+/// Symmetric per-tensor quantization parameters (`zero_point` is always 0).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Scale such that `real ≈ scale * quantized`.
+    pub scale: f32,
+}
+
+impl QuantParams {
+    /// Derives the scale that maps `abs_max` to the int8 range.
+    pub fn from_abs_max(abs_max: f32) -> Self {
+        let scale = if abs_max > 0.0 { abs_max / 127.0 } else { 1.0 };
+        Self { scale }
+    }
+
+    /// Quantizes one value to `i8` with saturation.
+    pub fn quantize(&self, x: f32) -> i8 {
+        (x / self.scale).round().clamp(-127.0, 127.0) as i8
+    }
+
+    /// Dequantizes one value.
+    pub fn dequantize(&self, q: i8) -> f32 {
+        f32::from(q) * self.scale
+    }
+}
+
+/// Quantizes a whole tensor, returning the int8 data and its parameters.
+pub fn quantize_tensor(tensor: &Tensor) -> (Vec<i8>, QuantParams) {
+    let params = QuantParams::from_abs_max(tensor.abs_max());
+    (tensor.as_slice().iter().map(|&x| params.quantize(x)).collect(), params)
+}
+
+/// Quantizes a slice of weights.
+pub fn quantize_slice(values: &[f32]) -> (Vec<i8>, QuantParams) {
+    let abs_max = values.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    let params = QuantParams::from_abs_max(abs_max);
+    (values.iter().map(|&x| params.quantize(x)).collect(), params)
+}
+
+/// One layer of the quantized inference pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum QuantLayer {
+    Conv {
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        dilation: usize,
+        padding: usize,
+        weights: Vec<i8>,
+        weight_params: QuantParams,
+        bias: Vec<f32>,
+    },
+    Dense {
+        in_features: usize,
+        out_features: usize,
+        weights: Vec<i8>,
+        weight_params: QuantParams,
+        bias: Vec<f32>,
+    },
+    Relu,
+    GlobalAvgPool,
+    Flatten,
+}
+
+/// An int8 network produced by post-training quantization of a [`Sequential`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedNetwork {
+    layers: Vec<QuantLayer>,
+}
+
+impl QuantizedNetwork {
+    /// Quantizes a trained float network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyDlError::EmptyNetwork`] for an empty network and
+    /// [`TinyDlError::InvalidParameter`] if the network contains a layer type
+    /// the quantizer does not support.
+    pub fn from_sequential(net: &Sequential) -> Result<Self, TinyDlError> {
+        if net.is_empty() {
+            return Err(TinyDlError::EmptyNetwork);
+        }
+        let mut layers = Vec::with_capacity(net.len());
+        for layer in net.layers() {
+            let any = layer.as_any();
+            if let Some(conv) = any.downcast_ref::<Conv1d>() {
+                let (weights, weight_params) = quantize_slice(conv.weights());
+                layers.push(QuantLayer::Conv {
+                    in_channels: conv.in_channels(),
+                    out_channels: conv.out_channels(),
+                    kernel: conv.weights().len() / (conv.in_channels() * conv.out_channels()),
+                    stride: conv.stride(),
+                    dilation: conv.dilation(),
+                    padding: conv.dilation()
+                        * (conv.weights().len() / (conv.in_channels() * conv.out_channels()) - 1)
+                        / 2,
+                    weights,
+                    weight_params,
+                    bias: conv.bias().to_vec(),
+                });
+            } else if let Some(dense) = any.downcast_ref::<Dense>() {
+                let (weights, weight_params) = quantize_slice(dense.weights());
+                layers.push(QuantLayer::Dense {
+                    in_features: dense.in_features(),
+                    out_features: dense.out_features(),
+                    weights,
+                    weight_params,
+                    bias: dense.bias().to_vec(),
+                });
+            } else if any.downcast_ref::<Relu>().is_some() {
+                layers.push(QuantLayer::Relu);
+            } else if any.downcast_ref::<GlobalAvgPool>().is_some() {
+                layers.push(QuantLayer::GlobalAvgPool);
+            } else if any.downcast_ref::<Flatten>().is_some() {
+                layers.push(QuantLayer::Flatten);
+            } else {
+                return Err(TinyDlError::InvalidParameter {
+                    op: "QuantizedNetwork::from_sequential",
+                    name: "layer",
+                    requirement: "only Conv1d, Dense, Relu, GlobalAvgPool and Flatten are supported",
+                });
+            }
+        }
+        Ok(Self { layers })
+    }
+
+    /// Number of layers in the quantized pipeline.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the pipeline is empty (never true for a built network).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Size in bytes of the quantized weights (int8) plus float biases; the
+    /// quantity that matters for MCU flash footprint.
+    pub fn weight_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                QuantLayer::Conv { weights, bias, .. } | QuantLayer::Dense { weights, bias, .. } => {
+                    weights.len() + bias.len() * std::mem::size_of::<f32>()
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Runs quantized inference: activations are re-quantized per tensor, the
+    /// convolution / dense arithmetic accumulates in `i32`, and the result is
+    /// rescaled to `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyDlError::InvalidShape`] when the input does not match the
+    /// first layer.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, TinyDlError> {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = match layer {
+                QuantLayer::Conv {
+                    in_channels,
+                    out_channels,
+                    kernel,
+                    stride,
+                    dilation,
+                    padding,
+                    weights,
+                    weight_params,
+                    bias,
+                } => quantized_conv_forward(
+                    &x,
+                    *in_channels,
+                    *out_channels,
+                    *kernel,
+                    *stride,
+                    *dilation,
+                    *padding,
+                    weights,
+                    *weight_params,
+                    bias,
+                )?,
+                QuantLayer::Dense { in_features, out_features, weights, weight_params, bias } => {
+                    quantized_dense_forward(&x, *in_features, *out_features, weights, *weight_params, bias)?
+                }
+                QuantLayer::Relu => {
+                    let mut out = x.clone();
+                    for v in out.as_mut_slice() {
+                        if *v < 0.0 {
+                            *v = 0.0;
+                        }
+                    }
+                    out
+                }
+                QuantLayer::GlobalAvgPool => {
+                    if x.shape().len() != 2 {
+                        return Err(TinyDlError::InvalidShape {
+                            op: "QuantizedNetwork::forward(pool)",
+                            expected: "[channels, length]".to_string(),
+                            actual: x.shape().to_vec(),
+                        });
+                    }
+                    let (c, l) = (x.rows(), x.cols());
+                    let mut out = vec![0.0f32; c];
+                    for (ch, o) in out.iter_mut().enumerate() {
+                        let mut acc = 0.0;
+                        for t in 0..l {
+                            acc += x.at(ch, t);
+                        }
+                        *o = acc / l as f32;
+                    }
+                    Tensor::from_vec(out, &[c])?
+                }
+                QuantLayer::Flatten => x.reshape(&[x.len()])?,
+            };
+        }
+        Ok(x)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn quantized_conv_forward(
+    input: &Tensor,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    dilation: usize,
+    padding: usize,
+    weights: &[i8],
+    weight_params: QuantParams,
+    bias: &[f32],
+) -> Result<Tensor, TinyDlError> {
+    if input.shape().len() != 2 || input.rows() != in_channels {
+        return Err(TinyDlError::InvalidShape {
+            op: "quantized conv1d",
+            expected: format!("[{in_channels}, length]"),
+            actual: input.shape().to_vec(),
+        });
+    }
+    let in_len = input.cols();
+    let span = dilation * (kernel - 1);
+    let padded = in_len + 2 * padding;
+    let out_len = if padded <= span { 0 } else { (padded - span - 1) / stride + 1 };
+
+    let (qx, x_params) = quantize_tensor(input);
+    let rescale = x_params.scale * weight_params.scale;
+
+    let mut out = Tensor::zeros(&[out_channels, out_len])?;
+    for oc in 0..out_channels {
+        for t in 0..out_len {
+            let mut acc: i32 = 0;
+            for ic in 0..in_channels {
+                for k in 0..kernel {
+                    let pos = (t * stride + k * dilation) as isize - padding as isize;
+                    if pos >= 0 && (pos as usize) < in_len {
+                        let xq = qx[ic * in_len + pos as usize];
+                        let wq = weights[(oc * in_channels + ic) * kernel + k];
+                        acc += i32::from(xq) * i32::from(wq);
+                    }
+                }
+            }
+            out.set(oc, t, acc as f32 * rescale + bias[oc]);
+        }
+    }
+    Ok(out)
+}
+
+fn quantized_dense_forward(
+    input: &Tensor,
+    in_features: usize,
+    out_features: usize,
+    weights: &[i8],
+    weight_params: QuantParams,
+    bias: &[f32],
+) -> Result<Tensor, TinyDlError> {
+    if input.len() != in_features {
+        return Err(TinyDlError::InvalidShape {
+            op: "quantized dense",
+            expected: format!("[{in_features}]"),
+            actual: input.shape().to_vec(),
+        });
+    }
+    let (qx, x_params) = quantize_tensor(input);
+    let rescale = x_params.scale * weight_params.scale;
+    let mut out = vec![0.0f32; out_features];
+    for (o, out_val) in out.iter_mut().enumerate() {
+        let mut acc: i32 = 0;
+        for i in 0..in_features {
+            acc += i32::from(qx[i]) * i32::from(weights[o * in_features + i]);
+        }
+        *out_val = acc as f32 * rescale + bias[o];
+    }
+    Tensor::from_vec(out, &[out_features])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv1d, Dense, GlobalAvgPool, Relu};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn quant_params_round_trip_within_one_step() {
+        let p = QuantParams::from_abs_max(12.7);
+        for &x in &[0.0f32, 1.0, -5.3, 12.7, -12.7] {
+            let q = p.quantize(x);
+            assert!((p.dequantize(q) - x).abs() <= p.scale * 0.51, "x={x}");
+        }
+    }
+
+    #[test]
+    fn quant_params_saturate() {
+        let p = QuantParams::from_abs_max(1.0);
+        assert_eq!(p.quantize(100.0), 127);
+        assert_eq!(p.quantize(-100.0), -127);
+    }
+
+    #[test]
+    fn zero_tensor_has_unit_scale() {
+        let p = QuantParams::from_abs_max(0.0);
+        assert_eq!(p.scale, 1.0);
+        assert_eq!(p.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn quantize_tensor_round_trip_error_is_bounded() {
+        let t = Tensor::from_slice(&[0.1, -0.5, 0.9, 0.33, -0.77]);
+        let (q, p) = quantize_tensor(&t);
+        for (&orig, &qi) in t.as_slice().iter().zip(&q) {
+            assert!((p.dequantize(qi) - orig).abs() <= p.scale);
+        }
+    }
+
+    fn trained_like_net(rng: &mut StdRng) -> Sequential {
+        // A small random network standing in for a trained one.
+        let mut net = Sequential::new();
+        let mut c1 = Conv1d::new(1, 6, 5, 1, 2, true).unwrap();
+        c1.randomize(rng);
+        net.push(c1);
+        net.push(Relu::new());
+        let mut c2 = Conv1d::new(6, 8, 3, 2, 1, true).unwrap();
+        c2.randomize(rng);
+        net.push(c2);
+        net.push(Relu::new());
+        net.push(GlobalAvgPool::new());
+        let mut d = Dense::new(8, 1).unwrap();
+        d.randomize(rng);
+        net.push(d);
+        net
+    }
+
+    #[test]
+    fn quantized_network_tracks_float_network() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = trained_like_net(&mut rng);
+        let qnet = QuantizedNetwork::from_sequential(&net).unwrap();
+        assert_eq!(qnet.len(), net.len());
+        assert!(!qnet.is_empty());
+
+        let mut max_rel_err = 0.0f32;
+        for _ in 0..10 {
+            let input: Vec<f32> = (0..64).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let t = Tensor::from_vec(input, &[1, 64]).unwrap();
+            let float_out = net.forward(&t).unwrap().as_slice()[0];
+            let quant_out = qnet.forward(&t).unwrap().as_slice()[0];
+            let rel = (float_out - quant_out).abs() / float_out.abs().max(0.1);
+            max_rel_err = max_rel_err.max(rel);
+        }
+        assert!(max_rel_err < 0.12, "int8 inference should track f32, max rel err {max_rel_err}");
+    }
+
+    #[test]
+    fn weight_bytes_counts_int8_storage() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = trained_like_net(&mut rng);
+        let qnet = QuantizedNetwork::from_sequential(&net).unwrap();
+        // conv1: 6*1*5 w + 6 b; conv2: 8*6*3 w + 8 b; dense: 8 w + 1 b.
+        let expected = (6 * 5 + 8 * 6 * 3 + 8) + (6 + 8 + 1) * 4;
+        assert_eq!(qnet.weight_bytes(), expected);
+        // int8 weights are ~4x smaller than f32 weights.
+        let float_bytes = net.parameter_count() * 4;
+        assert!(qnet.weight_bytes() < float_bytes / 2);
+    }
+
+    #[test]
+    fn empty_network_cannot_be_quantized() {
+        let net = Sequential::new();
+        assert!(matches!(
+            QuantizedNetwork::from_sequential(&net),
+            Err(TinyDlError::EmptyNetwork)
+        ));
+    }
+
+    #[test]
+    fn quantized_forward_rejects_wrong_input_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = trained_like_net(&mut rng);
+        let qnet = QuantizedNetwork::from_sequential(&net).unwrap();
+        let bad = Tensor::from_vec(vec![0.0; 64], &[2, 32]).unwrap();
+        assert!(qnet.forward(&bad).is_err());
+    }
+
+    #[test]
+    fn quantized_relu_clamps_negative_activations() {
+        // Identity conv with negative bias then ReLU: output must be >= 0.
+        let mut net = Sequential::new();
+        let mut conv = Conv1d::new(1, 1, 1, 1, 1, true).unwrap();
+        conv.randomize(&mut StdRng::seed_from_u64(8));
+        net.push(conv);
+        net.push(Relu::new());
+        net.push(GlobalAvgPool::new());
+        let qnet = QuantizedNetwork::from_sequential(&net).unwrap();
+        let input = Tensor::from_vec(vec![-1.0; 16], &[1, 16]).unwrap();
+        let out = qnet.forward(&input).unwrap();
+        assert!(out.as_slice()[0] >= 0.0);
+    }
+}

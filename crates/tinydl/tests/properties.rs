@@ -1,0 +1,153 @@
+//! Property-based tests for the tinydl engine: shape algebra, gradient
+//! plumbing and quantization error bounds.
+
+use proptest::prelude::*;
+use tinydl::layers::{Conv1d, Dense, GlobalAvgPool, Layer, Relu};
+use tinydl::network::Sequential;
+use tinydl::quant::{quantize_slice, QuantizedNetwork};
+use tinydl::tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conv_forward_shape_matches_output_shape(
+        in_ch in 1usize..4,
+        out_ch in 1usize..6,
+        kernel in 1usize..5,
+        stride in 1usize..3,
+        dilation in 1usize..4,
+        len in 16usize..64,
+        same in prop::bool::ANY
+    ) {
+        let mut conv = Conv1d::new(in_ch, out_ch, kernel, stride, dilation, same).unwrap();
+        let input = Tensor::zeros(&[in_ch, len]).unwrap();
+        let predicted = conv.output_shape(&[in_ch, len]).unwrap();
+        let out = conv.forward(&input).unwrap();
+        prop_assert_eq!(out.shape(), &predicted[..]);
+    }
+
+    #[test]
+    fn conv_same_padding_stride1_preserves_length(
+        channels in 1usize..4,
+        kernel in 1usize..6,
+        dilation in 1usize..4,
+        len in 8usize..128
+    ) {
+        // Odd effective kernel spans preserve the length exactly with "same"
+        // padding; even spans may differ by one, which we allow.
+        let conv = Conv1d::new(channels, channels, kernel, 1, dilation, true).unwrap();
+        let out = conv.output_shape(&[channels, len]).unwrap();
+        let span = dilation * (kernel - 1);
+        if span % 2 == 0 {
+            prop_assert_eq!(out[1], len);
+        } else {
+            prop_assert!((out[1] as i64 - len as i64).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn conv_macs_scale_linearly_with_output_channels(
+        in_ch in 1usize..4,
+        out_ch in 1usize..5,
+        len in 16usize..64
+    ) {
+        let single = Conv1d::new(in_ch, 1, 3, 1, 1, true).unwrap();
+        let multi = Conv1d::new(in_ch, out_ch, 3, 1, 1, true).unwrap();
+        let m1 = single.macs(&[in_ch, len]).unwrap();
+        let mn = multi.macs(&[in_ch, len]).unwrap();
+        prop_assert_eq!(mn, m1 * out_ch as u64);
+    }
+
+    #[test]
+    fn dense_backward_gradient_has_input_shape(
+        inputs in 1usize..16,
+        outputs in 1usize..8,
+        scale in 0.1f32..2.0
+    ) {
+        let mut dense = Dense::new(inputs, outputs).unwrap();
+        let x = Tensor::from_vec(vec![scale; inputs], &[inputs]).unwrap();
+        let y = dense.forward(&x).unwrap();
+        prop_assert_eq!(y.len(), outputs);
+        let grad = dense.backward(&Tensor::from_vec(vec![1.0; outputs], &[outputs]).unwrap()).unwrap();
+        prop_assert_eq!(grad.len(), inputs);
+    }
+
+    #[test]
+    fn relu_output_is_non_negative_and_bounded_by_input(values in prop::collection::vec(-10.0f32..10.0, 1..64)) {
+        let mut relu = Relu::new();
+        let input = Tensor::from_slice(&values);
+        let out = relu.forward(&input).unwrap();
+        for (&o, &i) in out.as_slice().iter().zip(&values) {
+            prop_assert!(o >= 0.0);
+            prop_assert!(o <= i.max(0.0) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_output_is_within_input_range(
+        channels in 1usize..4,
+        len in 1usize..32,
+        offset in -5.0f32..5.0
+    ) {
+        let mut pool = GlobalAvgPool::new();
+        let data: Vec<f32> = (0..channels * len).map(|i| offset + (i as f32 * 0.37).sin()).collect();
+        let lo = data.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = data.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let input = Tensor::from_vec(data, &[channels, len]).unwrap();
+        let out = pool.forward(&input).unwrap();
+        for &v in out.as_slice() {
+            prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4);
+        }
+    }
+
+    #[test]
+    fn quantize_slice_round_trip_error_is_within_one_step(values in prop::collection::vec(-100.0f32..100.0, 1..256)) {
+        let (q, params) = quantize_slice(&values);
+        prop_assert_eq!(q.len(), values.len());
+        for (&orig, &qi) in values.iter().zip(&q) {
+            let back = params.dequantize(qi);
+            prop_assert!((back - orig).abs() <= params.scale * 0.5 + 1e-6,
+                "value {orig} -> {qi} -> {back} (scale {})", params.scale);
+        }
+    }
+
+    #[test]
+    fn quantized_network_stays_close_to_float_network(seed in 0u64..1000) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        let mut conv = Conv1d::new(1, 4, 3, 1, 1, true).unwrap();
+        conv.randomize(&mut rng);
+        net.push(conv);
+        net.push(Relu::new());
+        net.push(GlobalAvgPool::new());
+        let mut dense = Dense::new(4, 1).unwrap();
+        dense.randomize(&mut rng);
+        net.push(dense);
+
+        let qnet = QuantizedNetwork::from_sequential(&net).unwrap();
+        let input_data: Vec<f32> = (0..32).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+        let input = Tensor::from_vec(input_data, &[1, 32]).unwrap();
+        let float_out = net.forward(&input).unwrap().as_slice()[0];
+        let quant_out = qnet.forward(&input).unwrap().as_slice()[0];
+        prop_assert!((float_out - quant_out).abs() < 0.05 + 0.15 * float_out.abs(),
+            "float {float_out} vs int8 {quant_out}");
+    }
+
+    #[test]
+    fn sequential_macs_are_additive(extra_layers in 0usize..3, len in 16usize..64) {
+        let mut net = Sequential::new();
+        net.push(Conv1d::new(1, 2, 3, 1, 1, true).unwrap());
+        let mut expected = Conv1d::new(1, 2, 3, 1, 1, true).unwrap().macs(&[1, len]).unwrap();
+        let mut shape = vec![2usize, len];
+        for _ in 0..extra_layers {
+            let conv = Conv1d::new(2, 2, 3, 1, 1, true).unwrap();
+            expected += conv.macs(&shape).unwrap();
+            shape = conv.output_shape(&shape).unwrap();
+            net.push(conv);
+        }
+        prop_assert_eq!(net.macs(&[1, len]).unwrap(), expected);
+    }
+}

@@ -1,0 +1,76 @@
+//! Simulate a day of heart-rate tracking on the smartwatch, including BLE
+//! connection drops (the user walks away from the phone) and the impact on
+//! battery life.
+//!
+//! The paper motivates CHRIS with the smartwatch's battery being the critical
+//! resource; this example turns the per-prediction energies into battery-life
+//! projections for CHRIS and for the single-device baselines.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example day_simulation
+//! ```
+
+use chris::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = DatasetBuilder::new()
+        .subjects(3)
+        .seconds_per_activity(60.0)
+        .seed(11)
+        .build()?;
+    let windows = dataset.windows();
+
+    let zoo = ModelZoo::paper_setup();
+    let profiler = Profiler::new(&zoo);
+    let table = profiler.profile_all(&windows, ProfilingOptions::default())?;
+    let engine = DecisionEngine::new(table);
+
+    // Train the activity-recognition random forest on the first two subjects
+    // and run CHRIS with it (instead of the oracle) on the full day.
+    let train: Vec<LabeledWindow> =
+        windows.iter().filter(|w| w.subject.0 < 2).cloned().collect();
+    let rf = RandomForest::train(&train, RandomForestConfig::default())?;
+    println!(
+        "activity RF: {} trees, depth <= {}, 9-way accuracy {:.1} %",
+        rf.tree_count(),
+        rf.config().max_depth,
+        rf.accuracy(&windows)? * 100.0
+    );
+
+    // The phone is reachable 80 % of the time: 8 windows up, 2 down.
+    let schedule = ConnectionSchedule::DutyCycle { up: 8, down: 2 };
+    let constraint = UserConstraint::MaxMae(5.60);
+
+    let mut runtime = ChrisRuntime::with_classifier(
+        zoo.clone(),
+        engine,
+        Box::new(rf),
+        RuntimeOptions::default(),
+    );
+    let report = runtime.run(&windows, &constraint, &schedule)?;
+    println!("\nCHRIS over an intermittently connected day:");
+    println!("{report}");
+
+    // Battery-life projection: HR tracking runs continuously (one prediction
+    // every 2 s) on the HWatch's 370 mAh battery.
+    println!("battery-life projection (HR tracking subsystem only, 370 mAh @ 3.7 V):");
+    let battery = Battery::hwatch();
+    let mut rows: Vec<(String, f64)> = zoo
+        .table()
+        .into_iter()
+        .map(|c| (format!("{} always on watch", c.kind.name()), c.watch_energy.as_millijoules()))
+        .collect();
+    rows.push((
+        "stream every window to the phone".to_string(),
+        zoo.ble().transfer_energy(chris::hw::WINDOW_PAYLOAD_BYTES).as_millijoules(),
+    ));
+    rows.push(("CHRIS (this run)".to_string(), report.avg_watch_energy.as_millijoules()));
+    for (label, energy_mj) in rows {
+        let avg_power = Power::from_milliwatts(energy_mj / chris::hw::PREDICTION_PERIOD_S);
+        let days = battery.lifetime(avg_power).as_seconds() / 86_400.0;
+        println!("  {label:<38} {energy_mj:>8.3} mJ/pred  -> {days:>8.1} days");
+    }
+    Ok(())
+}

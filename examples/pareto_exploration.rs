@@ -1,0 +1,74 @@
+//! Explore the CHRIS configuration space (the data behind the paper's Fig. 4).
+//!
+//! Prints every profiled configuration in the (MAE, smartwatch-energy) plane,
+//! marks the Pareto-optimal ones, and shows how the front changes when the BLE
+//! link to the phone is lost.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example pareto_exploration
+//! ```
+
+use chris::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = DatasetBuilder::new()
+        .subjects(4)
+        .seconds_per_activity(60.0)
+        .seed(7)
+        .build()?;
+    let windows = dataset.windows();
+
+    let zoo = ModelZoo::paper_setup();
+    let profiler = Profiler::new(&zoo);
+    let table = profiler.profile_all(&windows, ProfilingOptions::default())?;
+    let engine = DecisionEngine::new(table);
+
+    println!("all {} configurations (sorted by smartwatch energy):", engine.len());
+    println!(
+        "  {:<38} {:>10} {:>12} {:>10} {:>10}",
+        "configuration", "MAE [BPM]", "watch [mJ]", "offload %", "simple %"
+    );
+    for p in engine.profiles() {
+        println!(
+            "  {:<38} {:>10.2} {:>12.3} {:>10.1} {:>10.1}",
+            p.configuration.label(),
+            p.mae_bpm,
+            p.watch_energy.as_millijoules(),
+            p.offload_fraction * 100.0,
+            p.simple_fraction * 100.0
+        );
+    }
+
+    for status in [ConnectionStatus::Connected, ConnectionStatus::Disconnected] {
+        let front = engine.pareto(status);
+        println!("\nPareto front with the phone {status:?} ({} points):", front.len());
+        for p in front {
+            println!(
+                "  {:<38} {:>7.2} BPM {:>10.3} mJ",
+                p.configuration.label(),
+                p.mae_bpm,
+                p.watch_energy.as_millijoules()
+            );
+        }
+    }
+
+    // The two selections highlighted in the paper.
+    for (label, constraint) in [
+        ("Constraint 1 (MAE <= 5.60 BPM)", UserConstraint::MaxMae(5.60)),
+        ("Constraint 2 (MAE <= 7.20 BPM)", UserConstraint::MaxMae(7.20)),
+    ] {
+        let selected = engine
+            .select(&constraint, ConnectionStatus::Connected)
+            .expect("both constraints are satisfiable");
+        println!(
+            "\n{label}: selected {} -> {:.2} BPM at {:.3} mJ per prediction ({:.0}% offloaded)",
+            selected.configuration.label(),
+            selected.mae_bpm,
+            selected.watch_energy.as_millijoules(),
+            selected.offload_fraction * 100.0
+        );
+    }
+    Ok(())
+}

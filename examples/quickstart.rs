@@ -1,0 +1,65 @@
+//! Quickstart: profile CHRIS on a synthetic dataset and run it under an error
+//! constraint, comparing it against the three single-model baselines.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use chris::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Synthetic PPGDalia-like dataset: 4 subjects, 60 s per activity.
+    println!("generating the synthetic dataset...");
+    let dataset = DatasetBuilder::new()
+        .subjects(4)
+        .seconds_per_activity(60.0)
+        .seed(42)
+        .build()?;
+    let windows = dataset.windows();
+    println!("  {} subjects, {} windows\n", dataset.subject_count(), windows.len());
+
+    // 2. The model zoo (Table I of the paper).
+    let zoo = ModelZoo::paper_setup();
+    println!("model zoo (per-prediction characterization):");
+    println!(
+        "  {:<14} {:>10} {:>14} {:>14} {:>12}",
+        "model", "MAE [BPM]", "watch [mJ]", "phone [mJ]", "BLE [mJ]"
+    );
+    for row in zoo.table() {
+        println!(
+            "  {:<14} {:>10.2} {:>14.3} {:>14.3} {:>12.3}",
+            row.kind.name(),
+            row.mae_bpm,
+            row.watch_energy.as_millijoules(),
+            row.phone_energy.as_millijoules(),
+            row.ble_energy.as_millijoules()
+        );
+    }
+
+    // 3. Profile all 60 configurations and build the decision engine.
+    println!("\nprofiling the 60 CHRIS configurations...");
+    let profiler = Profiler::new(&zoo);
+    let table = profiler.profile_all(&windows, ProfilingOptions::default())?;
+    let engine = DecisionEngine::new(table);
+    println!("  {} configurations profiled, {} Pareto-optimal while connected", engine.len(), engine.pareto(ConnectionStatus::Connected).len());
+
+    // 4. Run CHRIS with the paper's Constraint 1: MAE <= 5.60 BPM (the MAE of
+    //    TimePPG-Small running alone).
+    let constraint = UserConstraint::MaxMae(5.60);
+    let mut runtime = ChrisRuntime::new(zoo, engine, RuntimeOptions::default());
+    let report = runtime.run(&windows, &constraint, &ConnectionSchedule::AlwaysConnected)?;
+
+    println!("\nCHRIS under {constraint}:");
+    println!("{report}");
+
+    // 5. Compare with always running TimePPG-Small on the watch (0.735 mJ).
+    let small_local_mj = 0.735;
+    let saving = small_local_mj / report.avg_watch_energy.as_millijoules();
+    println!(
+        "smartwatch energy vs. always running TimePPG-Small locally: {:.2}x lower",
+        saving
+    );
+    Ok(())
+}

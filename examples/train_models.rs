@@ -1,0 +1,86 @@
+//! Train the learnable components on synthetic data:
+//!
+//! 1. the activity-recognition random forest (8 trees, depth 5), evaluated on
+//!    a held-out subject with the overall and easy/hard accuracies the paper
+//!    quotes, and
+//! 2. a TimePPG-Small temporal convolutional network, trained with `tinydl`'s
+//!    SGD on a small subset of windows and then quantized to int8, reporting
+//!    the float-vs-quantized agreement and the model footprint.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example train_models
+//! ```
+
+use chris::dl::loss::Loss;
+use chris::dl::quant::QuantizedNetwork;
+use chris::models::timeppg::{window_to_tensor, TimePpg, TimePpgVariant};
+use chris::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = DatasetBuilder::new()
+        .subjects(3)
+        .seconds_per_activity(40.0)
+        .seed(5)
+        .build()?;
+    let windows = dataset.windows();
+
+    // ------------------------------------------------------------------
+    // 1. Activity-recognition random forest.
+    // ------------------------------------------------------------------
+    let train: Vec<LabeledWindow> =
+        windows.iter().filter(|w| w.subject.0 < 2).cloned().collect();
+    let test: Vec<LabeledWindow> =
+        windows.iter().filter(|w| w.subject.0 == 2).cloned().collect();
+    let rf = RandomForest::train(&train, RandomForestConfig::default())?;
+    println!("random forest ({} trees, depth <= {}):", rf.tree_count(), rf.config().max_depth);
+    println!("  9-way accuracy on the held-out subject : {:.1} %", rf.accuracy(&test)? * 100.0);
+    for threshold in [3u8, 5, 7] {
+        let level = chris::data::DifficultyLevel::new(threshold).expect("valid level");
+        println!(
+            "  easy/hard accuracy (threshold {threshold})        : {:.1} %",
+            rf.easy_hard_accuracy(&test, level)? * 100.0
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 2. TimePPG-Small training and int8 quantization.
+    // ------------------------------------------------------------------
+    println!("\ntraining TimePPG-Small with SGD on {} easy windows...", 120.min(train.len()));
+    let mut model = TimePpg::new(TimePpgVariant::Small)?;
+    // Use the quieter half of the training windows so the tiny training run
+    // has a learnable signal.
+    let mut samples: Vec<(chris::dl::Tensor, chris::dl::Tensor)> = Vec::new();
+    let mut sorted = train.clone();
+    sorted.sort_by(|a, b| a.mean_motion_g.partial_cmp(&b.mean_motion_g).unwrap());
+    for w in sorted.iter().take(120) {
+        samples.push((window_to_tensor(w)?, TimePpg::training_target(w.hr_bpm)));
+    }
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut last_loss = f32::INFINITY;
+    for epoch in 0..5 {
+        last_loss = model.network_mut().fit(&samples, Loss::MeanSquaredError, 0.01, 1, &mut rng)?;
+        println!("  epoch {epoch}: training loss {last_loss:.4}");
+    }
+    println!("  final training loss: {last_loss:.4}");
+
+    // Quantize the trained network and compare a few predictions.
+    let quantized = QuantizedNetwork::from_sequential(model.network())?;
+    println!(
+        "  int8 footprint: {} bytes (float parameters: {} x 4 bytes)",
+        quantized.weight_bytes(),
+        model.network().parameter_count()
+    );
+    let mut max_diff = 0.0f32;
+    for w in test.iter().take(20) {
+        let input = window_to_tensor(w)?;
+        let float_bpm = TimePpg::decode_output(model.network_mut().forward(&input)?.as_slice()[0]);
+        let quant_bpm = TimePpg::decode_output(quantized.forward(&input)?.as_slice()[0]);
+        max_diff = max_diff.max((float_bpm - quant_bpm).abs());
+    }
+    println!("  max float-vs-int8 disagreement over 20 windows: {max_diff:.2} BPM");
+    Ok(())
+}

@@ -1,0 +1,107 @@
+//! # chris — Collaborative Heart-Rate Inference System
+//!
+//! A Rust reproduction of *"Energy-efficient Wearable-to-Mobile Offload of ML
+//! Inference for PPG-based Heart-Rate Estimation"* (DATE 2023). This facade
+//! crate re-exports the whole workspace so applications can depend on a single
+//! crate:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`dsp`] | `ppg-dsp` | filters, FFT, peak detection, features, metrics |
+//! | [`data`] | `ppg-data` | synthetic PPGDalia-like dataset generator |
+//! | [`dl`] | `tinydl` | tiny deep-learning engine (TCNs, int8 quantization) |
+//! | [`hw`] | `hw-sim` | STM32WB55 / Raspberry Pi3 / BLE / battery models |
+//! | [`models`] | `ppg-models` | AT, spectral, TimePPG, random forest, model zoo |
+//! | [`core`] | `chris-core` | configurations, profiling, decision engine, runtime |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use chris::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Generate a small synthetic dataset (stand-in for PPGDalia).
+//! let dataset = DatasetBuilder::new()
+//!     .subjects(2)
+//!     .seconds_per_activity(20.0)
+//!     .seed(7)
+//!     .build()?;
+//!
+//! // 2. Profile every CHRIS configuration on it.
+//! let zoo = ModelZoo::paper_setup();
+//! let profiler = Profiler::new(&zoo);
+//! let table = profiler.profile_all(&dataset.windows(), ProfilingOptions::default())?;
+//!
+//! // 3. Run CHRIS under a 6-BPM error constraint with the phone reachable.
+//! let engine = DecisionEngine::new(table);
+//! let mut runtime = ChrisRuntime::new(zoo, engine, RuntimeOptions::default());
+//! let report = runtime.run(
+//!     &dataset.windows(),
+//!     &UserConstraint::MaxMae(6.0),
+//!     &ConnectionSchedule::AlwaysConnected,
+//! )?;
+//! assert!(report.mae_bpm < 7.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Signal-processing substrate (re-export of `ppg-dsp`).
+pub mod dsp {
+    pub use ppg_dsp::*;
+}
+
+/// Synthetic dataset generation (re-export of `ppg-data`).
+pub mod data {
+    pub use ppg_data::*;
+}
+
+/// Minimal deep-learning engine (re-export of `tinydl`).
+pub mod dl {
+    pub use tinydl::*;
+}
+
+/// Hardware and energy models (re-export of `hw-sim`).
+pub mod hw {
+    pub use hw_sim::*;
+}
+
+/// HR predictors and activity recognition (re-export of `ppg-models`).
+pub mod models {
+    pub use ppg_models::*;
+}
+
+/// The CHRIS runtime itself (re-export of `chris-core`).
+pub mod core {
+    pub use chris_core::*;
+}
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use chris_core::prelude::*;
+    pub use hw_sim::battery::Battery;
+    pub use hw_sim::ble::{BleLink, ConnectionSchedule};
+    pub use hw_sim::platform::Platform;
+    pub use hw_sim::units::{Cycles, Energy, Power, TimeSpan};
+    pub use ppg_data::{Activity, Dataset, DatasetBuilder, LabeledWindow, SubjectId};
+    pub use ppg_models::adaptive_threshold::AdaptiveThreshold;
+    pub use ppg_models::random_forest::{RandomForest, RandomForestConfig};
+    pub use ppg_models::traits::{ActivityClassifier, HrEstimator};
+    pub use ppg_models::zoo::{ModelCharacterization, ModelKind, ModelZoo};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_main_types() {
+        use crate::prelude::*;
+        let _ = ModelZoo::paper_setup();
+        let _ = Platform::stm32wb55();
+        let _ = BleLink::paper_calibrated();
+        let _ = Battery::hwatch();
+        assert_eq!(ModelKind::ALL.len(), 3);
+        assert_eq!(Activity::ALL.len(), 9);
+    }
+}

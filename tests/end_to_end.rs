@@ -1,0 +1,200 @@
+//! End-to-end integration tests spanning every crate of the workspace:
+//! dataset generation → model zoo → profiling → decision engine → runtime.
+
+use chris::prelude::*;
+
+fn profiled_engine(windows: &[LabeledWindow]) -> (ModelZoo, DecisionEngine) {
+    let zoo = ModelZoo::paper_setup();
+    let profiler = Profiler::new(&zoo);
+    let table = profiler
+        .profile_all(windows, ProfilingOptions::default())
+        .expect("profiling succeeds on a non-empty dataset");
+    (zoo, DecisionEngine::new(table))
+}
+
+fn dataset_windows(subjects: usize, seconds: f32, seed: u64) -> Vec<LabeledWindow> {
+    DatasetBuilder::new()
+        .subjects(subjects)
+        .seconds_per_activity(seconds)
+        .seed(seed)
+        .build()
+        .expect("valid dataset parameters")
+        .windows()
+}
+
+#[test]
+fn full_pipeline_meets_the_error_constraint_and_saves_energy() {
+    let windows = dataset_windows(3, 40.0, 100);
+    let (zoo, engine) = profiled_engine(&windows);
+
+    let mut runtime = ChrisRuntime::new(zoo, engine, RuntimeOptions::default());
+    let report = runtime
+        .run(&windows, &UserConstraint::MaxMae(5.60), &ConnectionSchedule::AlwaysConnected)
+        .unwrap();
+
+    // The headline shape of the paper: roughly TimePPG-Small accuracy at a
+    // fraction of its local energy (0.735 mJ per prediction).
+    assert!(report.mae_bpm < 6.5, "MAE {}", report.mae_bpm);
+    assert!(
+        report.avg_watch_energy.as_millijoules() < 0.55,
+        "average watch energy {}",
+        report.avg_watch_energy
+    );
+    assert!(report.offload_fraction > 0.3, "the selected configuration should offload");
+    assert!(report.simple_fraction > 0.1, "easy windows should stay on the AT model");
+}
+
+#[test]
+fn hybrid_configurations_pareto_dominate_local_ones_at_mid_accuracy() {
+    let windows = dataset_windows(2, 30.0, 101);
+    let (_, engine) = profiled_engine(&windows);
+
+    let front = engine.pareto(ConnectionStatus::Connected);
+    assert!(front.len() >= 8, "expected a rich Pareto front, got {}", front.len());
+
+    // Every front point below 7 BPM that is cheaper than 1 mJ must be hybrid
+    // (local deep models cost at least the TimePPG-Small 0.735 mJ).
+    for p in &front {
+        if p.mae_bpm < 7.0 && p.watch_energy.as_millijoules() < 0.5 {
+            assert_eq!(
+                p.configuration.target,
+                ExecutionTarget::Hybrid,
+                "cheap accurate points must offload: {}",
+                p.configuration.label()
+            );
+        }
+    }
+
+    // The best accuracy overall is TimePPG-Big (threshold 0), and the lowest
+    // energy is an all-AT configuration.
+    let best_mae = front.iter().map(|p| p.mae_bpm).fold(f32::INFINITY, f32::min);
+    let best_energy =
+        front.iter().map(|p| p.watch_energy.as_millijoules()).fold(f64::INFINITY, f64::min);
+    assert!(best_mae < 5.5, "best MAE {best_mae}");
+    assert!(best_energy < 0.25, "best energy {best_energy}");
+}
+
+#[test]
+fn connection_loss_still_leaves_a_useful_local_pareto_front() {
+    // The paper: with BLE down, CHRIS still finds 19 Pareto points spanning
+    // 4.87..10.99 BPM and 0.234..41.07 mJ. The exact count depends on the
+    // profiling data; we check the span and that a healthy number survive.
+    let windows = dataset_windows(2, 30.0, 102);
+    let (_, engine) = profiled_engine(&windows);
+    let front = engine.pareto(ConnectionStatus::Disconnected);
+    assert!(front.len() >= 10, "local-only Pareto front has {} points", front.len());
+    assert!(front.iter().all(|p| p.configuration.target == ExecutionTarget::Local));
+    let maes: Vec<f32> = front.iter().map(|p| p.mae_bpm).collect();
+    let energies: Vec<f64> = front.iter().map(|p| p.watch_energy.as_millijoules()).collect();
+    assert!(maes.iter().cloned().fold(f32::INFINITY, f32::min) < 5.8);
+    assert!(maes.iter().cloned().fold(f32::NEG_INFINITY, f32::max) > 9.0);
+    assert!(energies.iter().cloned().fold(f64::INFINITY, f64::min) < 0.25);
+    assert!(energies.iter().cloned().fold(f64::NEG_INFINITY, f64::max) > 30.0);
+}
+
+#[test]
+fn energy_constraint_trades_accuracy_for_battery() {
+    let windows = dataset_windows(2, 30.0, 103);
+    let (zoo, engine) = profiled_engine(&windows);
+
+    let tight = Energy::from_millijoules(0.25);
+    let loose = Energy::from_millijoules(1.0);
+    let mut runtime = ChrisRuntime::new(zoo, engine, RuntimeOptions::default());
+    let tight_report = runtime
+        .run(&windows, &UserConstraint::MaxEnergy(tight), &ConnectionSchedule::AlwaysConnected)
+        .unwrap();
+    let loose_report = runtime
+        .run(&windows, &UserConstraint::MaxEnergy(loose), &ConnectionSchedule::AlwaysConnected)
+        .unwrap();
+
+    assert!(tight_report.avg_watch_energy.as_millijoules() <= 0.25 * 1.1);
+    assert!(loose_report.avg_watch_energy >= tight_report.avg_watch_energy);
+    assert!(
+        loose_report.mae_bpm <= tight_report.mae_bpm + 0.5,
+        "a larger energy budget should not be (much) less accurate: {} vs {}",
+        loose_report.mae_bpm,
+        tight_report.mae_bpm
+    );
+}
+
+#[test]
+fn trained_random_forest_drives_the_runtime_with_minimal_accuracy_loss() {
+    let train = dataset_windows(2, 40.0, 104);
+    let test = dataset_windows(1, 40.0, 105);
+    let (zoo, engine) = profiled_engine(&train);
+
+    let rf = RandomForest::train(&train, RandomForestConfig::default()).unwrap();
+    let threshold = chris::data::DifficultyLevel::new(5).unwrap();
+    assert!(rf.easy_hard_accuracy(&test, threshold).unwrap() > 0.9);
+
+    let mut oracle_runtime =
+        ChrisRuntime::new(zoo.clone(), engine.clone(), RuntimeOptions::default());
+    let mut rf_runtime = ChrisRuntime::with_classifier(
+        zoo,
+        engine,
+        Box::new(rf),
+        RuntimeOptions::default(),
+    );
+    let constraint = UserConstraint::MaxMae(5.60);
+    let oracle = oracle_runtime
+        .run(&test, &constraint, &ConnectionSchedule::AlwaysConnected)
+        .unwrap();
+    let with_rf = rf_runtime
+        .run(&test, &constraint, &ConnectionSchedule::AlwaysConnected)
+        .unwrap();
+    assert!(
+        (oracle.mae_bpm - with_rf.mae_bpm).abs() < 1.0,
+        "oracle {} vs RF {}",
+        oracle.mae_bpm,
+        with_rf.mae_bpm
+    );
+}
+
+#[test]
+fn real_adaptive_threshold_is_worse_on_hard_activities_than_easy_ones() {
+    // Cross-crate check that the *real* AT algorithm (not the surrogate)
+    // exhibits the difficulty gradient CHRIS relies on.
+    use chris::models::traits::HrEstimator;
+    let windows = dataset_windows(2, 40.0, 106);
+    let mut at = AdaptiveThreshold::new();
+    let mut easy_err = Vec::new();
+    let mut hard_err = Vec::new();
+    for w in &windows {
+        let prediction = at.predict(w).unwrap();
+        let err = (prediction - w.hr_bpm).abs();
+        match w.activity {
+            Activity::Resting | Activity::Sitting | Activity::Working => easy_err.push(err),
+            Activity::Stairs | Activity::TableSoccer | Activity::Walking => hard_err.push(err),
+            _ => {}
+        }
+    }
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+    assert!(
+        mean(&hard_err) > mean(&easy_err) * 1.3,
+        "AT error on hard activities ({:.2}) should exceed easy ones ({:.2})",
+        mean(&hard_err),
+        mean(&easy_err)
+    );
+}
+
+#[test]
+fn battery_projection_favours_chris_over_local_small() {
+    let windows = dataset_windows(2, 30.0, 107);
+    let (zoo, engine) = profiled_engine(&windows);
+    let mut runtime = ChrisRuntime::new(zoo.clone(), engine, RuntimeOptions::default());
+    let report = runtime
+        .run(&windows, &UserConstraint::MaxMae(5.60), &ConnectionSchedule::AlwaysConnected)
+        .unwrap();
+
+    let battery = Battery::hwatch();
+    let chris_life = battery.lifetime(report.avg_watch_power());
+    let small = zoo.characterize(ModelKind::TimePpgSmall);
+    let small_power = Power::from_milliwatts(
+        small.watch_energy.as_millijoules() / chris::hw::PREDICTION_PERIOD_S,
+    );
+    let small_life = battery.lifetime(small_power);
+    assert!(
+        chris_life.as_seconds() > small_life.as_seconds() * 1.3,
+        "CHRIS should extend battery life by >30% over local TimePPG-Small"
+    );
+}

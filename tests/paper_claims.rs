@@ -1,0 +1,219 @@
+//! Integration tests that check the reproduction against the specific numbers
+//! and qualitative claims of the paper's evaluation (Section IV).
+
+use chris::prelude::*;
+
+fn windows(seed: u64) -> Vec<LabeledWindow> {
+    DatasetBuilder::new()
+        .subjects(3)
+        .seconds_per_activity(40.0)
+        .seed(seed)
+        .build()
+        .unwrap()
+        .windows()
+}
+
+/// Table III, STM32WB55 columns: cycles, time and energy per prediction.
+#[test]
+fn table3_stm32_rows_are_reproduced() {
+    let zoo = ModelZoo::paper_setup();
+    let rows = zoo.table();
+
+    let at = &rows[0];
+    assert_eq!(at.watch_cycles, 100_000);
+    assert!((at.watch_time.as_millis() - 1.563).abs() < 0.01);
+    assert!((at.watch_energy.as_millijoules() - 0.234).abs() / 0.234 < 0.05);
+
+    let small = &rows[1];
+    assert!((small.watch_time.as_millis() - 21.326).abs() / 21.326 < 0.03);
+    assert!((small.watch_energy.as_millijoules() - 0.735).abs() / 0.735 < 0.03);
+    assert!((small.watch_cycles as f64 - 1_365_000.0).abs() / 1_365_000.0 < 0.03);
+
+    let big = &rows[2];
+    assert!((big.watch_time.as_millis() - 1611.88).abs() / 1611.88 < 0.03);
+    assert!((big.watch_energy.as_millijoules() - 41.11).abs() / 41.11 < 0.03);
+    assert!((big.watch_cycles as f64 - 103_160_000.0).abs() / 103_160_000.0 < 0.03);
+}
+
+/// Table III, Raspberry Pi3 columns and the BLE row.
+#[test]
+fn table3_pi3_and_ble_rows_are_reproduced() {
+    let zoo = ModelZoo::paper_setup();
+    let rows = zoo.table();
+
+    assert!((rows[0].phone_time.as_millis() - 1.00).abs() < 0.02);
+    assert!((rows[0].phone_energy.as_millijoules() - 1.60).abs() / 1.60 < 0.05);
+    assert!((rows[1].phone_time.as_millis() - 3.45).abs() / 3.45 < 0.05);
+    assert!((rows[1].phone_energy.as_millijoules() - 5.54).abs() / 5.54 < 0.05);
+    assert!((rows[2].phone_time.as_millis() - 15.96).abs() / 15.96 < 0.05);
+    assert!((rows[2].phone_energy.as_millijoules() - 25.60).abs() / 25.60 < 0.05);
+
+    assert!((rows[0].ble_time.as_millis() - 10.24).abs() < 0.01);
+    assert!((rows[0].ble_energy.as_millijoules() - 0.52).abs() < 0.01);
+}
+
+/// Table III MAE column (by construction of the calibrated surrogates, but
+/// verified end-to-end on generated data).
+#[test]
+fn dataset_level_maes_match_the_paper() {
+    let ws = windows(200);
+    let zoo = ModelZoo::paper_setup();
+    for (kind, expected) in [
+        (ModelKind::AdaptiveThreshold, 10.99f32),
+        (ModelKind::TimePpgSmall, 5.60),
+        (ModelKind::TimePpgBig, 4.87),
+    ] {
+        let mut est = zoo.calibrated_estimator(kind, 77);
+        let mut errs = Vec::new();
+        for w in &ws {
+            errs.push((est.predict(w).unwrap() - w.hr_bpm).abs());
+        }
+        let mae: f32 = errs.iter().sum::<f32>() / errs.len() as f32;
+        assert!(
+            (mae - expected).abs() / expected < 0.15,
+            "{kind}: measured {mae:.2} vs paper {expected:.2}"
+        );
+    }
+}
+
+/// Section IV-A: for AT, offloading is clearly sub-optimal; for TimePPG-Big,
+/// local execution is always sub-optimal; TimePPG-Small sits in between.
+#[test]
+fn offloading_tradeoffs_match_section_4a() {
+    let zoo = ModelZoo::paper_setup();
+    let at = zoo.characterize(ModelKind::AdaptiveThreshold);
+    let small = zoo.characterize(ModelKind::TimePpgSmall);
+    let big = zoo.characterize(ModelKind::TimePpgBig);
+
+    // AT: local watch energy beats even the bare BLE transmission energy
+    // from the total-system point of view (0.234 vs 0.52 + phone 1.6).
+    assert!(at.watch_energy.as_millijoules() < at.ble_energy.as_millijoules() + at.phone_energy.as_millijoules());
+
+    // Small: offloading is slightly better for the *watch* (BLE 0.52 < 0.735)
+    // but worse for the total system (0.52 + 5.54 > 0.735).
+    assert!(small.ble_energy < small.watch_energy);
+    assert!(
+        small.ble_energy.as_millijoules() + small.phone_energy.as_millijoules()
+            > small.watch_energy.as_millijoules()
+    );
+
+    // Big: offloading wins for the watch and for the total system.
+    assert!(big.ble_energy.as_millijoules() < big.watch_energy.as_millijoules() / 10.0);
+    assert!(
+        big.ble_energy.as_millijoules() + big.phone_energy.as_millijoules()
+            < big.watch_energy.as_millijoules()
+    );
+}
+
+/// Fig. 4 headline: under Constraint 1 (MAE <= 5.60 BPM) CHRIS picks a hybrid
+/// AT + TimePPG-Big configuration that roughly halves the smartwatch energy
+/// compared with running TimePPG-Small locally, while keeping the MAE.
+#[test]
+fn constraint1_selection_roughly_halves_energy_versus_local_small() {
+    let ws = windows(201);
+    let zoo = ModelZoo::paper_setup();
+    let profiler = Profiler::new(&zoo);
+    let engine =
+        DecisionEngine::new(profiler.profile_all(&ws, ProfilingOptions::default()).unwrap());
+
+    let selected = engine
+        .select(&UserConstraint::MaxMae(5.60), ConnectionStatus::Connected)
+        .expect("constraint 1 is satisfiable");
+    assert_eq!(selected.configuration.simple, ModelKind::AdaptiveThreshold);
+    assert_eq!(selected.configuration.complex, ModelKind::TimePpgBig);
+    assert_eq!(selected.configuration.target, ExecutionTarget::Hybrid);
+    assert!(selected.offload_fraction > 0.4, "most windows go to the phone");
+
+    let small_local = zoo.characterize(ModelKind::TimePpgSmall).watch_energy;
+    let saving = small_local.as_millijoules() / selected.watch_energy.as_millijoules();
+    assert!(
+        saving > 1.5 && saving < 3.0,
+        "expected roughly the paper's 2x saving, got {saving:.2}x"
+    );
+}
+
+/// Fig. 4, Constraint 2: relaxing the MAE to ~7.2 BPM buys a configuration in
+/// the few-hundred-microjoule range, cheaper than streaming everything.
+#[test]
+fn constraint2_selection_reaches_the_sub_half_millijoule_regime() {
+    let ws = windows(202);
+    let zoo = ModelZoo::paper_setup();
+    let profiler = Profiler::new(&zoo);
+    let engine =
+        DecisionEngine::new(profiler.profile_all(&ws, ProfilingOptions::default()).unwrap());
+
+    let selected = engine
+        .select(&UserConstraint::MaxMae(7.20), ConnectionStatus::Connected)
+        .expect("constraint 2 is satisfiable");
+    let stream_all = zoo.ble().transfer_energy(chris::hw::WINDOW_PAYLOAD_BYTES);
+    assert!(
+        selected.watch_energy < stream_all,
+        "selected {} should beat always-streaming {}",
+        selected.watch_energy,
+        stream_all
+    );
+    assert!(
+        selected.watch_energy.as_microjoules() < 450.0,
+        "selected {}",
+        selected.watch_energy
+    );
+    // And it is cheaper than the constraint-1 selection.
+    let tighter = engine
+        .select(&UserConstraint::MaxMae(5.60), ConnectionStatus::Connected)
+        .unwrap();
+    assert!(selected.watch_energy < tighter.watch_energy);
+}
+
+/// Fig. 5: as more activities are treated as "easy" (larger threshold), the
+/// smartwatch energy of the AT + TimePPG-Big hybrid decreases monotonically
+/// and the MAE increases monotonically.
+#[test]
+fn fig5_threshold_sweep_is_monotone() {
+    let ws = windows(203);
+    let zoo = ModelZoo::paper_setup();
+    let profiler = Profiler::new(&zoo);
+
+    let mut energies = Vec::new();
+    let mut maes = Vec::new();
+    for threshold in 0..=9u8 {
+        let config = chris::core::config::Configuration::new(
+            ModelKind::AdaptiveThreshold,
+            ModelKind::TimePpgBig,
+            chris::core::config::DifficultyThreshold::new(threshold).unwrap(),
+            ExecutionTarget::Hybrid,
+        )
+        .unwrap();
+        let p = profiler.profile(config, &ws, ProfilingOptions::default()).unwrap();
+        energies.push(p.watch_energy.as_millijoules());
+        maes.push(p.mae_bpm);
+    }
+    for i in 1..energies.len() {
+        assert!(
+            energies[i] <= energies[i - 1] + 1e-9,
+            "energy should fall as more windows stay on AT: {energies:?}"
+        );
+        assert!(
+            maes[i] + 0.3 >= maes[i - 1],
+            "MAE should not drop as more windows use the weak model: {maes:?}"
+        );
+    }
+    // End points: threshold 0 is all-offload (≈0.52 mJ), 9 is all-AT (≈0.23 mJ).
+    assert!((energies[0] - 0.52).abs() < 0.02);
+    assert!((energies[9] - 0.234).abs() < 0.02);
+    assert!(maes[0] < 5.5 && maes[9] > 9.5);
+}
+
+/// The paper stores configurations ordered by energy so selection is a single
+/// linear pass; the decision engine keeps that invariant.
+#[test]
+fn profile_table_is_sorted_and_has_60_rows() {
+    let ws = windows(204);
+    let zoo = ModelZoo::paper_setup();
+    let profiler = Profiler::new(&zoo);
+    let engine =
+        DecisionEngine::new(profiler.profile_all(&ws, ProfilingOptions::default()).unwrap());
+    assert_eq!(engine.len(), 60);
+    for pair in engine.profiles().windows(2) {
+        assert!(pair[0].watch_energy <= pair[1].watch_energy);
+    }
+}
