@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the fleet engine: end-to-end fleet throughput
+//! (windows/sec, devices/sec) at 1 thread and at all cores, plus the cost of
+//! scenario generation alone.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use fleet::{run_fleet, ExecutorOptions, FleetSimulation, ScenarioMix};
+
+const DEVICES: u64 = 64;
+
+fn bench_fleet(c: &mut Criterion) {
+    let simulation = FleetSimulation::new(42, ScenarioMix::balanced())
+        .expect("profiling the shared table succeeds");
+    let scenarios = simulation.generator().scenarios(DEVICES);
+    let total_windows: usize = scenarios
+        .iter()
+        .map(|s| s.windows().expect("scenario windows build").len())
+        .sum();
+
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Elements(DEVICES));
+    group.bench_function("scenario_generation_64_devices", |b| {
+        b.iter(|| simulation.generator().scenarios(black_box(DEVICES)))
+    });
+
+    // Window throughput of the full simulation (synthesis + runtime), the
+    // fleet analogue of the paper's per-window runtime cost.
+    group.throughput(Throughput::Elements(total_windows as u64));
+    group.bench_function("simulate_64_devices_1_thread", |b| {
+        b.iter(|| {
+            run_fleet(
+                black_box(&scenarios),
+                simulation.zoo(),
+                simulation.engine(),
+                &ExecutorOptions {
+                    threads: 1,
+                    chunk_size: 8,
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("simulate_64_devices_all_cores", |b| {
+        b.iter(|| {
+            run_fleet(
+                black_box(&scenarios),
+                simulation.zoo(),
+                simulation.engine(),
+                &ExecutorOptions {
+                    threads: 0,
+                    chunk_size: 8,
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -26,19 +26,30 @@ fn bench_runtime(c: &mut Criterion) {
     c.bench_function("chris/profile_one_configuration", |b| {
         b.iter(|| {
             profiler
-                .profile(black_box(config), black_box(&windows), ProfilingOptions::default())
+                .profile(
+                    black_box(config),
+                    black_box(&windows),
+                    ProfilingOptions::default(),
+                )
                 .unwrap()
         })
     });
 
     c.bench_function("chris/profile_all_60_configurations", |b| {
-        b.iter(|| profiler.profile_all(black_box(&windows), ProfilingOptions::default()).unwrap())
+        b.iter(|| {
+            profiler
+                .profile_all(black_box(&windows), ProfilingOptions::default())
+                .unwrap()
+        })
     });
 
     c.bench_function("chris/decision_engine_select", |b| {
         b.iter(|| {
             engine
-                .select(&UserConstraint::MaxMae(black_box(5.6)), ConnectionStatus::Connected)
+                .select(
+                    &UserConstraint::MaxMae(black_box(5.6)),
+                    ConnectionStatus::Connected,
+                )
                 .unwrap()
         })
     });
@@ -49,11 +60,8 @@ fn bench_runtime(c: &mut Criterion) {
 
     c.bench_function("chris/runtime_full_run", |b| {
         b.iter(|| {
-            let mut runtime = ChrisRuntime::new(
-                zoo.clone(),
-                engine.clone(),
-                RuntimeOptions::default(),
-            );
+            let mut runtime =
+                ChrisRuntime::new(zoo.clone(), engine.clone(), RuntimeOptions::default());
             runtime
                 .run(
                     black_box(&windows),
@@ -65,8 +73,7 @@ fn bench_runtime(c: &mut Criterion) {
     });
 
     c.bench_function("chris/runtime_per_window_cost", |b| {
-        let mut runtime =
-            ChrisRuntime::new(zoo.clone(), engine.clone(), RuntimeOptions::default());
+        let mut runtime = ChrisRuntime::new(zoo.clone(), engine.clone(), RuntimeOptions::default());
         // One window at a time approximates the on-line per-prediction overhead.
         let single = vec![windows[0].clone()];
         b.iter(|| {

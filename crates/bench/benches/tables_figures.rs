@@ -28,7 +28,10 @@ fn bench_tables(c: &mut Criterion) {
     c.bench_function("experiments/table2_fig4_profile_and_pareto", |b| {
         b.iter(|| {
             let engine = build_engine(&zoo, black_box(&windows));
-            (engine.pareto(ConnectionStatus::Connected).len(), engine.len())
+            (
+                engine.pareto(ConnectionStatus::Connected).len(),
+                engine.len(),
+            )
         })
     });
 
@@ -99,8 +102,15 @@ fn bench_ablations(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{accounting:?}")),
             &accounting,
             |b, &accounting| {
-                let options = ProfilingOptions { accounting, ..ProfilingOptions::default() };
-                b.iter(|| profiler.profile(config, black_box(&windows), options).unwrap())
+                let options = ProfilingOptions {
+                    accounting,
+                    ..ProfilingOptions::default()
+                };
+                b.iter(|| {
+                    profiler
+                        .profile(config, black_box(&windows), options)
+                        .unwrap()
+                })
             },
         );
     }
@@ -131,17 +141,25 @@ fn bench_ablations(c: &mut Criterion) {
     // Ablation 3: sleep-power sensitivity of the smartwatch platform.
     let mut group = c.benchmark_group("ablation/sleep_power");
     for sleep_mw in [0.05f64, 0.0968, 0.2] {
-        group.bench_with_input(BenchmarkId::from_parameter(sleep_mw), &sleep_mw, |b, &mw| {
-            let mut watch = Platform::stm32wb55();
-            watch.sleep_power = Power::from_milliwatts(mw);
-            let scaled_zoo = ModelZoo::new(watch, Platform::raspberry_pi3(), BleLink::paper_calibrated());
-            let scaled_profiler = Profiler::new(&scaled_zoo);
-            b.iter(|| {
-                scaled_profiler
-                    .profile(config, black_box(&windows), ProfilingOptions::default())
-                    .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sleep_mw),
+            &sleep_mw,
+            |b, &mw| {
+                let mut watch = Platform::stm32wb55();
+                watch.sleep_power = Power::from_milliwatts(mw);
+                let scaled_zoo = ModelZoo::new(
+                    watch,
+                    Platform::raspberry_pi3(),
+                    BleLink::paper_calibrated(),
+                );
+                let scaled_profiler = Profiler::new(&scaled_zoo);
+                b.iter(|| {
+                    scaled_profiler
+                        .profile(config, black_box(&windows), ProfilingOptions::default())
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -22,7 +22,10 @@ fn main() {
     rule(92);
     for row in zoo.table() {
         let board = row.watch_energy.as_millijoules();
-        let compute_only = zoo.watch().compute_energy(&row.kind.workload_watch()).as_millijoules();
+        let compute_only = zoo
+            .watch()
+            .compute_energy(&row.kind.workload_watch())
+            .as_millijoules();
         let idle = board - compute_only;
         println!(
             "{:<16} {:>14.3} {:>14.3} {:>12.3}   board |{}|",

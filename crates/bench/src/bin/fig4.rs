@@ -48,7 +48,12 @@ fn main() {
                         && p.configuration.target == target
                 })
                 .collect();
-            println!("  [{} + {}] {}:", simple.name(), complex.name(), target.name());
+            println!(
+                "  [{} + {}] {}:",
+                simple.name(),
+                complex.name(),
+                target.name()
+            );
             for p in series {
                 println!(
                     "    thr={} {:>7.2} BPM {:>10} mJ ({:>3.0}% offloaded)",
@@ -78,8 +83,14 @@ fn main() {
     // Constraint-driven selections (Sel. Model 1 and 2 of the paper).
     let small_local = zoo.characterize(ModelKind::TimePpgSmall).watch_energy;
     for (name, constraint) in [
-        ("Sel. Model 1 (Constraint 1: MAE <= 5.60 BPM)", UserConstraint::MaxMae(5.60)),
-        ("Sel. Model 2 (Constraint 2: MAE <= 7.20 BPM)", UserConstraint::MaxMae(7.20)),
+        (
+            "Sel. Model 1 (Constraint 1: MAE <= 5.60 BPM)",
+            UserConstraint::MaxMae(5.60),
+        ),
+        (
+            "Sel. Model 2 (Constraint 2: MAE <= 7.20 BPM)",
+            UserConstraint::MaxMae(7.20),
+        ),
     ] {
         if let Some(p) = engine.select(&constraint, ConnectionStatus::Connected) {
             println!(

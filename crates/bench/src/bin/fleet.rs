@@ -1,0 +1,168 @@
+//! Fleet-scale CHRIS simulation driver.
+//!
+//! Simulates a fleet of independent devices in parallel and prints the
+//! aggregate report (MAE percentiles, energy and battery-life distributions,
+//! offload histogram, constraint violations). The output is byte-identical
+//! for any `--threads` value.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fleet -- --devices 1000 --threads 8 --seed 42
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use fleet::{FleetSimulation, ScenarioMix};
+
+struct Args {
+    devices: u64,
+    threads: usize,
+    seed: u64,
+    mix: ScenarioMix,
+    mix_name: String,
+    json: bool,
+    per_device: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            devices: 1000,
+            threads: 0,
+            seed: 42,
+            mix: ScenarioMix::balanced(),
+            mix_name: "balanced".to_string(),
+            json: false,
+            per_device: false,
+        }
+    }
+}
+
+const USAGE: &str =
+    "usage: fleet [--devices N] [--threads N] [--seed N] [--mix NAME] [--json] [--per-device]\n\
+       --devices N     number of simulated devices (default 1000)\n\
+       --threads N     worker threads, 0 = one per core (default 0)\n\
+       --seed N        master seed; fixes every device's scenario (default 42)\n\
+       --mix NAME      scenario mix: balanced | harsh | connected (default balanced)\n\
+       --json          print the aggregate report as JSON instead of text\n\
+       --per-device    also print one line per device";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--devices" => {
+                args.devices = value("--devices")?
+                    .parse()
+                    .map_err(|e| format!("--devices: {e}"))?;
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--mix" => {
+                let name = value("--mix")?;
+                args.mix = ScenarioMix::from_name(&name).ok_or_else(|| {
+                    format!(
+                        "unknown mix `{name}`; expected one of {}",
+                        ScenarioMix::PRESETS.join(", ")
+                    )
+                })?;
+                args.mix_name = name;
+            }
+            "--json" => args.json = true,
+            "--per-device" => args.per_device = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let setup_start = Instant::now();
+    let simulation = match FleetSimulation::new(args.seed, args.mix) {
+        Ok(simulation) => simulation,
+        Err(e) => {
+            eprintln!("profiling the shared configuration table failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let setup_time = setup_start.elapsed();
+
+    let run_start = Instant::now();
+    let outcome = match simulation.run(args.devices, args.threads) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("fleet run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run_time = run_start.elapsed();
+
+    if args.json {
+        match serde_json::to_string_pretty(&outcome.report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("serializing the report failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        println!(
+            "CHRIS fleet simulation  (seed {}, mix {}, {} devices)",
+            args.seed, args.mix_name, args.devices
+        );
+        println!("{}", outcome.report);
+        if args.per_device {
+            println!();
+            for d in &outcome.devices {
+                println!(
+                    "  device {:>6}  {:>4} windows  MAE {:>6.2} BPM  {:>8.1} uJ/pred  \
+                     offload {:>5.1} %  battery {:>8.1} h  {}{}",
+                    d.device_id,
+                    d.windows,
+                    d.mae_bpm,
+                    d.avg_watch_energy.as_microjoules(),
+                    d.offload_fraction * 100.0,
+                    d.battery_life_hours,
+                    d.constraint,
+                    if d.constraint_violated {
+                        "  VIOLATED"
+                    } else {
+                        ""
+                    },
+                );
+            }
+        }
+        let windows_per_s = outcome.report.total_windows as f64 / run_time.as_secs_f64();
+        let devices_per_s = args.devices as f64 / run_time.as_secs_f64();
+        eprintln!(
+            "\nprofiling {:.2} s; simulated {} windows in {:.2} s \
+             ({windows_per_s:.0} windows/s, {devices_per_s:.0} devices/s)",
+            setup_time.as_secs_f64(),
+            outcome.report.total_windows,
+            run_time.as_secs_f64(),
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -14,7 +14,11 @@ fn main() {
 
     // Train the RF difficulty detector on half the subjects, as the runtime
     // would use in the field.
-    let train: Vec<_> = windows.iter().filter(|w| w.subject.0 < 3).cloned().collect();
+    let train: Vec<_> = windows
+        .iter()
+        .filter(|w| w.subject.0 < 3)
+        .cloned()
+        .collect();
     let rf = RandomForest::train(&train, RandomForestConfig::default())
         .expect("training data is non-empty");
 
@@ -63,9 +67,14 @@ fn main() {
     // Connection-loss scenario: the BLE link disappears entirely.
     let front_down = engine.pareto(ConnectionStatus::Disconnected);
     let maes: Vec<f32> = front_down.iter().map(|p| p.mae_bpm).collect();
-    let energies: Vec<f64> =
-        front_down.iter().map(|p| p.watch_energy.as_millijoules()).collect();
-    println!("BLE connection lost: {} local Pareto points remain,", front_down.len());
+    let energies: Vec<f64> = front_down
+        .iter()
+        .map(|p| p.watch_energy.as_millijoules())
+        .collect();
+    println!(
+        "BLE connection lost: {} local Pareto points remain,",
+        front_down.len()
+    );
     println!(
         "  spanning {:.2}..{:.2} BPM and {:.3}..{:.2} mJ per prediction",
         maes.iter().cloned().fold(f32::INFINITY, f32::min),
@@ -76,12 +85,8 @@ fn main() {
     println!("  paper: 19 Pareto points from 4.87 to 10.99 BPM and 0.234 to 41.07 mJ");
 
     // Intermittent connectivity, the scenario only the runtime can show.
-    let mut runtime = ChrisRuntime::with_classifier(
-        zoo,
-        engine,
-        Box::new(rf),
-        RuntimeOptions::default(),
-    );
+    let mut runtime =
+        ChrisRuntime::with_classifier(zoo, engine, Box::new(rf), RuntimeOptions::default());
     let schedule = ConnectionSchedule::DutyCycle { up: 4, down: 1 };
     let report = runtime
         .run(&windows, &UserConstraint::MaxMae(5.60), &schedule)

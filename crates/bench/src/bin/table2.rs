@@ -14,7 +14,10 @@ fn main() {
     let engine = build_engine(&zoo, &windows);
 
     println!("Table II — configurations stored inside CHRIS");
-    println!("(profiled on {} windows of the synthetic profiling split)\n", windows.len());
+    println!(
+        "(profiled on {} windows of the synthetic profiling split)\n",
+        windows.len()
+    );
     println!(
         "{:<6} {:>10} {:>10}  {:<28} {:>6} {:>8}",
         "id", "MAE [BPM]", "E. [mJ]", "Models", "Diff.", "Exec."
@@ -31,8 +34,9 @@ fn main() {
             "",
             p.configuration.threshold.value(),
             p.configuration.target.name(),
-            pad = 26usize
-                .saturating_sub(p.configuration.simple.name().len() + p.configuration.complex.name().len() + 4)
+            pad = 26usize.saturating_sub(
+                p.configuration.simple.name().len() + p.configuration.complex.name().len() + 4
+            )
         );
     }
     rule(76);

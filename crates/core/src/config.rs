@@ -169,7 +169,12 @@ impl Configuration {
                 requirement: "the simple model must be cheaper than the complex model",
             });
         }
-        Ok(Self { simple, complex, threshold, target })
+        Ok(Self {
+            simple,
+            complex,
+            threshold,
+            target,
+        })
     }
 
     /// Which model handles a window of the given difficulty.
@@ -232,11 +237,20 @@ mod tests {
     #[test]
     fn threshold_validation() {
         assert!(DifficultyThreshold::new(10).is_err());
-        assert_eq!(DifficultyThreshold::new(0).unwrap(), DifficultyThreshold::ALWAYS_COMPLEX);
-        assert_eq!(DifficultyThreshold::new(9).unwrap(), DifficultyThreshold::ALWAYS_SIMPLE);
+        assert_eq!(
+            DifficultyThreshold::new(0).unwrap(),
+            DifficultyThreshold::ALWAYS_COMPLEX
+        );
+        assert_eq!(
+            DifficultyThreshold::new(9).unwrap(),
+            DifficultyThreshold::ALWAYS_SIMPLE
+        );
         assert_eq!(DifficultyThreshold::all().count(), 10);
         assert_eq!(DifficultyThreshold::new(4).unwrap().value(), 4);
-        assert_eq!(DifficultyThreshold::new(4).unwrap().easy_activity_count(), 4);
+        assert_eq!(
+            DifficultyThreshold::new(4).unwrap().easy_activity_count(),
+            4
+        );
     }
 
     #[test]
@@ -246,10 +260,12 @@ mod tests {
         assert!(thr.routes_to_simple(Activity::Lunch.difficulty())); // difficulty 4
         assert!(!thr.routes_to_simple(Activity::Driving.difficulty())); // difficulty 5
         assert!(!thr.routes_to_simple(Activity::TableSoccer.difficulty()));
-        assert!(DifficultyThreshold::ALWAYS_SIMPLE
-            .routes_to_simple(Activity::TableSoccer.difficulty()));
-        assert!(!DifficultyThreshold::ALWAYS_COMPLEX
-            .routes_to_simple(Activity::Resting.difficulty()));
+        assert!(
+            DifficultyThreshold::ALWAYS_SIMPLE.routes_to_simple(Activity::TableSoccer.difficulty())
+        );
+        assert!(
+            !DifficultyThreshold::ALWAYS_COMPLEX.routes_to_simple(Activity::Resting.difficulty())
+        );
     }
 
     #[test]
@@ -288,7 +304,10 @@ mod tests {
             assert!(set.insert(*c), "duplicate configuration {c}");
         }
         // 30 hybrid, 30 local.
-        let hybrid = configs.iter().filter(|c| c.target == ExecutionTarget::Hybrid).count();
+        let hybrid = configs
+            .iter()
+            .filter(|c| c.target == ExecutionTarget::Hybrid)
+            .count();
         assert_eq!(hybrid, 30);
     }
 
@@ -301,12 +320,21 @@ mod tests {
             ExecutionTarget::Hybrid,
         )
         .unwrap();
-        assert_eq!(config.model_for(Activity::Resting.difficulty()), ModelKind::AdaptiveThreshold);
-        assert_eq!(config.model_for(Activity::TableSoccer.difficulty()), ModelKind::TimePpgBig);
+        assert_eq!(
+            config.model_for(Activity::Resting.difficulty()),
+            ModelKind::AdaptiveThreshold
+        );
+        assert_eq!(
+            config.model_for(Activity::TableSoccer.difficulty()),
+            ModelKind::TimePpgBig
+        );
         assert!(!config.offloads(Activity::Resting.difficulty()));
         assert!(config.offloads(Activity::TableSoccer.difficulty()));
 
-        let local = Configuration { target: ExecutionTarget::Local, ..config };
+        let local = Configuration {
+            target: ExecutionTarget::Local,
+            ..config
+        };
         assert!(!local.offloads(Activity::TableSoccer.difficulty()));
     }
 

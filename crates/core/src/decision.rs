@@ -72,12 +72,16 @@ pub struct DecisionEngine {
 impl DecisionEngine {
     /// Creates the engine from a profiled table. The table is (re)sorted by
     /// smartwatch energy so selections are single-pass.
+    ///
+    /// Ordering uses `total_cmp`, so a NaN in a profiled MAE or energy (a
+    /// corrupted table entry) sorts deterministically to the end of the table
+    /// instead of silently scrambling it.
     pub fn new(mut profiles: Vec<ConfigurationProfile>) -> Self {
         profiles.sort_by(|a, b| {
             a.watch_energy
-                .partial_cmp(&b.watch_energy)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.mae_bpm.partial_cmp(&b.mae_bpm).unwrap_or(std::cmp::Ordering::Equal))
+                .as_microjoules()
+                .total_cmp(&b.watch_energy.as_microjoules())
+                .then(a.mae_bpm.total_cmp(&b.mae_bpm))
         });
         Self { profiles }
     }
@@ -98,12 +102,13 @@ impl DecisionEngine {
     }
 
     /// The configurations feasible under the given connection status.
-    pub fn feasible(&self, status: ConnectionStatus) -> impl Iterator<Item = &ConfigurationProfile> {
+    pub fn feasible(
+        &self,
+        status: ConnectionStatus,
+    ) -> impl Iterator<Item = &ConfigurationProfile> {
         self.profiles.iter().filter(move |p| match status {
             ConnectionStatus::Connected => true,
-            ConnectionStatus::Disconnected => {
-                p.configuration.target == ExecutionTarget::Local
-            }
+            ConnectionStatus::Disconnected => p.configuration.target == ExecutionTarget::Local,
         })
     }
 
@@ -119,12 +124,14 @@ impl DecisionEngine {
                 .feasible(status)
                 .filter(|p| p.mae_bpm <= max_mae)
                 .min_by(|a, b| {
-                    a.watch_energy.partial_cmp(&b.watch_energy).unwrap_or(std::cmp::Ordering::Equal)
+                    a.watch_energy
+                        .as_microjoules()
+                        .total_cmp(&b.watch_energy.as_microjoules())
                 }),
             UserConstraint::MaxEnergy(max_energy) => self
                 .feasible(status)
                 .filter(|p| p.watch_energy <= max_energy)
-                .min_by(|a, b| a.mae_bpm.partial_cmp(&b.mae_bpm).unwrap_or(std::cmp::Ordering::Equal)),
+                .min_by(|a, b| a.mae_bpm.total_cmp(&b.mae_bpm)),
         }
     }
 
@@ -151,11 +158,13 @@ impl DecisionEngine {
             return Ok(found);
         }
         let fallback = match *constraint {
-            UserConstraint::MaxMae(_) => self.feasible(status).min_by(|a, b| {
-                a.mae_bpm.partial_cmp(&b.mae_bpm).unwrap_or(std::cmp::Ordering::Equal)
-            }),
+            UserConstraint::MaxMae(_) => self
+                .feasible(status)
+                .min_by(|a, b| a.mae_bpm.total_cmp(&b.mae_bpm)),
             UserConstraint::MaxEnergy(_) => self.feasible(status).min_by(|a, b| {
-                a.watch_energy.partial_cmp(&b.watch_energy).unwrap_or(std::cmp::Ordering::Equal)
+                a.watch_energy
+                    .as_microjoules()
+                    .total_cmp(&b.watch_energy.as_microjoules())
             }),
         };
         fallback.ok_or_else(|| ChrisError::NoFeasibleConfiguration {
@@ -199,7 +208,11 @@ mod tests {
             mae_bpm: mae,
             watch_energy: Energy::from_millijoules(energy_mj),
             phone_energy: Energy::ZERO,
-            offload_fraction: if target == ExecutionTarget::Hybrid { 0.5 } else { 0.0 },
+            offload_fraction: if target == ExecutionTarget::Hybrid {
+                0.5
+            } else {
+                0.0
+            },
             simple_fraction: 0.5,
             windows: 100,
         }
@@ -207,12 +220,54 @@ mod tests {
 
     fn sample_table() -> Vec<ConfigurationProfile> {
         vec![
-            profile(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 9, ExecutionTarget::Local, 11.0, 0.23),
-            profile(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 6, ExecutionTarget::Hybrid, 7.1, 0.33),
-            profile(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 4, ExecutionTarget::Hybrid, 5.5, 0.40),
-            profile(ModelKind::AdaptiveThreshold, ModelKind::TimePpgSmall, 4, ExecutionTarget::Local, 7.5, 0.52),
-            profile(ModelKind::TimePpgSmall, ModelKind::TimePpgBig, 5, ExecutionTarget::Local, 5.3, 18.0),
-            profile(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 0, ExecutionTarget::Local, 4.9, 41.0),
+            profile(
+                ModelKind::AdaptiveThreshold,
+                ModelKind::TimePpgBig,
+                9,
+                ExecutionTarget::Local,
+                11.0,
+                0.23,
+            ),
+            profile(
+                ModelKind::AdaptiveThreshold,
+                ModelKind::TimePpgBig,
+                6,
+                ExecutionTarget::Hybrid,
+                7.1,
+                0.33,
+            ),
+            profile(
+                ModelKind::AdaptiveThreshold,
+                ModelKind::TimePpgBig,
+                4,
+                ExecutionTarget::Hybrid,
+                5.5,
+                0.40,
+            ),
+            profile(
+                ModelKind::AdaptiveThreshold,
+                ModelKind::TimePpgSmall,
+                4,
+                ExecutionTarget::Local,
+                7.5,
+                0.52,
+            ),
+            profile(
+                ModelKind::TimePpgSmall,
+                ModelKind::TimePpgBig,
+                5,
+                ExecutionTarget::Local,
+                5.3,
+                18.0,
+            ),
+            profile(
+                ModelKind::AdaptiveThreshold,
+                ModelKind::TimePpgBig,
+                0,
+                ExecutionTarget::Local,
+                4.9,
+                41.0,
+            ),
         ]
     }
 
@@ -231,8 +286,9 @@ mod tests {
     #[test]
     fn max_mae_selects_lowest_energy_satisfying() {
         let engine = DecisionEngine::new(sample_table());
-        let selected =
-            engine.select(&UserConstraint::MaxMae(5.6), ConnectionStatus::Connected).unwrap();
+        let selected = engine
+            .select(&UserConstraint::MaxMae(5.6), ConnectionStatus::Connected)
+            .unwrap();
         // The cheapest configuration with MAE <= 5.6 is the hybrid at 0.40 mJ.
         assert!((selected.watch_energy.as_millijoules() - 0.40).abs() < 1e-9);
         assert!(selected.mae_bpm <= 5.6);
@@ -254,8 +310,9 @@ mod tests {
     #[test]
     fn disconnected_excludes_hybrid_configurations() {
         let engine = DecisionEngine::new(sample_table());
-        let selected =
-            engine.select(&UserConstraint::MaxMae(5.6), ConnectionStatus::Disconnected).unwrap();
+        let selected = engine
+            .select(&UserConstraint::MaxMae(5.6), ConnectionStatus::Disconnected)
+            .unwrap();
         assert_eq!(selected.configuration.target, ExecutionTarget::Local);
         // The best local configuration under 5.6 BPM costs 18 mJ.
         assert!((selected.watch_energy.as_millijoules() - 18.0).abs() < 1e-9);
@@ -266,7 +323,9 @@ mod tests {
     #[test]
     fn unsatisfiable_constraint_returns_none_then_falls_back() {
         let engine = DecisionEngine::new(sample_table());
-        assert!(engine.select(&UserConstraint::MaxMae(1.0), ConnectionStatus::Connected).is_none());
+        assert!(engine
+            .select(&UserConstraint::MaxMae(1.0), ConnectionStatus::Connected)
+            .is_none());
         let fallback = engine
             .select_or_closest(&UserConstraint::MaxMae(1.0), ConnectionStatus::Connected)
             .unwrap();
@@ -296,7 +355,9 @@ mod tests {
             engine.select_or_closest(&UserConstraint::MaxMae(5.0), ConnectionStatus::Connected),
             Err(ChrisError::EmptyProfileTable)
         ));
-        assert!(engine.select(&UserConstraint::MaxMae(5.0), ConnectionStatus::Connected).is_none());
+        assert!(engine
+            .select(&UserConstraint::MaxMae(5.0), ConnectionStatus::Connected)
+            .is_none());
     }
 
     #[test]
@@ -320,9 +381,48 @@ mod tests {
     }
 
     #[test]
+    fn nan_profiles_sort_last_instead_of_scrambling_the_table() {
+        let mut table = sample_table();
+        table.push(profile(
+            ModelKind::AdaptiveThreshold,
+            ModelKind::TimePpgBig,
+            5,
+            ExecutionTarget::Local,
+            f32::NAN,
+            f64::NAN,
+        ));
+        table.reverse();
+        let engine = DecisionEngine::new(table);
+        // The NaN row lands at the end; everything before it is sorted.
+        assert!(engine.profiles().last().unwrap().mae_bpm.is_nan());
+        for pair in engine.profiles()[..engine.len() - 1].windows(2) {
+            assert!(pair[0].watch_energy <= pair[1].watch_energy);
+        }
+        // Selection never returns the NaN row (a NaN MAE fails every filter,
+        // and NaN energy is the total_cmp maximum).
+        let selected = engine
+            .select(&UserConstraint::MaxMae(5.6), ConnectionStatus::Connected)
+            .unwrap();
+        assert!(selected.mae_bpm.is_finite());
+        let selected = engine
+            .select(
+                &UserConstraint::MaxEnergy(Energy::from_millijoules(50.0)),
+                ConnectionStatus::Connected,
+            )
+            .unwrap();
+        assert!(selected.mae_bpm.is_finite());
+    }
+
+    #[test]
     fn connection_status_from_bool_and_display() {
-        assert_eq!(ConnectionStatus::from_connected(true), ConnectionStatus::Connected);
-        assert_eq!(ConnectionStatus::from_connected(false), ConnectionStatus::Disconnected);
+        assert_eq!(
+            ConnectionStatus::from_connected(true),
+            ConnectionStatus::Connected
+        );
+        assert_eq!(
+            ConnectionStatus::from_connected(false),
+            ConnectionStatus::Disconnected
+        );
         assert!(UserConstraint::MaxMae(5.6).to_string().contains("5.60"));
         assert!(UserConstraint::MaxEnergy(Energy::from_millijoules(0.5))
             .to_string()

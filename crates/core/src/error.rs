@@ -84,12 +84,17 @@ mod tests {
     fn display_variants() {
         assert!(ChrisError::EmptyProfileTable.to_string().contains("empty"));
         assert!(ChrisError::EmptyWorkload.to_string().contains("windows"));
-        assert!(ChrisError::InvalidParameter { name: "threshold", requirement: "0..=9" }
-            .to_string()
-            .contains("threshold"));
-        assert!(ChrisError::NoFeasibleConfiguration { request: "MAE <= 1".to_string() }
-            .to_string()
-            .contains("MAE"));
+        assert!(ChrisError::InvalidParameter {
+            name: "threshold",
+            requirement: "0..=9"
+        }
+        .to_string()
+        .contains("threshold"));
+        assert!(ChrisError::NoFeasibleConfiguration {
+            request: "MAE <= 1".to_string()
+        }
+        .to_string()
+        .contains("MAE"));
     }
 
     #[test]

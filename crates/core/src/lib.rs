@@ -68,7 +68,9 @@ pub use runtime::{ChrisRuntime, RuntimeOptions};
 
 /// Convenient re-exports for downstream binaries and examples.
 pub mod prelude {
-    pub use crate::config::{Configuration, DifficultyThreshold, EnergyAccounting, ExecutionTarget};
+    pub use crate::config::{
+        Configuration, DifficultyThreshold, EnergyAccounting, ExecutionTarget,
+    };
     pub use crate::decision::{ConnectionStatus, DecisionEngine, UserConstraint};
     pub use crate::error::ChrisError;
     pub use crate::pareto::pareto_front;

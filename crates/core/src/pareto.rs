@@ -21,13 +21,15 @@ where
 {
     let points: Vec<(f64, f64)> = items.iter().map(&objectives).collect();
     let mut order: Vec<usize> = (0..items.len()).collect();
-    // Sort by first objective, then by second.
+    // Sort by first objective, then by second; `total_cmp` keeps the
+    // comparator transitive even if a corrupted table injects a NaN (NaN
+    // points sort last and never enter the front, matching the decision
+    // engine's ordering).
     order.sort_by(|&a, &b| {
         points[a]
             .0
-            .partial_cmp(&points[b].0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(points[a].1.partial_cmp(&points[b].1).unwrap_or(std::cmp::Ordering::Equal))
+            .total_cmp(&points[b].0)
+            .then(points[a].1.total_cmp(&points[b].1))
     });
     let mut front = Vec::new();
     let mut best_second = f64::INFINITY;
@@ -113,8 +115,20 @@ mod tests {
             mae: f32,
             energy: f32,
         }
-        let items =
-            vec![P { mae: 5.0, energy: 1.0 }, P { mae: 4.0, energy: 2.0 }, P { mae: 6.0, energy: 3.0 }];
+        let items = vec![
+            P {
+                mae: 5.0,
+                energy: 1.0,
+            },
+            P {
+                mae: 4.0,
+                energy: 2.0,
+            },
+            P {
+                mae: 6.0,
+                energy: 3.0,
+            },
+        ];
         let front = pareto_front(&items, |p| (p.energy as f64, p.mae as f64));
         assert_eq!(front, vec![0, 1]);
     }

@@ -28,7 +28,10 @@ pub struct ProfilingOptions {
 
 impl Default for ProfilingOptions {
     fn default() -> Self {
-        Self { accounting: EnergyAccounting::default(), seed: 0xC4215 }
+        Self {
+            accounting: EnergyAccounting::default(),
+            seed: 0xC4215,
+        }
     }
 }
 
@@ -73,7 +76,10 @@ impl<'a> Profiler<'a> {
         accounting: EnergyAccounting,
     ) -> Energy {
         if !offloaded {
-            return self.zoo.watch().energy_per_prediction(&model.workload_watch());
+            return self
+                .zoo
+                .watch()
+                .energy_per_prediction(&model.workload_watch());
         }
         let ble = self.zoo.ble();
         match accounting {
@@ -115,7 +121,12 @@ impl<'a> Profiler<'a> {
         windows: &[LabeledWindow],
         options: ProfilingOptions,
     ) -> Result<ConfigurationProfile, ChrisError> {
-        self.profile_with(configuration, windows, &OracleActivityClassifier::new(), options)
+        self.profile_with(
+            configuration,
+            windows,
+            &OracleActivityClassifier::new(),
+            options,
+        )
     }
 
     /// Profiles one configuration using an explicit activity classifier, so
@@ -136,9 +147,12 @@ impl<'a> Profiler<'a> {
         if windows.is_empty() {
             return Err(ChrisError::EmptyWorkload);
         }
-        let mut simple_est = self.zoo.calibrated_estimator(configuration.simple, options.seed);
-        let mut complex_est =
-            self.zoo.calibrated_estimator(configuration.complex, options.seed.wrapping_add(1));
+        let mut simple_est = self
+            .zoo
+            .calibrated_estimator(configuration.simple, options.seed);
+        let mut complex_est = self
+            .zoo
+            .calibrated_estimator(configuration.complex, options.seed.wrapping_add(1));
 
         let mut errors = ErrorAccumulator::new();
         let mut watch_energy = Energy::ZERO;
@@ -210,11 +224,14 @@ impl<'a> Profiler<'a> {
             .into_iter()
             .map(|c| self.profile_with(c, windows, classifier, options))
             .collect::<Result<_, _>>()?;
+        // Same NaN-safe ordering as `DecisionEngine::new`, which re-sorts the
+        // table it is given: keep the two in lockstep so direct consumers of
+        // this table see the same order the engine stores.
         table.sort_by(|a, b| {
             a.watch_energy
-                .partial_cmp(&b.watch_energy)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.mae_bpm.partial_cmp(&b.mae_bpm).unwrap_or(std::cmp::Ordering::Equal))
+                .as_microjoules()
+                .total_cmp(&b.watch_energy.as_microjoules())
+                .then(a.mae_bpm.total_cmp(&b.mae_bpm))
         });
         Ok(table)
     }
@@ -236,15 +253,31 @@ mod tests {
             .windows()
     }
 
-    fn config(simple: ModelKind, complex: ModelKind, thr: u8, target: ExecutionTarget) -> Configuration {
-        Configuration::new(simple, complex, DifficultyThreshold::new(thr).unwrap(), target).unwrap()
+    fn config(
+        simple: ModelKind,
+        complex: ModelKind,
+        thr: u8,
+        target: ExecutionTarget,
+    ) -> Configuration {
+        Configuration::new(
+            simple,
+            complex,
+            DifficultyThreshold::new(thr).unwrap(),
+            target,
+        )
+        .unwrap()
     }
 
     #[test]
     fn empty_windows_are_rejected() {
         let zoo = ModelZoo::paper_setup();
         let profiler = Profiler::new(&zoo);
-        let c = config(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 5, ExecutionTarget::Hybrid);
+        let c = config(
+            ModelKind::AdaptiveThreshold,
+            ModelKind::TimePpgBig,
+            5,
+            ExecutionTarget::Hybrid,
+        );
         assert!(matches!(
             profiler.profile(c, &[], ProfilingOptions::default()),
             Err(ChrisError::EmptyWorkload)
@@ -256,8 +289,15 @@ mod tests {
         let zoo = ModelZoo::paper_setup();
         let profiler = Profiler::new(&zoo);
         let ws = windows();
-        let c = config(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 9, ExecutionTarget::Local);
-        let p = profiler.profile(c, &ws, ProfilingOptions::default()).unwrap();
+        let c = config(
+            ModelKind::AdaptiveThreshold,
+            ModelKind::TimePpgBig,
+            9,
+            ExecutionTarget::Local,
+        );
+        let p = profiler
+            .profile(c, &ws, ProfilingOptions::default())
+            .unwrap();
         assert_eq!(p.simple_fraction, 1.0);
         assert_eq!(p.offload_fraction, 0.0);
         assert_eq!(p.phone_energy, Energy::ZERO);
@@ -272,11 +312,21 @@ mod tests {
         let zoo = ModelZoo::paper_setup();
         let profiler = Profiler::new(&zoo);
         let ws = windows();
-        let c = config(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 0, ExecutionTarget::Hybrid);
-        let p = profiler.profile(c, &ws, ProfilingOptions::default()).unwrap();
+        let c = config(
+            ModelKind::AdaptiveThreshold,
+            ModelKind::TimePpgBig,
+            0,
+            ExecutionTarget::Hybrid,
+        );
+        let p = profiler
+            .profile(c, &ws, ProfilingOptions::default())
+            .unwrap();
         assert_eq!(p.offload_fraction, 1.0);
         assert_eq!(p.simple_fraction, 0.0);
-        assert!(p.phone_energy.as_millijoules() > 20.0, "Big on phone per prediction");
+        assert!(
+            p.phone_energy.as_millijoules() > 20.0,
+            "Big on phone per prediction"
+        );
         // With the BleOnly accounting, each offloaded window costs ~0.52 mJ.
         assert!((p.watch_energy.as_millijoules() - 0.52).abs() < 0.01);
     }
@@ -286,22 +336,39 @@ mod tests {
         let zoo = ModelZoo::paper_setup();
         let profiler = Profiler::new(&zoo);
         let ws = windows();
-        let c = config(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 4, ExecutionTarget::Hybrid);
-        let p = profiler.profile(c, &ws, ProfilingOptions::default()).unwrap();
+        let c = config(
+            ModelKind::AdaptiveThreshold,
+            ModelKind::TimePpgBig,
+            4,
+            ExecutionTarget::Hybrid,
+        );
+        let p = profiler
+            .profile(c, &ws, ProfilingOptions::default())
+            .unwrap();
         // With equal activity representation, 4/9 of windows are easy.
         assert!((p.simple_fraction - 4.0 / 9.0).abs() < 0.05);
         assert!((p.offload_fraction - 5.0 / 9.0).abs() < 0.05);
         // Energy sits between the two extremes.
         let at_only = profiler
             .profile(
-                config(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 9, ExecutionTarget::Hybrid),
+                config(
+                    ModelKind::AdaptiveThreshold,
+                    ModelKind::TimePpgBig,
+                    9,
+                    ExecutionTarget::Hybrid,
+                ),
                 &ws,
                 ProfilingOptions::default(),
             )
             .unwrap();
         let big_only = profiler
             .profile(
-                config(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 0, ExecutionTarget::Hybrid),
+                config(
+                    ModelKind::AdaptiveThreshold,
+                    ModelKind::TimePpgBig,
+                    0,
+                    ExecutionTarget::Hybrid,
+                ),
                 &ws,
                 ProfilingOptions::default(),
             )
@@ -317,10 +384,24 @@ mod tests {
         let zoo = ModelZoo::paper_setup();
         let profiler = Profiler::new(&zoo);
         let ws = windows();
-        let local = config(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 0, ExecutionTarget::Local);
-        let hybrid = config(ModelKind::AdaptiveThreshold, ModelKind::TimePpgBig, 0, ExecutionTarget::Hybrid);
-        let p_local = profiler.profile(local, &ws, ProfilingOptions::default()).unwrap();
-        let p_hybrid = profiler.profile(hybrid, &ws, ProfilingOptions::default()).unwrap();
+        let local = config(
+            ModelKind::AdaptiveThreshold,
+            ModelKind::TimePpgBig,
+            0,
+            ExecutionTarget::Local,
+        );
+        let hybrid = config(
+            ModelKind::AdaptiveThreshold,
+            ModelKind::TimePpgBig,
+            0,
+            ExecutionTarget::Hybrid,
+        );
+        let p_local = profiler
+            .profile(local, &ws, ProfilingOptions::default())
+            .unwrap();
+        let p_hybrid = profiler
+            .profile(hybrid, &ws, ProfilingOptions::default())
+            .unwrap();
         assert!(
             p_local.watch_energy.as_millijoules() > p_hybrid.watch_energy.as_millijoules() * 10.0,
             "local Big should dwarf offloaded Big on the watch"
@@ -331,17 +412,28 @@ mod tests {
     fn accounting_modes_order_offload_cost() {
         let zoo = ModelZoo::paper_setup();
         let profiler = Profiler::new(&zoo);
-        let ble_only = profiler.window_watch_energy(ModelKind::TimePpgBig, true, EnergyAccounting::BleOnly);
-        let with_sleep =
-            profiler.window_watch_energy(ModelKind::TimePpgBig, true, EnergyAccounting::BleWithSleep);
-        let incremental = profiler
-            .window_watch_energy(ModelKind::TimePpgBig, true, EnergyAccounting::IncrementalPayload);
+        let ble_only =
+            profiler.window_watch_energy(ModelKind::TimePpgBig, true, EnergyAccounting::BleOnly);
+        let with_sleep = profiler.window_watch_energy(
+            ModelKind::TimePpgBig,
+            true,
+            EnergyAccounting::BleWithSleep,
+        );
+        let incremental = profiler.window_watch_energy(
+            ModelKind::TimePpgBig,
+            true,
+            EnergyAccounting::IncrementalPayload,
+        );
         assert!(with_sleep > ble_only);
         assert!(incremental < ble_only + Energy::from_millijoules(0.2));
         // Local energy is independent of the accounting mode.
-        let local_a = profiler.window_watch_energy(ModelKind::TimePpgSmall, false, EnergyAccounting::BleOnly);
-        let local_b =
-            profiler.window_watch_energy(ModelKind::TimePpgSmall, false, EnergyAccounting::BleWithSleep);
+        let local_a =
+            profiler.window_watch_energy(ModelKind::TimePpgSmall, false, EnergyAccounting::BleOnly);
+        let local_b = profiler.window_watch_energy(
+            ModelKind::TimePpgSmall,
+            false,
+            EnergyAccounting::BleWithSleep,
+        );
         assert_eq!(local_a, local_b);
     }
 
@@ -350,7 +442,9 @@ mod tests {
         let zoo = ModelZoo::paper_setup();
         let profiler = Profiler::new(&zoo);
         let ws = windows();
-        let table = profiler.profile_all(&ws, ProfilingOptions::default()).unwrap();
+        let table = profiler
+            .profile_all(&ws, ProfilingOptions::default())
+            .unwrap();
         assert_eq!(table.len(), 60);
         for pair in table.windows(2) {
             assert!(pair[0].watch_energy <= pair[1].watch_energy);
@@ -369,9 +463,18 @@ mod tests {
         let zoo = ModelZoo::paper_setup();
         let profiler = Profiler::new(&zoo);
         let ws = windows();
-        let c = config(ModelKind::AdaptiveThreshold, ModelKind::TimePpgSmall, 5, ExecutionTarget::Hybrid);
-        let a = profiler.profile(c, &ws, ProfilingOptions::default()).unwrap();
-        let b = profiler.profile(c, &ws, ProfilingOptions::default()).unwrap();
+        let c = config(
+            ModelKind::AdaptiveThreshold,
+            ModelKind::TimePpgSmall,
+            5,
+            ExecutionTarget::Hybrid,
+        );
+        let a = profiler
+            .profile(c, &ws, ProfilingOptions::default())
+            .unwrap();
+        let b = profiler
+            .profile(c, &ws, ProfilingOptions::default())
+            .unwrap();
         assert_eq!(a, b);
     }
 }

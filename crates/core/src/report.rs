@@ -66,14 +66,21 @@ impl RunReport {
 
     /// Records usage of a configuration for `count` windows.
     pub(crate) fn record_configuration(&mut self, configuration: &Configuration, count: usize) {
-        *self.configuration_usage.entry(configuration.label()).or_insert(0) += count;
+        *self
+            .configuration_usage
+            .entry(configuration.label())
+            .or_insert(0) += count;
     }
 }
 
 impl std::fmt::Display for RunReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "CHRIS run over {} windows", self.windows)?;
-        writeln!(f, "  MAE                 : {:.2} BPM (RMSE {:.2})", self.mae_bpm, self.rmse_bpm)?;
+        writeln!(
+            f,
+            "  MAE                 : {:.2} BPM (RMSE {:.2})",
+            self.mae_bpm, self.rmse_bpm
+        )?;
         writeln!(
             f,
             "  smartwatch energy   : {} per prediction ({} total, {:.3} mW average)",
@@ -81,7 +88,11 @@ impl std::fmt::Display for RunReport {
             self.total_watch_energy,
             self.avg_watch_power().as_milliwatts()
         )?;
-        writeln!(f, "  phone energy        : {} per prediction", self.avg_phone_energy)?;
+        writeln!(
+            f,
+            "  phone energy        : {} per prediction",
+            self.avg_phone_energy
+        )?;
         writeln!(
             f,
             "  offloaded / simple  : {:.1} % / {:.1} % of windows",
@@ -161,7 +172,10 @@ mod tests {
         .unwrap();
         r.record_configuration(&config, 30);
         r.record_configuration(&config, 20);
-        assert_eq!(r.dominant_configuration(), Some((config.label().as_str(), 50)).map(|(l, c)| (l, c)));
+        assert_eq!(
+            r.dominant_configuration(),
+            Some((config.label().as_str(), 50))
+        );
     }
 
     #[test]

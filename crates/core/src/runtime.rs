@@ -45,11 +45,19 @@ pub struct RuntimeOptions {
 
 impl Default for RuntimeOptions {
     fn default() -> Self {
-        Self { accounting: EnergyAccounting::default(), seed: 0xC4215, classifier_energy: Energy::ZERO }
+        Self {
+            accounting: EnergyAccounting::default(),
+            seed: 0xC4215,
+            classifier_energy: Energy::ZERO,
+        }
     }
 }
 
 /// The CHRIS runtime simulator.
+///
+/// A runtime is cheap to construct from clones of a shared [`ModelZoo`] and
+/// [`DecisionEngine`] and is `Send`, so fleet-scale simulators can build one
+/// per device inside worker threads (see the `fleet` crate).
 pub struct ChrisRuntime {
     zoo: ModelZoo,
     engine: DecisionEngine,
@@ -57,6 +65,14 @@ pub struct ChrisRuntime {
     estimators: BTreeMap<ModelKind, Box<dyn HrEstimator>>,
     options: RuntimeOptions,
 }
+
+// Parallel executors move runtimes across threads; a non-`Send` classifier
+// or estimator sneaking into the trait objects must fail to compile here,
+// not in downstream crates.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ChrisRuntime>()
+};
 
 impl std::fmt::Debug for ChrisRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -72,7 +88,12 @@ impl ChrisRuntime {
     /// Creates a runtime with the oracle activity classifier (no
     /// misprediction effects).
     pub fn new(zoo: ModelZoo, engine: DecisionEngine, options: RuntimeOptions) -> Self {
-        Self::with_classifier(zoo, engine, Box::new(OracleActivityClassifier::new()), options)
+        Self::with_classifier(
+            zoo,
+            engine,
+            Box::new(OracleActivityClassifier::new()),
+            options,
+        )
     }
 
     /// Creates a runtime with an explicit activity classifier (for example a
@@ -85,9 +106,20 @@ impl ChrisRuntime {
     ) -> Self {
         let estimators: BTreeMap<ModelKind, Box<dyn HrEstimator>> = ModelKind::ALL
             .iter()
-            .map(|&kind| (kind, zoo.calibrated_estimator(kind, options.seed ^ kind as u64)))
+            .map(|&kind| {
+                (
+                    kind,
+                    zoo.calibrated_estimator(kind, options.seed ^ kind as u64),
+                )
+            })
             .collect();
-        Self { zoo, engine, classifier, estimators, options }
+        Self {
+            zoo,
+            engine,
+            classifier,
+            estimators,
+            options,
+        }
     }
 
     /// The decision engine backing this runtime.
@@ -161,7 +193,11 @@ impl ChrisRuntime {
 
             // Energy accounting for this window.
             if self.options.classifier_energy > Energy::ZERO {
-                trace.push(PowerState::Acquire, TimeSpan::ZERO, self.options.classifier_energy);
+                trace.push(
+                    PowerState::Acquire,
+                    TimeSpan::ZERO,
+                    self.options.classifier_energy,
+                );
             }
             if offload {
                 offloaded += 1;
@@ -228,7 +264,11 @@ mod tests {
     fn engine_for(windows: &[LabeledWindow]) -> DecisionEngine {
         let zoo = ModelZoo::paper_setup();
         let profiler = Profiler::new(&zoo);
-        DecisionEngine::new(profiler.profile_all(windows, ProfilingOptions::default()).unwrap())
+        DecisionEngine::new(
+            profiler
+                .profile_all(windows, ProfilingOptions::default())
+                .unwrap(),
+        )
     }
 
     #[test]
@@ -238,7 +278,11 @@ mod tests {
         let mut runtime =
             ChrisRuntime::new(ModelZoo::paper_setup(), engine, RuntimeOptions::default());
         assert!(matches!(
-            runtime.run(&[], &UserConstraint::MaxMae(6.0), &ConnectionSchedule::AlwaysConnected),
+            runtime.run(
+                &[],
+                &UserConstraint::MaxMae(6.0),
+                &ConnectionSchedule::AlwaysConnected
+            ),
             Err(ChrisError::EmptyWorkload)
         ));
     }
@@ -268,13 +312,20 @@ mod tests {
         let mut runtime =
             ChrisRuntime::new(ModelZoo::paper_setup(), engine, RuntimeOptions::default());
         let report = runtime
-            .run(&windows, &UserConstraint::MaxMae(5.6), &ConnectionSchedule::AlwaysConnected)
+            .run(
+                &windows,
+                &UserConstraint::MaxMae(5.6),
+                &ConnectionSchedule::AlwaysConnected,
+            )
             .unwrap();
         // On the data it was profiled on, the selected configuration should
         // come close to its profiled MAE (different RNG streams shift it a bit).
         assert!(report.mae_bpm < 6.5, "MAE {}", report.mae_bpm);
         assert_eq!(report.windows, windows.len());
-        assert!(report.offload_fraction > 0.0, "a 5.6 BPM target requires offloading");
+        assert!(
+            report.offload_fraction > 0.0,
+            "a 5.6 BPM target requires offloading"
+        );
         // Much cheaper than running TimePPG-Small locally (0.735 mJ).
         assert!(report.avg_watch_energy.as_millijoules() < 0.735);
     }
@@ -287,7 +338,11 @@ mod tests {
             ChrisRuntime::new(ModelZoo::paper_setup(), engine, RuntimeOptions::default());
         let budget = Energy::from_millijoules(0.30);
         let report = runtime
-            .run(&windows, &UserConstraint::MaxEnergy(budget), &ConnectionSchedule::AlwaysConnected)
+            .run(
+                &windows,
+                &UserConstraint::MaxEnergy(budget),
+                &ConnectionSchedule::AlwaysConnected,
+            )
             .unwrap();
         assert!(
             report.avg_watch_energy.as_millijoules() <= 0.30 * 1.1,
@@ -303,7 +358,11 @@ mod tests {
         let mut runtime =
             ChrisRuntime::new(ModelZoo::paper_setup(), engine, RuntimeOptions::default());
         let report = runtime
-            .run(&windows, &UserConstraint::MaxMae(5.6), &ConnectionSchedule::NeverConnected)
+            .run(
+                &windows,
+                &UserConstraint::MaxMae(5.6),
+                &ConnectionSchedule::NeverConnected,
+            )
             .unwrap();
         assert_eq!(report.offload_fraction, 0.0);
         assert_eq!(report.disconnected_fraction, 1.0);
@@ -321,11 +380,15 @@ mod tests {
         let mut runtime =
             ChrisRuntime::new(ModelZoo::paper_setup(), engine, RuntimeOptions::default());
         let schedule = ConnectionSchedule::DutyCycle { up: 3, down: 1 };
-        let report =
-            runtime.run(&windows, &UserConstraint::MaxMae(5.6), &schedule).unwrap();
+        let report = runtime
+            .run(&windows, &UserConstraint::MaxMae(5.6), &schedule)
+            .unwrap();
         assert!((report.disconnected_fraction - 0.25).abs() < 0.05);
         assert!(report.offload_fraction > 0.0);
-        assert!(report.configuration_usage.len() >= 2, "link drops should switch configurations");
+        assert!(
+            report.configuration_usage.len() >= 2,
+            "link drops should switch configurations"
+        );
     }
 
     #[test]
@@ -335,7 +398,11 @@ mod tests {
         let mut runtime =
             ChrisRuntime::new(ModelZoo::paper_setup(), engine, RuntimeOptions::default());
         let report = runtime
-            .run(&windows, &UserConstraint::MaxMae(5.6), &ConnectionSchedule::AlwaysConnected)
+            .run(
+                &windows,
+                &UserConstraint::MaxMae(5.6),
+                &ConnectionSchedule::AlwaysConnected,
+            )
             .unwrap();
         assert!(report.watch_energy_breakdown.contains_key("compute"));
         assert!(report.watch_energy_breakdown.contains_key("radio_tx"));
@@ -372,10 +439,12 @@ mod tests {
             RuntimeOptions::default(),
         );
         let constraint = UserConstraint::MaxMae(5.6);
-        let oracle_report =
-            oracle_rt.run(&test, &constraint, &ConnectionSchedule::AlwaysConnected).unwrap();
-        let rf_report =
-            rf_rt.run(&test, &constraint, &ConnectionSchedule::AlwaysConnected).unwrap();
+        let oracle_report = oracle_rt
+            .run(&test, &constraint, &ConnectionSchedule::AlwaysConnected)
+            .unwrap();
+        let rf_report = rf_rt
+            .run(&test, &constraint, &ConnectionSchedule::AlwaysConnected)
+            .unwrap();
         assert!(
             (oracle_report.mae_bpm - rf_report.mae_bpm).abs() < 1.0,
             "oracle {} vs rf {}",
@@ -405,10 +474,17 @@ mod tests {
             },
         );
         let constraint = UserConstraint::MaxMae(8.0);
-        let a = base.run(&windows, &constraint, &ConnectionSchedule::AlwaysConnected).unwrap();
-        let b = costly.run(&windows, &constraint, &ConnectionSchedule::AlwaysConnected).unwrap();
+        let a = base
+            .run(&windows, &constraint, &ConnectionSchedule::AlwaysConnected)
+            .unwrap();
+        let b = costly
+            .run(&windows, &constraint, &ConnectionSchedule::AlwaysConnected)
+            .unwrap();
         let delta = b.avg_watch_energy.as_microjoules() - a.avg_watch_energy.as_microjoules();
-        assert!((delta - 50.0).abs() < 1.0, "classifier energy should add ~50 uJ, added {delta}");
+        assert!(
+            (delta - 50.0).abs() < 1.0,
+            "classifier energy should add ~50 uJ, added {delta}"
+        );
     }
 
     #[test]

@@ -16,7 +16,9 @@ fn engine() -> (ModelZoo, DecisionEngine) {
         .windows();
     let zoo = ModelZoo::paper_setup();
     let profiler = Profiler::new(&zoo);
-    let table = profiler.profile_all(&windows, ProfilingOptions::default()).unwrap();
+    let table = profiler
+        .profile_all(&windows, ProfilingOptions::default())
+        .unwrap();
     (zoo, DecisionEngine::new(table))
 }
 
@@ -32,7 +34,11 @@ fn profile_table_round_trips_through_json() {
     for mae in [5.0f32, 5.6, 7.2, 12.0] {
         let a = engine.select(&UserConstraint::MaxMae(mae), ConnectionStatus::Connected);
         let b = rebuilt.select(&UserConstraint::MaxMae(mae), ConnectionStatus::Connected);
-        assert_eq!(a.map(|p| p.configuration), b.map(|p| p.configuration), "MAE {mae}");
+        assert_eq!(
+            a.map(|p| p.configuration),
+            b.map(|p| p.configuration),
+            "MAE {mae}"
+        );
     }
 }
 
@@ -60,7 +66,11 @@ fn run_report_round_trips_through_json() {
         .windows();
     let mut runtime = ChrisRuntime::new(zoo, engine, RuntimeOptions::default());
     let report = runtime
-        .run(&windows, &UserConstraint::MaxMae(6.0), &ConnectionSchedule::DutyCycle { up: 3, down: 1 })
+        .run(
+            &windows,
+            &UserConstraint::MaxMae(6.0),
+            &ConnectionSchedule::DutyCycle { up: 3, down: 1 },
+        )
         .unwrap();
     let json = serde_json::to_string(&report).unwrap();
     let restored: RunReport = serde_json::from_str(&json).unwrap();
@@ -86,9 +96,16 @@ fn run_report_round_trips_through_json() {
 #[test]
 fn configuration_labels_are_stable_identifiers() {
     let (_, engine) = engine();
-    let mut labels: Vec<String> =
-        engine.profiles().iter().map(|p| p.configuration.label()).collect();
+    let mut labels: Vec<String> = engine
+        .profiles()
+        .iter()
+        .map(|p| p.configuration.label())
+        .collect();
     labels.sort();
     labels.dedup();
-    assert_eq!(labels.len(), 60, "labels must uniquely identify configurations");
+    assert_eq!(
+        labels.len(),
+        60,
+        "labels must uniquely identify configurations"
+    );
 }

@@ -1,0 +1,101 @@
+//! Error type for fleet simulation.
+
+use std::fmt;
+
+/// Errors produced while generating scenarios or running a fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// The fleet has no devices.
+    EmptyFleet,
+    /// A device simulation failed; carries the offending device id.
+    Device {
+        /// Id of the device whose simulation failed.
+        device_id: u64,
+        /// The underlying error.
+        source: Box<FleetError>,
+    },
+    /// Scenario data generation failed.
+    Data(ppg_data::DataError),
+    /// Profiling or runtime machinery failed outside any specific device.
+    Chris(chris_core::ChrisError),
+    /// Hardware modelling failed (battery construction, BLE).
+    Hardware(hw_sim::HwError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::EmptyFleet => write!(f, "the fleet has no devices"),
+            FleetError::Device { device_id, source } => {
+                write!(f, "device {device_id} failed: {source}")
+            }
+            FleetError::Data(e) => write!(f, "scenario data error: {e}"),
+            FleetError::Chris(e) => write!(f, "runtime error: {e}"),
+            FleetError::Hardware(e) => write!(f, "hardware error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Device { source, .. } => Some(source),
+            FleetError::Data(e) => Some(e),
+            FleetError::Chris(e) => Some(e),
+            FleetError::Hardware(e) => Some(e),
+            FleetError::EmptyFleet => None,
+        }
+    }
+}
+
+impl FleetError {
+    /// Attaches a device id to an error raised while simulating that device.
+    pub fn for_device(device_id: u64, source: FleetError) -> Self {
+        FleetError::Device {
+            device_id,
+            source: Box::new(source),
+        }
+    }
+}
+
+impl From<ppg_data::DataError> for FleetError {
+    fn from(e: ppg_data::DataError) -> Self {
+        FleetError::Data(e)
+    }
+}
+
+impl From<chris_core::ChrisError> for FleetError {
+    fn from(e: chris_core::ChrisError) -> Self {
+        FleetError::Chris(e)
+    }
+}
+
+impl From<hw_sim::HwError> for FleetError {
+    fn from(e: hw_sim::HwError) -> Self {
+        FleetError::Hardware(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        assert!(FleetError::EmptyFleet.to_string().contains("no devices"));
+        let e = FleetError::for_device(7, chris_core::ChrisError::EmptyWorkload.into());
+        assert!(e.to_string().contains("device 7"));
+        assert!(e.source().is_some());
+        let e = FleetError::for_device(3, hw_sim::HwError::LinkDown.into());
+        assert!(e.to_string().contains("device 3"));
+        let e: FleetError = hw_sim::HwError::LinkDown.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FleetError>();
+    }
+}

@@ -1,0 +1,273 @@
+//! Parallel fleet execution over std scoped threads.
+//!
+//! Devices are distributed through a shared atomic cursor over fixed-size
+//! chunks — a minimal work-stealing queue: fast workers simply claim more
+//! chunks. Every device simulation is a pure function of its scenario and
+//! the shared (read-only) zoo + decision engine, and results are merged in
+//! device order afterwards, so the output is byte-identical for any thread
+//! count and any scheduling interleaving.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use chris_core::runtime::{ChrisRuntime, RuntimeOptions};
+use chris_core::DecisionEngine;
+use hw_sim::battery::{Battery, HWATCH_BATTERY_VOLTAGE, HWATCH_CONVERTER_EFFICIENCY};
+use ppg_models::zoo::ModelZoo;
+
+use crate::error::FleetError;
+use crate::report::DeviceReport;
+use crate::scenario::DeviceScenario;
+
+/// Upper bound on the projected battery life, in hours (≈11 years). Keeps
+/// the distribution finite for pathological near-zero average power.
+pub const BATTERY_LIFE_CAP_HOURS: f64 = 100_000.0;
+
+/// Knobs of the parallel executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorOptions {
+    /// Worker thread count; `0` means one worker per available core.
+    pub threads: usize,
+    /// Devices claimed per queue pop. Larger chunks amortize contention,
+    /// smaller chunks balance better when device workloads differ.
+    pub chunk_size: usize,
+}
+
+impl Default for ExecutorOptions {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            chunk_size: 8,
+        }
+    }
+}
+
+impl ExecutorOptions {
+    fn effective_threads(&self, devices: usize) -> usize {
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.threads
+        };
+        requested.clamp(1, devices.max(1))
+    }
+}
+
+/// Simulates one device: synthesizes its recording, runs CHRIS under its
+/// constraint and schedule, and projects battery life.
+///
+/// Each call owns a fresh [`ChrisRuntime`] built from clones of the shared
+/// zoo and engine, which is what lets workers run devices concurrently
+/// without sharing mutable state.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Device`], carrying the device id, when data
+/// synthesis, the runtime or the battery model fails for this device.
+pub fn simulate_device(
+    scenario: &DeviceScenario,
+    zoo: &ModelZoo,
+    engine: &DecisionEngine,
+) -> Result<DeviceReport, FleetError> {
+    let for_device = |e: FleetError| FleetError::for_device(scenario.device_id, e);
+    let windows = scenario.windows().map_err(|e| for_device(e.into()))?;
+    let options = RuntimeOptions {
+        accounting: scenario.accounting,
+        seed: scenario.dataset_seed,
+        ..RuntimeOptions::default()
+    };
+    let mut runtime = ChrisRuntime::new(zoo.clone(), engine.clone(), options);
+    let run = runtime
+        .run(&windows, &scenario.constraint, &scenario.schedule)
+        .map_err(|e| for_device(e.into()))?;
+
+    let battery = Battery::new(
+        scenario.battery_capacity_mah,
+        HWATCH_BATTERY_VOLTAGE,
+        HWATCH_CONVERTER_EFFICIENCY,
+    )
+    .map_err(|e| for_device(e.into()))?;
+    let battery_life_hours =
+        (battery.lifetime(run.avg_watch_power()).as_seconds() / 3600.0).min(BATTERY_LIFE_CAP_HOURS);
+
+    let constraint_violated = match scenario.constraint {
+        chris_core::UserConstraint::MaxMae(target) => run.mae_bpm > target,
+        chris_core::UserConstraint::MaxEnergy(budget) => run.avg_watch_energy > budget,
+    };
+
+    Ok(DeviceReport {
+        device_id: scenario.device_id,
+        windows: run.windows,
+        mae_bpm: run.mae_bpm,
+        avg_watch_energy: run.avg_watch_energy,
+        avg_phone_energy: run.avg_phone_energy,
+        offload_fraction: run.offload_fraction,
+        simple_fraction: run.simple_fraction,
+        disconnected_fraction: run.disconnected_fraction,
+        battery_life_hours,
+        constraint: scenario.constraint,
+        accounting: scenario.accounting,
+        constraint_violated,
+    })
+}
+
+/// Runs every scenario and returns the device reports in device order.
+///
+/// # Errors
+///
+/// Returns [`FleetError::EmptyFleet`] for an empty scenario list; when
+/// multiple devices fail, the error of the lowest-indexed device is returned
+/// (deterministic for any thread count).
+pub fn run_fleet(
+    scenarios: &[DeviceScenario],
+    zoo: &ModelZoo,
+    engine: &DecisionEngine,
+    options: &ExecutorOptions,
+) -> Result<Vec<DeviceReport>, FleetError> {
+    if scenarios.is_empty() {
+        return Err(FleetError::EmptyFleet);
+    }
+    let threads = options.effective_threads(scenarios.len());
+    let chunk = options.chunk_size.max(1);
+
+    if threads == 1 {
+        return scenarios
+            .iter()
+            .map(|scenario| simulate_device(scenario, zoo, engine))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, Result<DeviceReport, FleetError>)>> =
+        Mutex::new(Vec::with_capacity(scenarios.len()));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= scenarios.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(scenarios.len());
+                    for (index, scenario) in scenarios[start..end].iter().enumerate() {
+                        local.push((start + index, simulate_device(scenario, zoo, engine)));
+                    }
+                }
+                collected
+                    .lock()
+                    .expect("no worker panics while holding the results lock")
+                    .extend(local);
+            });
+        }
+    });
+
+    let mut merged = collected
+        .into_inner()
+        .expect("all workers joined before the lock is consumed");
+    merged.sort_by_key(|&(index, _)| index);
+    debug_assert_eq!(merged.len(), scenarios.len());
+    merged.into_iter().map(|(_, result)| result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ScenarioGenerator, ScenarioMix};
+    use chris_core::{Profiler, ProfilingOptions};
+    use ppg_data::DatasetBuilder;
+
+    fn shared_engine(zoo: &ModelZoo) -> DecisionEngine {
+        let windows = DatasetBuilder::new()
+            .subjects(1)
+            .seconds_per_activity(16.0)
+            .seed(1)
+            .build()
+            .unwrap()
+            .windows();
+        let profiler = Profiler::new(zoo);
+        DecisionEngine::new(
+            profiler
+                .profile_all(&windows, ProfilingOptions::default())
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        let zoo = ModelZoo::paper_setup();
+        let engine = shared_engine(&zoo);
+        assert!(matches!(
+            run_fleet(&[], &zoo, &engine, &ExecutorOptions::default()),
+            Err(FleetError::EmptyFleet)
+        ));
+    }
+
+    #[test]
+    fn parallel_and_sequential_results_are_identical() {
+        let zoo = ModelZoo::paper_setup();
+        let engine = shared_engine(&zoo);
+        let scenarios = ScenarioGenerator::new(9, ScenarioMix::balanced()).scenarios(12);
+        let sequential = run_fleet(
+            &scenarios,
+            &zoo,
+            &engine,
+            &ExecutorOptions {
+                threads: 1,
+                chunk_size: 8,
+            },
+        )
+        .unwrap();
+        let parallel = run_fleet(
+            &scenarios,
+            &zoo,
+            &engine,
+            &ExecutorOptions {
+                threads: 4,
+                chunk_size: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.len(), 12);
+        for (i, report) in sequential.iter().enumerate() {
+            assert_eq!(report.device_id, i as u64);
+            assert!(report.windows > 0);
+        }
+    }
+
+    #[test]
+    fn battery_failure_reports_the_device_id() {
+        let zoo = ModelZoo::paper_setup();
+        let engine = shared_engine(&zoo);
+        let mut scenario = ScenarioGenerator::new(2, ScenarioMix::balanced()).scenario(41);
+        scenario.battery_capacity_mah = 0.0;
+        let err = simulate_device(&scenario, &zoo, &engine).unwrap_err();
+        assert!(
+            matches!(err, FleetError::Device { device_id: 41, .. }),
+            "expected a device-tagged error, got {err:?}"
+        );
+        assert!(err.to_string().contains("device 41"));
+    }
+
+    #[test]
+    fn offline_devices_never_offload() {
+        let zoo = ModelZoo::paper_setup();
+        let engine = shared_engine(&zoo);
+        let generator = ScenarioGenerator::new(21, ScenarioMix::harsh());
+        let scenarios: Vec<_> = (0..200)
+            .map(|id| generator.scenario(id))
+            .filter(|s| s.schedule == hw_sim::ble::ConnectionSchedule::NeverConnected)
+            .take(3)
+            .collect();
+        assert!(
+            !scenarios.is_empty(),
+            "harsh mix should produce offline devices"
+        );
+        for report in run_fleet(&scenarios, &zoo, &engine, &ExecutorOptions::default()).unwrap() {
+            assert_eq!(report.offload_fraction, 0.0);
+            assert_eq!(report.disconnected_fraction, 1.0);
+        }
+    }
+}

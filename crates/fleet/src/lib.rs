@@ -1,0 +1,145 @@
+//! # fleet — fleet-scale CHRIS simulation engine
+//!
+//! The paper evaluates CHRIS one device at a time. A production deployment
+//! serves *millions* of wearables whose subjects, activity mixes, BLE link
+//! quality, batteries and user constraints all differ. This crate simulates
+//! such a fleet: thousands of independent [`chris_core::ChrisRuntime`] device
+//! simulations run in parallel and are folded into population-level
+//! statistics — the quantities a fleet operator actually watches (error
+//! percentiles, battery-life distribution, offload load on phones,
+//! constraint-violation counts).
+//!
+//! The engine has three layers:
+//!
+//! * [`scenario`] — a deterministic scenario generator: from one master seed
+//!   it derives, per device id, the subject physiology (via `ppg-data`
+//!   synthesis), the activity schedule, the BLE connection pattern, the
+//!   battery capacity, the user constraint and the energy-accounting mode.
+//!   A device's scenario depends **only** on `(master seed, device id)`, so
+//!   fleets are reproducible and independent of execution order,
+//! * [`executor`] — a parallel executor: std scoped threads pull fixed-size
+//!   chunks of devices from a shared work queue (work stealing by atomic
+//!   cursor). Every device simulation is independent, and results are merged
+//!   in device-id order, so reports are **byte-identical for any thread
+//!   count**,
+//! * [`report`] — the aggregation layer: MAE percentiles (p50/p90/p99),
+//!   per-device energy and projected battery-life distributions, an
+//!   offload-fraction histogram and constraint-violation counts, all
+//!   serializable via serde.
+//!
+//! ## Example
+//!
+//! ```
+//! use fleet::{FleetSimulation, ScenarioMix};
+//!
+//! let simulation = FleetSimulation::new(42, ScenarioMix::balanced()).unwrap();
+//! let outcome = simulation.run(16, 4).unwrap();
+//! assert_eq!(outcome.report.devices, 16);
+//! // Identical regardless of thread count:
+//! assert_eq!(outcome.report, simulation.run(16, 1).unwrap().report);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod executor;
+pub mod report;
+pub mod scenario;
+
+pub use error::FleetError;
+pub use executor::{run_fleet, simulate_device, ExecutorOptions};
+pub use report::{DeviceReport, DistributionSummary, FleetReport, OFFLOAD_HISTOGRAM_BINS};
+pub use scenario::{DeviceScenario, ScenarioGenerator, ScenarioMix};
+
+use chris_core::{DecisionEngine, Profiler, ProfilingOptions};
+use ppg_data::DatasetBuilder;
+use ppg_models::zoo::ModelZoo;
+
+/// Result of a fleet run: the aggregate report plus the per-device reports
+/// (sorted by device id).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// Aggregate fleet statistics.
+    pub report: FleetReport,
+    /// Per-device results, ordered by device id.
+    pub devices: Vec<DeviceReport>,
+}
+
+/// High-level entry point tying the three layers together.
+///
+/// Profiles the 60 CHRIS configurations once on a profiling dataset derived
+/// from the master seed (the table every smartwatch ships with, as in the
+/// paper), then simulates any number of devices against that shared table.
+#[derive(Debug, Clone)]
+pub struct FleetSimulation {
+    generator: ScenarioGenerator,
+    zoo: ModelZoo,
+    engine: DecisionEngine,
+}
+
+impl FleetSimulation {
+    /// Number of subjects in the shared profiling dataset.
+    pub const PROFILING_SUBJECTS: usize = 2;
+    /// Seconds of recording per activity in the shared profiling dataset.
+    pub const PROFILING_SECONDS_PER_ACTIVITY: f32 = 24.0;
+
+    /// Creates a simulation for a master seed and a scenario mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError`] when profiling the configuration table fails.
+    pub fn new(master_seed: u64, mix: ScenarioMix) -> Result<Self, FleetError> {
+        let zoo = ModelZoo::paper_setup();
+        let profiling_windows = DatasetBuilder::new()
+            .subjects(Self::PROFILING_SUBJECTS)
+            .seconds_per_activity(Self::PROFILING_SECONDS_PER_ACTIVITY)
+            .seed(master_seed)
+            .build()?
+            .windows();
+        let profiler = Profiler::new(&zoo);
+        let table = profiler.profile_all(&profiling_windows, ProfilingOptions::default())?;
+        Ok(Self {
+            generator: ScenarioGenerator::new(master_seed, mix),
+            zoo,
+            engine: DecisionEngine::new(table),
+        })
+    }
+
+    /// The scenario generator backing this simulation.
+    pub fn generator(&self) -> &ScenarioGenerator {
+        &self.generator
+    }
+
+    /// The shared, profiled decision engine every simulated device runs.
+    pub fn engine(&self) -> &DecisionEngine {
+        &self.engine
+    }
+
+    /// The model zoo the shared table was profiled against (and that every
+    /// simulated device runs on).
+    pub fn zoo(&self) -> &ModelZoo {
+        &self.zoo
+    }
+
+    /// Simulates `devices` devices on `threads` worker threads (0 = one per
+    /// available core) and aggregates the results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError`] when the fleet is empty or any device
+    /// simulation fails.
+    pub fn run(&self, devices: u64, threads: usize) -> Result<FleetOutcome, FleetError> {
+        let scenarios = self.generator.scenarios(devices);
+        let options = ExecutorOptions {
+            threads,
+            ..ExecutorOptions::default()
+        };
+        let reports = run_fleet(&scenarios, &self.zoo, &self.engine, &options)?;
+        let report = FleetReport::from_devices(&reports);
+        Ok(FleetOutcome {
+            report,
+            devices: reports,
+        })
+    }
+}

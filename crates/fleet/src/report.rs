@@ -1,0 +1,326 @@
+//! Aggregate fleet reporting.
+//!
+//! [`DeviceReport`] is the distilled outcome of one device's run;
+//! [`FleetReport`] folds a fleet of them into the population statistics an
+//! operator watches: MAE percentiles, energy and projected battery-life
+//! distributions, the offload-fraction histogram (how much work the phones
+//! absorb) and constraint-violation counts. Aggregation iterates devices in
+//! id order with fixed-order floating-point reductions, so a fleet's report
+//! is byte-identical no matter how many threads produced the device reports.
+
+use std::collections::BTreeMap;
+
+use chris_core::config::EnergyAccounting;
+use chris_core::decision::UserConstraint;
+use hw_sim::units::Energy;
+use serde::{Deserialize, Serialize};
+
+/// Number of bins of the offload-fraction histogram (equal width over
+/// `[0, 1]`).
+pub const OFFLOAD_HISTOGRAM_BINS: usize = 10;
+
+/// Distilled outcome of one device's simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Device id within the fleet.
+    pub device_id: u64,
+    /// Number of windows the device processed.
+    pub windows: usize,
+    /// Realized MAE over the device's windows, in BPM.
+    pub mae_bpm: f32,
+    /// Average smartwatch energy per prediction.
+    pub avg_watch_energy: Energy,
+    /// Average phone energy per prediction.
+    pub avg_phone_energy: Energy,
+    /// Fraction of windows offloaded to the phone.
+    pub offload_fraction: f32,
+    /// Fraction of windows handled by the simple model.
+    pub simple_fraction: f32,
+    /// Fraction of windows processed while the link was down.
+    pub disconnected_fraction: f32,
+    /// Projected battery life at the device's average power, in hours.
+    pub battery_life_hours: f64,
+    /// The constraint the device ran under.
+    pub constraint: UserConstraint,
+    /// The energy accounting the device ran under.
+    pub accounting: EnergyAccounting,
+    /// Whether the realized MAE/energy exceeded the (soft) constraint.
+    pub constraint_violated: bool,
+}
+
+/// Order statistics of one per-device quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistributionSummary {
+    /// Smallest value.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+impl DistributionSummary {
+    /// Summarizes a non-empty sample; `None` for an empty one.
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = |p: f64| -> f64 {
+            // Nearest-rank percentile on the sorted sample.
+            let index = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            sorted[index.min(sorted.len() - 1)]
+        };
+        Some(Self {
+            min: sorted[0],
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+            p50: rank(50.0),
+            p90: rank(90.0),
+            p99: rank(99.0),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+}
+
+/// Population-level statistics of one fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Number of simulated devices.
+    pub devices: usize,
+    /// Total windows processed across the fleet.
+    pub total_windows: usize,
+    /// Distribution of per-device MAE, in BPM.
+    pub mae_bpm: DistributionSummary,
+    /// Distribution of per-device average smartwatch energy, in µJ per
+    /// prediction.
+    pub watch_energy_uj: DistributionSummary,
+    /// Distribution of per-device projected battery life, in hours.
+    pub battery_life_hours: DistributionSummary,
+    /// Histogram of per-device offload fractions over
+    /// [`OFFLOAD_HISTOGRAM_BINS`] equal-width bins spanning `[0, 1]`.
+    pub offload_histogram: Vec<usize>,
+    /// Window-weighted share of all fleet windows that were offloaded.
+    pub offloaded_window_share: f64,
+    /// Window-weighted share of all fleet windows with the link down.
+    pub disconnected_window_share: f64,
+    /// Average phone energy among devices that offloaded at least one
+    /// window, in µJ per prediction (zero when no device offloads).
+    pub avg_phone_energy_uj: f64,
+    /// Devices whose realized behaviour exceeded their soft constraint.
+    pub constraint_violations: usize,
+    /// Device counts by constraint kind (`"max_mae"` / `"max_energy"`).
+    pub constraint_mix: BTreeMap<String, usize>,
+    /// Device counts by energy-accounting mode.
+    pub accounting_mix: BTreeMap<String, usize>,
+}
+
+impl FleetReport {
+    /// Aggregates device reports (assumed sorted by device id, as produced by
+    /// the executor). Returns an all-zero report for an empty slice.
+    pub fn from_devices(devices: &[DeviceReport]) -> Self {
+        let empty = DistributionSummary {
+            min: 0.0,
+            mean: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            max: 0.0,
+        };
+        let mut report = Self {
+            devices: devices.len(),
+            total_windows: 0,
+            mae_bpm: empty,
+            watch_energy_uj: empty,
+            battery_life_hours: empty,
+            offload_histogram: vec![0; OFFLOAD_HISTOGRAM_BINS],
+            offloaded_window_share: 0.0,
+            disconnected_window_share: 0.0,
+            avg_phone_energy_uj: 0.0,
+            constraint_violations: 0,
+            constraint_mix: BTreeMap::new(),
+            accounting_mix: BTreeMap::new(),
+        };
+        if devices.is_empty() {
+            return report;
+        }
+
+        let maes: Vec<f64> = devices.iter().map(|d| f64::from(d.mae_bpm)).collect();
+        let energies: Vec<f64> = devices
+            .iter()
+            .map(|d| d.avg_watch_energy.as_microjoules())
+            .collect();
+        let lives: Vec<f64> = devices.iter().map(|d| d.battery_life_hours).collect();
+        report.mae_bpm = DistributionSummary::from_values(&maes).unwrap_or(empty);
+        report.watch_energy_uj = DistributionSummary::from_values(&energies).unwrap_or(empty);
+        report.battery_life_hours = DistributionSummary::from_values(&lives).unwrap_or(empty);
+
+        let mut offloaded_windows = 0.0f64;
+        let mut disconnected_windows = 0.0f64;
+        let mut phone_energy_sum = 0.0f64;
+        let mut offloading_devices = 0usize;
+        for device in devices {
+            report.total_windows += device.windows;
+            offloaded_windows += f64::from(device.offload_fraction) * device.windows as f64;
+            disconnected_windows += f64::from(device.disconnected_fraction) * device.windows as f64;
+            if device.offload_fraction > 0.0 {
+                offloading_devices += 1;
+                phone_energy_sum += device.avg_phone_energy.as_microjoules();
+            }
+            let bin = ((f64::from(device.offload_fraction) * OFFLOAD_HISTOGRAM_BINS as f64)
+                as usize)
+                .min(OFFLOAD_HISTOGRAM_BINS - 1);
+            report.offload_histogram[bin] += 1;
+            if device.constraint_violated {
+                report.constraint_violations += 1;
+            }
+            let constraint_key = match device.constraint {
+                UserConstraint::MaxMae(_) => "max_mae",
+                UserConstraint::MaxEnergy(_) => "max_energy",
+            };
+            *report
+                .constraint_mix
+                .entry(constraint_key.to_string())
+                .or_insert(0) += 1;
+            *report
+                .accounting_mix
+                .entry(format!("{:?}", device.accounting))
+                .or_insert(0) += 1;
+        }
+        if report.total_windows > 0 {
+            report.offloaded_window_share = offloaded_windows / report.total_windows as f64;
+            report.disconnected_window_share = disconnected_windows / report.total_windows as f64;
+        }
+        if offloading_devices > 0 {
+            report.avg_phone_energy_uj = phone_energy_sum / offloading_devices as f64;
+        }
+        report
+    }
+}
+
+impl std::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fleet of {} devices, {} windows",
+            self.devices, self.total_windows
+        )?;
+        let row = |name: &str, d: &DistributionSummary, unit: &str| {
+            format!(
+                "  {name:<22} p50 {:>9.2} {unit}  p90 {:>9.2} {unit}  p99 {:>9.2} {unit}  \
+                 (min {:.2}, mean {:.2}, max {:.2})",
+                d.p50, d.p90, d.p99, d.min, d.mean, d.max
+            )
+        };
+        writeln!(f, "{}", row("MAE", &self.mae_bpm, "BPM"))?;
+        writeln!(f, "{}", row("watch energy", &self.watch_energy_uj, "uJ"))?;
+        writeln!(f, "{}", row("battery life", &self.battery_life_hours, "h"))?;
+        writeln!(
+            f,
+            "  offloaded / link-down  {:.1} % / {:.1} % of windows; phone avg {:.1} uJ/pred",
+            self.offloaded_window_share * 100.0,
+            self.disconnected_window_share * 100.0,
+            self.avg_phone_energy_uj
+        )?;
+        write!(f, "  offload histogram      ")?;
+        for count in &self.offload_histogram {
+            write!(f, "{count:>6}")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "  constraints            {:?} ({} violated)",
+            self.constraint_mix, self.constraint_violations
+        )?;
+        write!(f, "  accounting             {:?}", self.accounting_mix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device(id: u64, mae: f32, energy_uj: f64, offload: f32, violated: bool) -> DeviceReport {
+        DeviceReport {
+            device_id: id,
+            windows: 50,
+            mae_bpm: mae,
+            avg_watch_energy: Energy::from_microjoules(energy_uj),
+            avg_phone_energy: Energy::from_microjoules(energy_uj * 10.0),
+            offload_fraction: offload,
+            simple_fraction: 0.5,
+            disconnected_fraction: 0.1,
+            battery_life_hours: 400.0 / (1.0 + f64::from(mae)),
+            constraint: UserConstraint::MaxMae(6.0),
+            accounting: EnergyAccounting::BleOnly,
+            constraint_violated: violated,
+        }
+    }
+
+    #[test]
+    fn distribution_summary_orders_percentiles() {
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        let d = DistributionSummary::from_values(&values).unwrap();
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 100.0);
+        assert_eq!(d.p50, 50.0);
+        assert_eq!(d.p90, 90.0);
+        assert_eq!(d.p99, 99.0);
+        assert!((d.mean - 50.5).abs() < 1e-12);
+        assert!(DistributionSummary::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn fleet_report_aggregates_devices() {
+        let devices: Vec<DeviceReport> = (0..10)
+            .map(|i| device(i, 4.0 + i as f32, 300.0 + i as f64, i as f32 / 10.0, i == 9))
+            .collect();
+        let report = FleetReport::from_devices(&devices);
+        assert_eq!(report.devices, 10);
+        assert_eq!(report.total_windows, 500);
+        assert_eq!(report.constraint_violations, 1);
+        assert_eq!(report.offload_histogram.iter().sum::<usize>(), 10);
+        assert_eq!(report.constraint_mix.get("max_mae"), Some(&10));
+        assert!(report.mae_bpm.p50 >= report.mae_bpm.min);
+        assert!(report.mae_bpm.p99 <= report.mae_bpm.max);
+        assert!((report.disconnected_window_share - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_fleet_reports_zeros() {
+        let report = FleetReport::from_devices(&[]);
+        assert_eq!(report.devices, 0);
+        assert_eq!(report.total_windows, 0);
+        assert_eq!(report.offload_histogram.len(), OFFLOAD_HISTOGRAM_BINS);
+    }
+
+    #[test]
+    fn display_mentions_key_quantities() {
+        let devices = vec![device(0, 5.0, 400.0, 0.5, false)];
+        let text = FleetReport::from_devices(&devices).to_string();
+        assert!(text.contains("MAE"));
+        assert!(text.contains("battery life"));
+        assert!(text.contains("offload histogram"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let devices = vec![
+            device(0, 5.0, 400.0, 0.5, true),
+            device(1, 6.0, 500.0, 0.9, false),
+        ];
+        let report = FleetReport::from_devices(&devices);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: FleetReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        let device_json = serde_json::to_string(&devices).unwrap();
+        let back: Vec<DeviceReport> = serde_json::from_str(&device_json).unwrap();
+        assert_eq!(devices, back);
+    }
+}

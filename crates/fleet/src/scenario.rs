@@ -1,0 +1,384 @@
+//! Deterministic per-device scenario generation.
+//!
+//! A fleet is described by a *master seed* and a [`ScenarioMix`] — the knobs
+//! of the population distribution (constraint shares, link quality, battery
+//! spread, activity diversity). From those, [`ScenarioGenerator`] derives one
+//! [`DeviceScenario`] per device id. The derivation hashes
+//! `(master seed, device id)` into an independent RNG stream, so a device's
+//! scenario never depends on how many other devices exist or in which order
+//! they are generated — the property the executor relies on for
+//! thread-count-independent results.
+
+use chris_core::config::EnergyAccounting;
+use chris_core::decision::UserConstraint;
+use hw_sim::ble::ConnectionSchedule;
+use hw_sim::units::Energy;
+use ppg_data::{Activity, DatasetBuilder, LabeledWindow};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Population-level knobs of a fleet.
+///
+/// All shares are probabilities in `[0, 1]`; all `(lo, hi)` pairs are sampled
+/// uniformly (a pair with `hi <= lo` pins the value to `lo`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioMix {
+    /// Share of devices running a `MaxMae` constraint (the rest run
+    /// `MaxEnergy`).
+    pub max_mae_share: f64,
+    /// Range of MAE targets for `MaxMae` devices, in BPM.
+    pub mae_target_bpm: (f32, f32),
+    /// Range of per-prediction energy budgets for `MaxEnergy` devices, in mJ.
+    pub energy_budget_mj: (f64, f64),
+    /// Share of devices with a non-perfect BLE link.
+    pub flaky_link_share: f64,
+    /// Among flaky devices, share that are fully offline (phone out of
+    /// range), exercising the local-only fallback.
+    pub offline_share: f64,
+    /// Lower bound on link availability for flaky (duty-cycled) devices.
+    pub min_link_availability: f64,
+    /// Range of battery capacities, in mAh.
+    pub battery_capacity_mah: (f64, f64),
+    /// Range of recording length per activity, in seconds.
+    pub seconds_per_activity: (f32, f32),
+    /// Range of how many of the nine activities each device performs.
+    pub activity_count: (usize, usize),
+    /// When true, the energy-accounting mode is sampled uniformly from
+    /// [`EnergyAccounting::ALL`]; otherwise every device uses the default.
+    pub accounting_sweep: bool,
+}
+
+impl ScenarioMix {
+    /// A representative mix: two-thirds `MaxMae` devices, a quarter with a
+    /// flaky link, full battery and activity diversity.
+    pub fn balanced() -> Self {
+        Self {
+            max_mae_share: 0.67,
+            mae_target_bpm: (5.0, 8.0),
+            energy_budget_mj: (0.25, 0.75),
+            flaky_link_share: 0.25,
+            offline_share: 0.2,
+            min_link_availability: 0.5,
+            battery_capacity_mah: (250.0, 450.0),
+            seconds_per_activity: (16.0, 32.0),
+            activity_count: (4, 9),
+            accounting_sweep: false,
+        }
+    }
+
+    /// A hostile mix: tight constraints, mostly degraded or absent links,
+    /// small batteries — the worst corner of the deployment envelope.
+    pub fn harsh() -> Self {
+        Self {
+            max_mae_share: 0.5,
+            mae_target_bpm: (4.8, 5.6),
+            energy_budget_mj: (0.2, 0.35),
+            flaky_link_share: 0.8,
+            offline_share: 0.35,
+            min_link_availability: 0.25,
+            battery_capacity_mah: (150.0, 300.0),
+            seconds_per_activity: (16.0, 32.0),
+            activity_count: (6, 9),
+            accounting_sweep: true,
+        }
+    }
+
+    /// An office-like mix: phone always reachable, relaxed error targets,
+    /// mostly sedentary activity schedules.
+    pub fn connected() -> Self {
+        Self {
+            max_mae_share: 0.8,
+            mae_target_bpm: (5.6, 9.0),
+            energy_budget_mj: (0.3, 0.75),
+            flaky_link_share: 0.0,
+            offline_share: 0.0,
+            min_link_availability: 1.0,
+            battery_capacity_mah: (300.0, 450.0),
+            seconds_per_activity: (16.0, 32.0),
+            activity_count: (2, 5),
+            accounting_sweep: false,
+        }
+    }
+
+    /// Looks a preset mix up by name (`balanced`, `harsh`, `connected`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "balanced" => Some(Self::balanced()),
+            "harsh" => Some(Self::harsh()),
+            "connected" => Some(Self::connected()),
+            _ => None,
+        }
+    }
+
+    /// The names accepted by [`ScenarioMix::from_name`].
+    pub const PRESETS: [&'static str; 3] = ["balanced", "harsh", "connected"];
+}
+
+impl Default for ScenarioMix {
+    fn default() -> Self {
+        Self::balanced()
+    }
+}
+
+/// Everything that distinguishes one simulated device from another.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceScenario {
+    /// Device id within the fleet.
+    pub device_id: u64,
+    /// Seed of the device's synthetic recording (subject physiology included)
+    /// and of its calibrated-estimator error streams.
+    pub dataset_seed: u64,
+    /// The activities this device's wearer performs, in difficulty order.
+    pub activities: Vec<Activity>,
+    /// Seconds of recording per activity.
+    pub seconds_per_activity: f32,
+    /// The wearer's soft constraint.
+    pub constraint: UserConstraint,
+    /// How offloaded windows are charged to the smartwatch.
+    pub accounting: EnergyAccounting,
+    /// BLE availability over the device's windows.
+    pub schedule: ConnectionSchedule,
+    /// Battery capacity in mAh (at the HWatch's 3.7 V).
+    pub battery_capacity_mah: f64,
+}
+
+impl DeviceScenario {
+    /// Synthesizes the device's labeled windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ppg_data::DataError`] when the sampled parameters are
+    /// rejected by the dataset builder (cannot happen for mixes whose ranges
+    /// respect the builder's invariants).
+    pub fn windows(&self) -> Result<Vec<LabeledWindow>, ppg_data::DataError> {
+        Ok(DatasetBuilder::new()
+            .subjects(1)
+            .seconds_per_activity(self.seconds_per_activity)
+            .seed(self.dataset_seed)
+            .activities(&self.activities)
+            .build()?
+            .windows())
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates consecutive inputs into independent
+/// 64-bit streams.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Derives the RNG seed of a device's scenario stream. Depends only on
+/// `(master_seed, device_id)`.
+pub fn device_stream_seed(master_seed: u64, device_id: u64) -> u64 {
+    splitmix64(splitmix64(master_seed) ^ splitmix64(device_id.wrapping_mul(0xA076_1D64_78BD_642F)))
+}
+
+/// Derives [`DeviceScenario`]s from a master seed and a [`ScenarioMix`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioGenerator {
+    master_seed: u64,
+    mix: ScenarioMix,
+}
+
+fn sample_f32(rng: &mut StdRng, (lo, hi): (f32, f32)) -> f32 {
+    if hi > lo {
+        rng.random_range(lo..hi)
+    } else {
+        lo
+    }
+}
+
+fn sample_f64(rng: &mut StdRng, (lo, hi): (f64, f64)) -> f64 {
+    if hi > lo {
+        rng.random_range(lo..hi)
+    } else {
+        lo
+    }
+}
+
+impl ScenarioGenerator {
+    /// Creates a generator for a master seed and mix.
+    pub fn new(master_seed: u64, mix: ScenarioMix) -> Self {
+        Self { master_seed, mix }
+    }
+
+    /// The master seed.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// The scenario mix.
+    pub fn mix(&self) -> &ScenarioMix {
+        &self.mix
+    }
+
+    /// Derives the scenario of one device.
+    pub fn scenario(&self, device_id: u64) -> DeviceScenario {
+        let mix = &self.mix;
+        let mut rng = StdRng::seed_from_u64(device_stream_seed(self.master_seed, device_id));
+
+        let constraint = if rng.random::<f64>() < mix.max_mae_share {
+            UserConstraint::MaxMae(sample_f32(&mut rng, mix.mae_target_bpm))
+        } else {
+            UserConstraint::MaxEnergy(Energy::from_millijoules(sample_f64(
+                &mut rng,
+                mix.energy_budget_mj,
+            )))
+        };
+
+        let schedule = if rng.random::<f64>() < mix.flaky_link_share {
+            if rng.random::<f64>() < mix.offline_share {
+                ConnectionSchedule::NeverConnected
+            } else {
+                // A duty cycle whose availability lies in
+                // [min_link_availability, 1).
+                let availability =
+                    sample_f64(&mut rng, (mix.min_link_availability.min(0.95), 0.95));
+                let period = rng.random_range(4usize..24);
+                let up = ((period as f64 * availability).round() as usize)
+                    .clamp(1, period.saturating_sub(1).max(1));
+                ConnectionSchedule::DutyCycle {
+                    up,
+                    down: period - up,
+                }
+            }
+        } else {
+            ConnectionSchedule::AlwaysConnected
+        };
+
+        let accounting = if mix.accounting_sweep {
+            EnergyAccounting::ALL[rng.random_range(0..EnergyAccounting::ALL.len())]
+        } else {
+            EnergyAccounting::default()
+        };
+
+        let battery_capacity_mah = sample_f64(&mut rng, mix.battery_capacity_mah);
+        let seconds_per_activity = sample_f32(&mut rng, mix.seconds_per_activity);
+
+        let (lo, hi) = mix.activity_count;
+        let lo = lo.clamp(1, Activity::ALL.len());
+        let hi = hi.clamp(1, Activity::ALL.len());
+        let count = if hi > lo {
+            rng.random_range(lo..=hi)
+        } else {
+            lo
+        };
+        // Partial Fisher-Yates: pick `count` distinct activities, then keep
+        // them in difficulty order so HR trajectories chain canonically.
+        let mut pool: Vec<usize> = (0..Activity::ALL.len()).collect();
+        for i in 0..count {
+            let j = rng.random_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        let mut chosen = pool[..count].to_vec();
+        chosen.sort_unstable();
+        let activities: Vec<Activity> = chosen.into_iter().map(|i| Activity::ALL[i]).collect();
+
+        let dataset_seed: u64 = rng.random();
+
+        DeviceScenario {
+            device_id,
+            dataset_seed,
+            activities,
+            seconds_per_activity,
+            constraint,
+            accounting,
+            schedule,
+            battery_capacity_mah,
+        }
+    }
+
+    /// Derives the scenarios of devices `0..count`.
+    pub fn scenarios(&self, count: u64) -> Vec<DeviceScenario> {
+        (0..count).map(|id| self.scenario(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_depends_only_on_master_seed_and_device_id() {
+        let a = ScenarioGenerator::new(7, ScenarioMix::balanced());
+        let b = ScenarioGenerator::new(7, ScenarioMix::balanced());
+        for id in [0u64, 1, 99, 12_345] {
+            assert_eq!(a.scenario(id), b.scenario(id));
+        }
+        // Generating a big fleet does not perturb small-fleet scenarios.
+        let big = a.scenarios(64);
+        let small = a.scenarios(8);
+        assert_eq!(&big[..8], &small[..]);
+    }
+
+    #[test]
+    fn different_seeds_and_ids_give_different_scenarios() {
+        let a = ScenarioGenerator::new(1, ScenarioMix::balanced());
+        let b = ScenarioGenerator::new(2, ScenarioMix::balanced());
+        assert_ne!(a.scenario(0), b.scenario(0));
+        assert_ne!(a.scenario(0).dataset_seed, a.scenario(1).dataset_seed);
+    }
+
+    #[test]
+    fn mix_shares_are_respected_in_aggregate() {
+        let generator = ScenarioGenerator::new(11, ScenarioMix::balanced());
+        let scenarios = generator.scenarios(400);
+        let max_mae = scenarios
+            .iter()
+            .filter(|s| matches!(s.constraint, UserConstraint::MaxMae(_)))
+            .count();
+        let share = max_mae as f64 / scenarios.len() as f64;
+        assert!((share - 0.67).abs() < 0.1, "MaxMae share {share}");
+        let flaky = scenarios
+            .iter()
+            .filter(|s| s.schedule != ConnectionSchedule::AlwaysConnected)
+            .count();
+        let share = flaky as f64 / scenarios.len() as f64;
+        assert!((share - 0.25).abs() < 0.1, "flaky share {share}");
+    }
+
+    #[test]
+    fn connected_mix_never_produces_flaky_links() {
+        let generator = ScenarioGenerator::new(3, ScenarioMix::connected());
+        for s in generator.scenarios(100) {
+            assert_eq!(s.schedule, ConnectionSchedule::AlwaysConnected);
+            assert!(!s.activities.is_empty() && s.activities.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn scenarios_build_valid_windows() {
+        let generator = ScenarioGenerator::new(5, ScenarioMix::harsh());
+        let scenario = generator.scenario(17);
+        let windows = scenario.windows().unwrap();
+        assert!(!windows.is_empty());
+        assert!(windows.iter().all(|w| w.ppg.len() == 256));
+        // Difficulty order is preserved.
+        for pair in scenario.activities.windows(2) {
+            assert!(pair[0].difficulty() <= pair[1].difficulty());
+        }
+    }
+
+    #[test]
+    fn inverted_activity_count_pins_to_lo_instead_of_panicking() {
+        let mix = ScenarioMix {
+            activity_count: (5, 3),
+            ..ScenarioMix::balanced()
+        };
+        let scenario = ScenarioGenerator::new(1, mix).scenario(0);
+        assert_eq!(scenario.activities.len(), 5);
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for name in ScenarioMix::PRESETS {
+            assert!(ScenarioMix::from_name(name).is_some());
+        }
+        assert!(ScenarioMix::from_name("nope").is_none());
+        assert_eq!(ScenarioMix::default(), ScenarioMix::balanced());
+    }
+}

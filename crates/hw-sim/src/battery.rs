@@ -34,7 +34,11 @@ impl Battery {
     ///
     /// Returns [`HwError::InvalidParameter`] for non-positive capacity or
     /// voltage, or an efficiency outside `(0, 1]`.
-    pub fn new(capacity_mah: f64, voltage_v: f64, converter_efficiency: f64) -> Result<Self, HwError> {
+    pub fn new(
+        capacity_mah: f64,
+        voltage_v: f64,
+        converter_efficiency: f64,
+    ) -> Result<Self, HwError> {
         if capacity_mah <= 0.0 || voltage_v <= 0.0 {
             return Err(HwError::InvalidParameter {
                 name: "capacity",
@@ -49,13 +53,21 @@ impl Battery {
         }
         // mAh * V = mWh; 1 mWh = 3.6 J.
         let capacity = Energy::from_joules(capacity_mah * voltage_v * 3.6);
-        Ok(Self { capacity, remaining: capacity, converter_efficiency })
+        Ok(Self {
+            capacity,
+            remaining: capacity,
+            converter_efficiency,
+        })
     }
 
     /// The HWatch battery (370 mAh @ 3.7 V, 90 % converter efficiency).
     pub fn hwatch() -> Self {
-        Self::new(HWATCH_BATTERY_MAH, HWATCH_BATTERY_VOLTAGE, HWATCH_CONVERTER_EFFICIENCY)
-            .expect("constants are valid")
+        Self::new(
+            HWATCH_BATTERY_MAH,
+            HWATCH_BATTERY_VOLTAGE,
+            HWATCH_CONVERTER_EFFICIENCY,
+        )
+        .expect("constants are valid")
     }
 
     /// Total usable capacity.
@@ -179,7 +191,10 @@ mod tests {
         let b = Battery::hwatch();
         let avg_power = Power::from_milliwatts(0.36 / 2.0);
         let days = b.lifetime(avg_power).as_seconds() / 86_400.0;
-        assert!(days > 100.0, "expected >100 days of HR tracking alone, got {days:.1}");
+        assert!(
+            days > 100.0,
+            "expected >100 days of HR tracking alone, got {days:.1}"
+        );
     }
 
     #[test]

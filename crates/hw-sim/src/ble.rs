@@ -67,7 +67,12 @@ impl BleLink {
                 requirement: "must be positive",
             });
         }
-        Ok(Self { throughput_bytes_per_s, tx_power, overhead, connected: true })
+        Ok(Self {
+            throughput_bytes_per_s,
+            tx_power,
+            overhead,
+            connected: true,
+        })
     }
 
     /// Marks the link as connected or disconnected.
@@ -126,9 +131,9 @@ impl ConnectionSchedule {
         match self {
             ConnectionSchedule::AlwaysConnected => true,
             ConnectionSchedule::NeverConnected => false,
-            ConnectionSchedule::Outages(ranges) => {
-                !ranges.iter().any(|&(start, end)| index >= start && index < end)
-            }
+            ConnectionSchedule::Outages(ranges) => !ranges
+                .iter()
+                .any(|&(start, end)| index >= start && index < end),
             ConnectionSchedule::DutyCycle { up, down } => {
                 let period = up + down;
                 if period == 0 {
@@ -158,7 +163,10 @@ mod tests {
         let link = BleLink::paper_calibrated();
         let (t, e) = link.offload_window().unwrap();
         assert!((t.as_millis() - BLE_WINDOW_TX_MS).abs() < 1e-6, "time {t}");
-        assert!((e.as_millijoules() - BLE_WINDOW_TX_MJ).abs() < 1e-6, "energy {e}");
+        assert!(
+            (e.as_millijoules() - BLE_WINDOW_TX_MJ).abs() < 1e-6,
+            "energy {e}"
+        );
     }
 
     #[test]
@@ -187,9 +195,12 @@ mod tests {
     #[test]
     fn new_validates_throughput() {
         assert!(BleLink::new(0.0, Power::from_milliwatts(10.0), TimeSpan::ZERO).is_err());
-        let link =
-            BleLink::new(100_000.0, Power::from_milliwatts(10.0), TimeSpan::from_millis(2.0))
-                .unwrap();
+        let link = BleLink::new(
+            100_000.0,
+            Power::from_milliwatts(10.0),
+            TimeSpan::from_millis(2.0),
+        )
+        .unwrap();
         // 1000 bytes at 100 kB/s = 10 ms + 2 ms overhead.
         assert!((link.transfer_time(1000).as_millis() - 12.0).abs() < 1e-9);
     }

@@ -29,7 +29,10 @@ impl fmt::Display for HwError {
             HwError::InvalidParameter { name, requirement } => {
                 write!(f, "invalid hardware parameter `{name}` ({requirement})")
             }
-            HwError::BatteryDepleted { remaining_mj, requested_mj } => {
+            HwError::BatteryDepleted {
+                remaining_mj,
+                requested_mj,
+            } => {
                 write!(
                     f,
                     "battery depleted: {remaining_mj:.3} mJ remaining, {requested_mj:.3} mJ requested"
@@ -48,12 +51,18 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(HwError::InvalidParameter { name: "clock_hz", requirement: "must be positive" }
-            .to_string()
-            .contains("clock_hz"));
-        assert!(HwError::BatteryDepleted { remaining_mj: 1.0, requested_mj: 2.0 }
-            .to_string()
-            .contains("depleted"));
+        assert!(HwError::InvalidParameter {
+            name: "clock_hz",
+            requirement: "must be positive"
+        }
+        .to_string()
+        .contains("clock_hz"));
+        assert!(HwError::BatteryDepleted {
+            remaining_mj: 1.0,
+            requested_mj: 2.0
+        }
+        .to_string()
+        .contains("depleted"));
         assert_eq!(HwError::LinkDown.to_string(), "ble link is not connected");
     }
 

@@ -114,8 +114,7 @@ impl Platform {
     /// computation is longer than the period, no sleep energy is added.
     pub fn energy_per_prediction(&self, workload: &Workload) -> Energy {
         let active_time = self.execution_time(workload);
-        let sleep_time =
-            (TimeSpan::from_seconds(PREDICTION_PERIOD_S) - active_time).max_zero();
+        let sleep_time = (TimeSpan::from_seconds(PREDICTION_PERIOD_S) - active_time).max_zero();
         self.active_power * active_time + self.sleep_power * sleep_time
     }
 
@@ -174,7 +173,9 @@ mod tests {
     #[test]
     fn pi3_times_match_table3() {
         let phone = Platform::raspberry_pi3();
-        let small = phone.execution_time(&Workload::Macs(SMALL_MACS)).as_millis();
+        let small = phone
+            .execution_time(&Workload::Macs(SMALL_MACS))
+            .as_millis();
         assert!((small - 3.45).abs() < 0.1, "small {small} ms");
         let big = phone.execution_time(&Workload::Macs(BIG_MACS)).as_millis();
         assert!((big - 15.96).abs() < 0.5, "big {big} ms");
@@ -185,11 +186,17 @@ mod tests {
     #[test]
     fn pi3_energies_match_table3() {
         let phone = Platform::raspberry_pi3();
-        let small = phone.compute_energy(&Workload::Macs(SMALL_MACS)).as_millijoules();
+        let small = phone
+            .compute_energy(&Workload::Macs(SMALL_MACS))
+            .as_millijoules();
         assert!((small - 5.54).abs() < 0.2, "small {small} mJ");
-        let big = phone.compute_energy(&Workload::Macs(BIG_MACS)).as_millijoules();
+        let big = phone
+            .compute_energy(&Workload::Macs(BIG_MACS))
+            .as_millijoules();
         assert!((big - 25.60).abs() < 0.8, "big {big} mJ");
-        let at = phone.compute_energy(&Workload::Cycles(600_000)).as_millijoules();
+        let at = phone
+            .compute_energy(&Workload::Cycles(600_000))
+            .as_millijoules();
         assert!((at - 1.60).abs() < 0.05, "at {at} mJ");
     }
 

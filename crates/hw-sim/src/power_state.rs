@@ -29,8 +29,12 @@ pub enum PowerState {
 
 impl PowerState {
     /// All states in a stable order.
-    pub const ALL: [PowerState; 4] =
-        [PowerState::Acquire, PowerState::Compute, PowerState::RadioTx, PowerState::Sleep];
+    pub const ALL: [PowerState; 4] = [
+        PowerState::Acquire,
+        PowerState::Compute,
+        PowerState::RadioTx,
+        PowerState::Sleep,
+    ];
 
     /// Short lowercase name.
     pub fn name(self) -> &'static str {
@@ -74,7 +78,11 @@ impl PowerStateTrace {
 
     /// Appends a phase with an explicit energy.
     pub fn push(&mut self, state: PowerState, duration: TimeSpan, energy: Energy) {
-        self.phases.push(PowerStatePhase { state, duration, energy });
+        self.phases.push(PowerStatePhase {
+            state,
+            duration,
+            energy,
+        });
     }
 
     /// Appends a phase whose energy is `power × duration`.
@@ -109,7 +117,11 @@ impl PowerStateTrace {
 
     /// Energy spent in one state.
     pub fn energy_in(&self, state: PowerState) -> Energy {
-        self.phases.iter().filter(|p| p.state == state).map(|p| p.energy).sum()
+        self.phases
+            .iter()
+            .filter(|p| p.state == state)
+            .map(|p| p.energy)
+            .sum()
     }
 
     /// Per-state energy breakdown, keyed by state.
@@ -144,8 +156,16 @@ mod tests {
     fn trace_accumulates_energy_and_time() {
         let mut t = PowerStateTrace::new();
         assert!(t.is_empty());
-        t.push(PowerState::Compute, TimeSpan::from_millis(20.0), Energy::from_millijoules(0.5));
-        t.push(PowerState::Sleep, TimeSpan::from_millis(1980.0), Energy::from_millijoules(0.19));
+        t.push(
+            PowerState::Compute,
+            TimeSpan::from_millis(20.0),
+            Energy::from_millijoules(0.5),
+        );
+        t.push(
+            PowerState::Sleep,
+            TimeSpan::from_millis(1980.0),
+            Energy::from_millijoules(0.19),
+        );
         assert_eq!(t.len(), 2);
         assert!((t.total_energy().as_millijoules() - 0.69).abs() < 1e-9);
         assert!((t.total_duration().as_millis() - 2000.0).abs() < 1e-9);
@@ -167,9 +187,21 @@ mod tests {
     #[test]
     fn breakdown_groups_by_state() {
         let mut t = PowerStateTrace::new();
-        t.push(PowerState::Compute, TimeSpan::from_millis(1.0), Energy::from_microjoules(10.0));
-        t.push(PowerState::Compute, TimeSpan::from_millis(1.0), Energy::from_microjoules(15.0));
-        t.push(PowerState::Sleep, TimeSpan::from_millis(1.0), Energy::from_microjoules(1.0));
+        t.push(
+            PowerState::Compute,
+            TimeSpan::from_millis(1.0),
+            Energy::from_microjoules(10.0),
+        );
+        t.push(
+            PowerState::Compute,
+            TimeSpan::from_millis(1.0),
+            Energy::from_microjoules(15.0),
+        );
+        t.push(
+            PowerState::Sleep,
+            TimeSpan::from_millis(1.0),
+            Energy::from_microjoules(1.0),
+        );
         let b = t.breakdown();
         assert_eq!(b.len(), 2);
         assert!((b[&PowerState::Compute].as_microjoules() - 25.0).abs() < 1e-9);
@@ -179,9 +211,17 @@ mod tests {
     #[test]
     fn merge_appends_phases() {
         let mut a = PowerStateTrace::new();
-        a.push(PowerState::Acquire, TimeSpan::from_millis(1.0), Energy::from_microjoules(5.0));
+        a.push(
+            PowerState::Acquire,
+            TimeSpan::from_millis(1.0),
+            Energy::from_microjoules(5.0),
+        );
         let mut b = PowerStateTrace::new();
-        b.push(PowerState::Sleep, TimeSpan::from_millis(2.0), Energy::from_microjoules(1.0));
+        b.push(
+            PowerState::Sleep,
+            TimeSpan::from_millis(2.0),
+            Energy::from_microjoules(1.0),
+        );
         a.merge(&b);
         assert_eq!(a.len(), 2);
         assert!((a.total_energy().as_microjoules() - 6.0).abs() < 1e-9);

@@ -26,12 +26,16 @@ impl Energy {
 
     /// Creates an energy from millijoules.
     pub fn from_millijoules(mj: f64) -> Self {
-        Self { microjoules: mj * 1e3 }
+        Self {
+            microjoules: mj * 1e3,
+        }
     }
 
     /// Creates an energy from joules.
     pub fn from_joules(j: f64) -> Self {
-        Self { microjoules: j * 1e6 }
+        Self {
+            microjoules: j * 1e6,
+        }
     }
 
     /// Value in microjoules.
@@ -53,7 +57,9 @@ impl Energy {
 impl Add for Energy {
     type Output = Energy;
     fn add(self, rhs: Energy) -> Energy {
-        Energy { microjoules: self.microjoules + rhs.microjoules }
+        Energy {
+            microjoules: self.microjoules + rhs.microjoules,
+        }
     }
 }
 
@@ -66,21 +72,27 @@ impl AddAssign for Energy {
 impl Sub for Energy {
     type Output = Energy;
     fn sub(self, rhs: Energy) -> Energy {
-        Energy { microjoules: self.microjoules - rhs.microjoules }
+        Energy {
+            microjoules: self.microjoules - rhs.microjoules,
+        }
     }
 }
 
 impl Mul<f64> for Energy {
     type Output = Energy;
     fn mul(self, rhs: f64) -> Energy {
-        Energy { microjoules: self.microjoules * rhs }
+        Energy {
+            microjoules: self.microjoules * rhs,
+        }
     }
 }
 
 impl Div<f64> for Energy {
     type Output = Energy;
     fn div(self, rhs: f64) -> Energy {
-        Energy { microjoules: self.microjoules / rhs }
+        Energy {
+            microjoules: self.microjoules / rhs,
+        }
     }
 }
 
@@ -124,7 +136,9 @@ impl Power {
 
     /// Creates a power from watts.
     pub fn from_watts(w: f64) -> Self {
-        Self { milliwatts: w * 1e3 }
+        Self {
+            milliwatts: w * 1e3,
+        }
     }
 
     /// Value in milliwatts.
@@ -174,12 +188,16 @@ impl TimeSpan {
 
     /// Creates a duration from milliseconds.
     pub fn from_millis(ms: f64) -> Self {
-        Self { microseconds: ms * 1e3 }
+        Self {
+            microseconds: ms * 1e3,
+        }
     }
 
     /// Creates a duration from seconds.
     pub fn from_seconds(s: f64) -> Self {
-        Self { microseconds: s * 1e6 }
+        Self {
+            microseconds: s * 1e6,
+        }
     }
 
     /// Value in microseconds.
@@ -200,14 +218,18 @@ impl TimeSpan {
     /// Clamps negative durations to zero (used when computing residual idle
     /// time in a prediction period).
     pub fn max_zero(self) -> Self {
-        Self { microseconds: self.microseconds.max(0.0) }
+        Self {
+            microseconds: self.microseconds.max(0.0),
+        }
     }
 }
 
 impl Add for TimeSpan {
     type Output = TimeSpan;
     fn add(self, rhs: TimeSpan) -> TimeSpan {
-        TimeSpan { microseconds: self.microseconds + rhs.microseconds }
+        TimeSpan {
+            microseconds: self.microseconds + rhs.microseconds,
+        }
     }
 }
 
@@ -220,14 +242,18 @@ impl AddAssign for TimeSpan {
 impl Sub for TimeSpan {
     type Output = TimeSpan;
     fn sub(self, rhs: TimeSpan) -> TimeSpan {
-        TimeSpan { microseconds: self.microseconds - rhs.microseconds }
+        TimeSpan {
+            microseconds: self.microseconds - rhs.microseconds,
+        }
     }
 }
 
 impl Mul<f64> for TimeSpan {
     type Output = TimeSpan;
     fn mul(self, rhs: f64) -> TimeSpan {
-        TimeSpan { microseconds: self.microseconds * rhs }
+        TimeSpan {
+            microseconds: self.microseconds * rhs,
+        }
     }
 }
 

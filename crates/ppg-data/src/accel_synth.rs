@@ -91,12 +91,12 @@ pub fn accel_segment<R: Rng + ?Sized>(
     while t < n_samples {
         if rng.random::<f32>() < burst_p {
             let burst_len = rng.random_range(samples_per_second / 2..samples_per_second * 2);
-            let amp = rng.random_range(1.5..4.0);
-            for i in t..(t + burst_len).min(n_samples) {
+            let amp = rng.random_range(1.5f32..4.0);
+            let end = (t + burst_len).min(n_samples);
+            for (k, gain) in burst_gain[t..end].iter_mut().enumerate() {
                 // Raised-cosine burst shape.
-                let frac = (i - t) as f32 / burst_len as f32;
-                burst_gain[i] =
-                    burst_gain[i].max(amp * (std::f32::consts::PI * frac).sin().powi(2));
+                let frac = k as f32 / burst_len as f32;
+                *gain = gain.max(amp * (std::f32::consts::PI * frac).sin().powi(2));
             }
         }
         t += samples_per_second.max(1);
@@ -141,7 +141,8 @@ pub fn accel_segment<R: Rng + ?Sized>(
         seg.x.push(x);
         seg.y.push(y);
         seg.z.push(z);
-        seg.motion_envelope.push(envelope * subject.artifact_susceptibility);
+        seg.motion_envelope
+            .push(envelope * subject.artifact_susceptibility);
     }
     seg
 }
@@ -191,7 +192,10 @@ mod tests {
             .map(|((&x, &y), &z)| (x * x + y * y + z * z).sqrt())
             .sum::<f32>()
             / seg.len() as f32;
-        assert!((mean_mag - 1.0).abs() < 0.15, "resting magnitude ≈ 1 g, got {mean_mag}");
+        assert!(
+            (mean_mag - 1.0).abs() < 0.15,
+            "resting magnitude ≈ 1 g, got {mean_mag}"
+        );
     }
 
     #[test]
@@ -209,7 +213,10 @@ mod tests {
         // have more energy than every "easy" one (index <= 2).
         for hard in &energies[5..] {
             for easy in &energies[..3] {
-                assert!(hard > easy, "hard {hard} should exceed easy {easy}: {energies:?}");
+                assert!(
+                    hard > easy,
+                    "hard {hard} should exceed easy {easy}: {energies:?}"
+                );
             }
         }
     }
@@ -220,7 +227,10 @@ mod tests {
         // Dominant non-DC frequency of the x axis should be near the 1.8 Hz cadence.
         let x = ppg_dsp::filter::remove_mean(&seg.x[..1024]).unwrap();
         let (_, f, _) = ppg_dsp::fft::dominant_frequency(&x, 32.0, 0.8, 4.0).unwrap();
-        assert!((f - 1.8).abs() < 0.5, "expected cadence near 1.8 Hz, got {f}");
+        assert!(
+            (f - 1.8).abs() < 0.5,
+            "expected cadence near 1.8 Hz, got {f}"
+        );
     }
 
     #[test]

@@ -84,7 +84,10 @@ impl Activity {
     /// Difficulty level from 1 (least motion artifacts) to 9 (most), following
     /// the ordering by average accelerometer energy used in the paper.
     pub fn difficulty(self) -> DifficultyLevel {
-        let idx = Self::ALL.iter().position(|&a| a == self).expect("activity is in ALL");
+        let idx = Self::ALL
+            .iter()
+            .position(|&a| a == self)
+            .expect("activity is in ALL");
         DifficultyLevel::new(idx as u8 + 1).expect("index within 1..=9")
     }
 
@@ -249,7 +252,10 @@ mod tests {
     fn hr_bands_are_well_formed() {
         for a in Activity::ALL {
             let (lo, hi) = a.hr_band_bpm();
-            assert!(lo > 30.0 && hi < 200.0 && lo < hi, "{a}: bad band ({lo}, {hi})");
+            assert!(
+                lo > 30.0 && hi < 200.0 && lo < hi,
+                "{a}: bad band ({lo}, {hi})"
+            );
         }
     }
 

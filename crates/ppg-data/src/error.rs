@@ -44,7 +44,10 @@ impl fmt::Display for DataError {
                 write!(f, "invalid dataset parameter `{name}` ({requirement})")
             }
             DataError::RecordingTooShort { samples, required } => {
-                write!(f, "recording too short: {samples} samples, {required} required")
+                write!(
+                    f,
+                    "recording too short: {samples} samples, {required} required"
+                )
             }
             DataError::UnknownSubject { index, available } => {
                 write!(f, "unknown subject {index}, dataset has {available}")
@@ -78,13 +81,25 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = DataError::InvalidParameter { name: "subjects", requirement: "must be 1..=15" };
+        let e = DataError::InvalidParameter {
+            name: "subjects",
+            requirement: "must be 1..=15",
+        };
         assert!(e.to_string().contains("subjects"));
-        let e = DataError::RecordingTooShort { samples: 10, required: 256 };
+        let e = DataError::RecordingTooShort {
+            samples: 10,
+            required: 256,
+        };
         assert!(e.to_string().contains("256"));
-        let e = DataError::UnknownSubject { index: 20, available: 15 };
+        let e = DataError::UnknownSubject {
+            index: 20,
+            available: 15,
+        };
         assert!(e.to_string().contains("20"));
-        let e = DataError::UnknownFold { index: 9, available: 5 };
+        let e = DataError::UnknownFold {
+            index: 9,
+            available: 5,
+        };
         assert!(e.to_string().contains("9"));
     }
 

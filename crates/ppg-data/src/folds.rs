@@ -66,7 +66,7 @@ impl CrossValidation {
                 requirement: "fold size and subject count must be non-zero",
             });
         }
-        if subject_count % subjects_per_fold != 0 {
+        if !subject_count.is_multiple_of(subjects_per_fold) {
             return Err(DataError::InvalidParameter {
                 name: "subjects_per_fold",
                 requirement: "must divide the subject count evenly",
@@ -75,19 +75,31 @@ impl CrossValidation {
         let groups = subject_count / subjects_per_fold;
         let mut folds = Vec::with_capacity(subject_count);
         for g in 0..groups {
-            let group: Vec<SubjectId> =
-                (0..subjects_per_fold).map(|i| SubjectId(g * subjects_per_fold + i)).collect();
+            let group: Vec<SubjectId> = (0..subjects_per_fold)
+                .map(|i| SubjectId(g * subjects_per_fold + i))
+                .collect();
             let train: Vec<SubjectId> = (0..subject_count)
                 .map(SubjectId)
                 .filter(|s| !group.contains(s))
                 .collect();
             for (t, &test_subject) in group.iter().enumerate() {
-                let validation: Vec<SubjectId> =
-                    group.iter().enumerate().filter(|&(i, _)| i != t).map(|(_, &s)| s).collect();
-                folds.push(Fold { train: train.clone(), validation, test: vec![test_subject] });
+                let validation: Vec<SubjectId> = group
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != t)
+                    .map(|(_, &s)| s)
+                    .collect();
+                folds.push(Fold {
+                    train: train.clone(),
+                    validation,
+                    test: vec![test_subject],
+                });
             }
         }
-        Ok(Self { folds, subjects_per_fold })
+        Ok(Self {
+            folds,
+            subjects_per_fold,
+        })
     }
 
     /// The paper's protocol: 15 subjects, folds of 3.
@@ -121,9 +133,10 @@ impl CrossValidation {
     ///
     /// Returns [`DataError::UnknownFold`] when `index` is out of range.
     pub fn fold(&self, index: usize) -> Result<&Fold, DataError> {
-        self.folds
-            .get(index)
-            .ok_or(DataError::UnknownFold { index, available: self.folds.len() })
+        self.folds.get(index).ok_or(DataError::UnknownFold {
+            index,
+            available: self.folds.len(),
+        })
     }
 }
 

@@ -39,9 +39,9 @@ pub fn hr_trajectory<R: Rng + ?Sized>(
     // Subject-specific set point within the activity band.
     let band_mid = (band_lo + band_hi) / 2.0;
     let elevation = (band_mid - 62.0).max(0.0) * subject.hr_reactivity;
-    let set_point = (subject.resting_hr_bpm + elevation
-        + normal(rng, 0.0, (band_hi - band_lo) / 6.0))
-    .clamp(HR_MIN_BPM + 5.0, HR_MAX_BPM - 10.0);
+    let set_point =
+        (subject.resting_hr_bpm + elevation + normal(rng, 0.0, (band_hi - band_lo) / 6.0))
+            .clamp(HR_MIN_BPM + 5.0, HR_MAX_BPM - 10.0);
 
     // First-order approach to the set point with a ~30 s time constant.
     let tau_s = 30.0;
@@ -97,7 +97,14 @@ mod tests {
     #[test]
     fn exercise_raises_heart_rate() {
         let mut rng = StdRng::seed_from_u64(3);
-        let rest = hr_trajectory(&mut rng, &subject(), Activity::Resting, 32 * 300, 32.0, 65.0);
+        let rest = hr_trajectory(
+            &mut rng,
+            &subject(),
+            Activity::Resting,
+            32 * 300,
+            32.0,
+            65.0,
+        );
         let stairs = hr_trajectory(&mut rng, &subject(), Activity::Stairs, 32 * 300, 32.0, 65.0);
         let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
         // Compare the steady-state tail.
@@ -111,15 +118,25 @@ mod tests {
     fn trajectory_is_continuous_with_start_hr() {
         let mut rng = StdRng::seed_from_u64(4);
         let t = hr_trajectory(&mut rng, &subject(), Activity::Cycling, 320, 32.0, 70.0);
-        assert!((t[0] - 70.0).abs() < 8.0, "first sample {} should stay near 70", t[0]);
+        assert!(
+            (t[0] - 70.0).abs() < 8.0,
+            "first sample {} should stay near 70",
+            t[0]
+        );
     }
 
     #[test]
     fn trajectory_is_smooth() {
         let mut rng = StdRng::seed_from_u64(5);
         let t = hr_trajectory(&mut rng, &subject(), Activity::Walking, 32 * 60, 32.0, 70.0);
-        let max_step = t.windows(2).map(|p| (p[1] - p[0]).abs()).fold(0.0f32, f32::max);
-        assert!(max_step < 1.0, "per-sample HR step should be small, got {max_step}");
+        let max_step = t
+            .windows(2)
+            .map(|p| (p[1] - p[0]).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            max_step < 1.0,
+            "per-sample HR step should be small, got {max_step}"
+        );
     }
 
     #[test]

@@ -39,8 +39,14 @@ fn activity_energy_ordering_matches_difficulty_ranking() {
     let easy = group_mean(0..3);
     let medium = group_mean(3..6);
     let hard = group_mean(6..9);
-    assert!(medium > easy, "medium {medium} should exceed easy {easy}: {energies:?}");
-    assert!(hard > medium * 1.5, "hard {hard} should clearly exceed medium {medium}: {energies:?}");
+    assert!(
+        medium > easy,
+        "medium {medium} should exceed easy {easy}: {energies:?}"
+    );
+    assert!(
+        hard > medium * 1.5,
+        "hard {hard} should clearly exceed medium {medium}: {energies:?}"
+    );
     // And the hardest activity individually dominates every easy one.
     for easy_energy in &energies[..3] {
         assert!(energies[8] > easy_energy * 2.0);
@@ -80,8 +86,10 @@ fn subjects_differ_but_activities_are_balanced_per_subject() {
         .unwrap();
     let windows = dataset.windows();
     for s in 0..3 {
-        let per_subject: Vec<_> =
-            windows.iter().filter(|w| w.subject == SubjectId(s)).collect();
+        let per_subject: Vec<_> = windows
+            .iter()
+            .filter(|w| w.subject == SubjectId(s))
+            .collect();
         assert!(!per_subject.is_empty());
         let mut counts = std::collections::HashMap::new();
         for w in &per_subject {
@@ -92,8 +100,16 @@ fn subjects_differ_but_activities_are_balanced_per_subject() {
         assert!(counts.values().all(|&c| c == first));
     }
     // Different subjects produce different signals.
-    let a = &windows.iter().find(|w| w.subject == SubjectId(0)).unwrap().ppg;
-    let b = &windows.iter().find(|w| w.subject == SubjectId(1)).unwrap().ppg;
+    let a = &windows
+        .iter()
+        .find(|w| w.subject == SubjectId(0))
+        .unwrap()
+        .ppg;
+    let b = &windows
+        .iter()
+        .find(|w| w.subject == SubjectId(1))
+        .unwrap()
+        .ppg;
     assert_ne!(a, b);
 }
 
@@ -101,7 +117,7 @@ fn subjects_differ_but_activities_are_balanced_per_subject() {
 fn paper_cross_validation_covers_every_subject_exactly_once_as_test() {
     let cv = CrossValidation::paper_protocol().unwrap();
     assert_eq!(cv.len(), 15);
-    let mut tested = vec![0usize; 15];
+    let mut tested = [0usize; 15];
     for fold in cv.folds() {
         assert!(fold.is_disjoint());
         tested[fold.test[0].0] += 1;

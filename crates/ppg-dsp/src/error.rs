@@ -51,10 +51,18 @@ impl fmt::Display for DspError {
             DspError::LengthMismatch { op, left, right } => {
                 write!(f, "{op}: input lengths differ ({left} vs {right})")
             }
-            DspError::InvalidLength { op, len, requirement } => {
+            DspError::InvalidLength {
+                op,
+                len,
+                requirement,
+            } => {
                 write!(f, "{op}: invalid length {len} ({requirement})")
             }
-            DspError::InvalidParameter { op, name, requirement } => {
+            DspError::InvalidParameter {
+                op,
+                name,
+                requirement,
+            } => {
                 write!(f, "{op}: invalid parameter `{name}` ({requirement})")
             }
         }
@@ -75,13 +83,21 @@ mod tests {
 
     #[test]
     fn display_length_mismatch() {
-        let e = DspError::LengthMismatch { op: "mae", left: 3, right: 4 };
+        let e = DspError::LengthMismatch {
+            op: "mae",
+            left: 3,
+            right: 4,
+        };
         assert!(e.to_string().contains("3 vs 4"));
     }
 
     #[test]
     fn display_invalid_length() {
-        let e = DspError::InvalidLength { op: "fft", len: 3, requirement: "power of two" };
+        let e = DspError::InvalidLength {
+            op: "fft",
+            len: 3,
+            requirement: "power of two",
+        };
         assert!(e.to_string().contains("power of two"));
     }
 

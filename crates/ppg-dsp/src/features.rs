@@ -32,11 +32,17 @@ impl FeatureVector {
     /// Returns [`DspError::EmptyInput`] if `signal` is empty.
     pub fn from_signal(signal: &[f32]) -> Result<Self, DspError> {
         if signal.is_empty() {
-            return Err(DspError::EmptyInput { op: "FeatureVector::from_signal" });
+            return Err(DspError::EmptyInput {
+                op: "FeatureVector::from_signal",
+            });
         }
         let n = signal.len() as f64;
         let mean = signal.iter().map(|&x| f64::from(x)).sum::<f64>() / n;
-        let energy = signal.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>() / n;
+        let energy = signal
+            .iter()
+            .map(|&x| f64::from(x) * f64::from(x))
+            .sum::<f64>()
+            / n;
         let var = signal
             .iter()
             .map(|&x| {
@@ -141,12 +147,17 @@ mod tests {
 
     #[test]
     fn features_of_alternating_signal() {
-        let signal: Vec<f32> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let signal: Vec<f32> = (0..64)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let f = FeatureVector::from_signal(&signal).unwrap();
         assert!(f.mean.abs() < 1e-6);
         assert!((f.energy - 1.0).abs() < 1e-6);
         assert!((f.std_dev - 1.0).abs() < 1e-6);
-        assert!(f.peak_rate > 0.5, "alternating signal has many sign changes");
+        assert!(
+            f.peak_rate > 0.5,
+            "alternating signal has many sign changes"
+        );
     }
 
     #[test]
@@ -156,7 +167,12 @@ mod tests {
 
     #[test]
     fn to_array_order_is_stable() {
-        let f = FeatureVector { mean: 1.0, energy: 2.0, std_dev: 3.0, peak_rate: 4.0 };
+        let f = FeatureVector {
+            mean: 1.0,
+            energy: 2.0,
+            std_dev: 3.0,
+            peak_rate: 4.0,
+        };
         assert_eq!(f.to_array(), [1.0, 2.0, 3.0, 4.0]);
     }
 

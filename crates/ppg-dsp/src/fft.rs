@@ -42,11 +42,17 @@ impl Complex {
     }
 
     fn add(self, other: Self) -> Self {
-        Self { re: self.re + other.re, im: self.im + other.im }
+        Self {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
     }
 
     fn sub(self, other: Self) -> Self {
-        Self { re: self.re - other.re, im: self.im - other.im }
+        Self {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
     }
 }
 
@@ -115,7 +121,10 @@ pub fn fft_real(signal: &[f32]) -> Result<Vec<Complex>, DspError> {
 pub fn power_spectrum(signal: &[f32]) -> Result<Vec<f32>, DspError> {
     let n = signal.len();
     let spec = fft_real(signal)?;
-    Ok(spec[..n / 2 + 1].iter().map(|c| c.norm_sq() / n as f32).collect())
+    Ok(spec[..n / 2 + 1]
+        .iter()
+        .map(|c| c.norm_sq() / n as f32)
+        .collect())
 }
 
 /// Frequency (in Hz) of bin `k` for an `n`-point FFT at `sample_rate_hz`.
@@ -145,11 +154,13 @@ pub fn dominant_frequency(
         if f < low_hz || f > high_hz {
             continue;
         }
-        if best.map_or(true, |(_, bp)| p > bp) {
+        if best.is_none_or(|(_, bp)| p > bp) {
             best = Some((k, p));
         }
     }
-    let (k, p) = best.ok_or(DspError::EmptyInput { op: "dominant_frequency" })?;
+    let (k, p) = best.ok_or(DspError::EmptyInput {
+        op: "dominant_frequency",
+    })?;
     Ok((k, bin_frequency(k, n, sample_rate_hz), p))
 }
 
@@ -225,7 +236,7 @@ mod tests {
 
     #[test]
     fn fft_of_dc_is_impulse_at_zero() {
-        let spec = fft_real(&vec![1.0f32; 8]).unwrap();
+        let spec = fft_real(&[1.0f32; 8]).unwrap();
         assert!((spec[0].re - 8.0).abs() < 1e-4);
         for c in &spec[1..] {
             assert!(c.abs() < 1e-4);
@@ -250,7 +261,10 @@ mod tests {
             .map(|(&a, b)| 3.0 * a + 0.5 * b)
             .collect();
         let (_, f, _) = dominant_frequency(&signal, fs, 0.5, 4.0).unwrap();
-        assert!((f - 1.5).abs() < 2.0 * fs / 256.0, "expected ~1.5 Hz, got {f}");
+        assert!(
+            (f - 1.5).abs() < 2.0 * fs / 256.0,
+            "expected ~1.5 Hz, got {f}"
+        );
     }
 
     #[test]

@@ -39,7 +39,13 @@ impl MovingAverage {
     /// Panics if `len` is zero.
     pub fn new(len: usize) -> Self {
         assert!(len > 0, "moving average length must be non-zero");
-        Self { buf: vec![0.0; len], len, next: 0, filled: 0, sum: 0.0 }
+        Self {
+            buf: vec![0.0; len],
+            len,
+            next: 0,
+            filled: 0,
+            sum: 0.0,
+        }
     }
 
     /// Window length of the filter.
@@ -117,18 +123,36 @@ pub struct Biquad {
 impl Biquad {
     /// Creates a biquad from raw normalized coefficients.
     pub fn from_coefficients(b0: f32, b1: f32, b2: f32, a1: f32, a2: f32) -> Self {
-        Self { b0, b1, b2, a1, a2, x1: 0.0, x2: 0.0, y1: 0.0, y2: 0.0 }
+        Self {
+            b0,
+            b1,
+            b2,
+            a1,
+            a2,
+            x1: 0.0,
+            x2: 0.0,
+            y1: 0.0,
+            y2: 0.0,
+        }
     }
 
-    fn design(op: &'static str, cutoff_hz: f32, sample_rate_hz: f32, q: f32) -> Result<(f32, f32, f32), DspError> {
-        if !(cutoff_hz > 0.0) || !(sample_rate_hz > 0.0) || cutoff_hz >= sample_rate_hz / 2.0 {
+    fn design(
+        op: &'static str,
+        cutoff_hz: f32,
+        sample_rate_hz: f32,
+        q: f32,
+    ) -> Result<(f32, f32, f32), DspError> {
+        if cutoff_hz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+            || sample_rate_hz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+            || cutoff_hz >= sample_rate_hz / 2.0
+        {
             return Err(DspError::InvalidParameter {
                 op,
                 name: "cutoff_hz",
                 requirement: "must satisfy 0 < cutoff < sample_rate / 2",
             });
         }
-        if !(q > 0.0) {
+        if q.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(DspError::InvalidParameter {
                 op,
                 name: "q",
@@ -151,7 +175,13 @@ impl Biquad {
         let a0 = 1.0 + alpha;
         let b1 = (1.0 - cos_w0) / a0;
         let b0 = b1 / 2.0;
-        Ok(Self::from_coefficients(b0, b1, b0, -2.0 * cos_w0 / a0, (1.0 - alpha) / a0))
+        Ok(Self::from_coefficients(
+            b0,
+            b1,
+            b0,
+            -2.0 * cos_w0 / a0,
+            (1.0 - alpha) / a0,
+        ))
     }
 
     /// Designs a high-pass biquad with the given cutoff and quality factor.
@@ -164,7 +194,13 @@ impl Biquad {
         let a0 = 1.0 + alpha;
         let b1 = -(1.0 + cos_w0) / a0;
         let b0 = -b1 / 2.0;
-        Ok(Self::from_coefficients(b0, b1, b0, -2.0 * cos_w0 / a0, (1.0 - alpha) / a0))
+        Ok(Self::from_coefficients(
+            b0,
+            b1,
+            b0,
+            -2.0 * cos_w0 / a0,
+            (1.0 - alpha) / a0,
+        ))
     }
 
     /// Designs a band-pass biquad (constant 0 dB peak gain) centered on
@@ -230,7 +266,7 @@ pub fn band_pass(
     if signal.is_empty() {
         return Err(DspError::EmptyInput { op: "band_pass" });
     }
-    if !(low_hz > 0.0) || low_hz >= high_hz {
+    if low_hz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || low_hz >= high_hz {
         return Err(DspError::InvalidParameter {
             op: "band_pass",
             name: "low_hz",
@@ -253,7 +289,10 @@ pub fn remove_mean(signal: &[f32]) -> Result<Vec<f32>, DspError> {
         return Err(DspError::EmptyInput { op: "remove_mean" });
     }
     let mean = signal.iter().map(|&x| f64::from(x)).sum::<f64>() / signal.len() as f64;
-    Ok(signal.iter().map(|&x| (f64::from(x) - mean) as f32).collect())
+    Ok(signal
+        .iter()
+        .map(|&x| (f64::from(x) - mean) as f32)
+        .collect())
 }
 
 #[cfg(test)]
@@ -336,7 +375,10 @@ mod tests {
             .collect();
         let out = band_pass(&signal, 0.5, 4.0, fs).unwrap();
         let tail_mean: f32 = out[256..].iter().sum::<f32>() / 256.0;
-        assert!(tail_mean.abs() < 0.2, "band-pass should remove the DC offset, got {tail_mean}");
+        assert!(
+            tail_mean.abs() < 0.2,
+            "band-pass should remove the DC offset, got {tail_mean}"
+        );
     }
 
     #[test]

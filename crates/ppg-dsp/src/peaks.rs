@@ -40,7 +40,9 @@ impl Region {
 /// [`DspError::EmptyInput`] if they are empty.
 pub fn regions_above(signal: &[f32], threshold: &[f32]) -> Result<Vec<Region>, DspError> {
     if signal.is_empty() {
-        return Err(DspError::EmptyInput { op: "regions_above" });
+        return Err(DspError::EmptyInput {
+            op: "regions_above",
+        });
     }
     if signal.len() != threshold.len() {
         return Err(DspError::LengthMismatch {
@@ -63,7 +65,10 @@ pub fn regions_above(signal: &[f32], threshold: &[f32]) -> Result<Vec<Region>, D
         }
     }
     if let Some(s) = start {
-        regions.push(Region { start: s, end: signal.len() });
+        regions.push(Region {
+            start: s,
+            end: signal.len(),
+        });
     }
     Ok(regions)
 }
@@ -155,7 +160,10 @@ mod tests {
         let signal = [0.0, 2.0, 3.0, 0.0, 0.0, 5.0, 6.0, 7.0];
         let threshold = [1.0; 8];
         let regions = regions_above(&signal, &threshold).unwrap();
-        assert_eq!(regions, vec![Region { start: 1, end: 3 }, Region { start: 5, end: 8 }]);
+        assert_eq!(
+            regions,
+            vec![Region { start: 1, end: 3 }, Region { start: 5, end: 8 }]
+        );
     }
 
     #[test]

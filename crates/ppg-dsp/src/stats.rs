@@ -60,7 +60,11 @@ pub fn rmse(predicted: &[f32], truth: &[f32]) -> Result<f32, DspError> {
 /// Same conditions as [`mae`].
 pub fn bias(predicted: &[f32], truth: &[f32]) -> Result<f32, DspError> {
     check("bias", predicted, truth)?;
-    let sum: f64 = predicted.iter().zip(truth).map(|(&p, &t)| f64::from(p - t)).sum();
+    let sum: f64 = predicted
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| f64::from(p - t))
+        .sum();
     Ok((sum / predicted.len() as f64) as f32)
 }
 
@@ -125,7 +129,11 @@ fn check(op: &'static str, a: &[f32], b: &[f32]) -> Result<(), DspError> {
         return Err(DspError::EmptyInput { op });
     }
     if a.len() != b.len() {
-        return Err(DspError::LengthMismatch { op, left: a.len(), right: b.len() });
+        return Err(DspError::LengthMismatch {
+            op,
+            left: a.len(),
+            right: b.len(),
+        });
     }
     Ok(())
 }

@@ -84,7 +84,12 @@ pub fn sliding_windows<T>(
             requirement: "must be non-zero",
         });
     }
-    Ok(SlidingWindows { data, size, stride, pos: 0 })
+    Ok(SlidingWindows {
+        data,
+        size,
+        stride,
+        pos: 0,
+    })
 }
 
 /// Number of complete windows of `size` samples with the given `stride` that

@@ -84,8 +84,8 @@ proptest! {
         }
         for r in &regions {
             prop_assert!(r.start < r.end);
-            for i in r.start..r.end {
-                prop_assert!(signal[i] > 0.0);
+            for &sample in &signal[r.start..r.end] {
+                prop_assert!(sample > 0.0);
             }
         }
     }

@@ -83,14 +83,24 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = ModelError::InvalidWindow { model: "at", reason: "empty".to_string() };
+        let e = ModelError::InvalidWindow {
+            model: "at",
+            reason: "empty".to_string(),
+        };
         assert!(e.to_string().contains("at"));
-        let e = ModelError::PredictionFailed { model: "spectral", reason: "no peak".to_string() };
+        let e = ModelError::PredictionFailed {
+            model: "spectral",
+            reason: "no peak".to_string(),
+        };
         assert!(e.to_string().contains("no peak"));
-        assert!(ModelError::NotTrained { model: "rf" }.to_string().contains("trained"));
-        assert!(ModelError::InvalidTrainingData { reason: "empty".to_string() }
+        assert!(ModelError::NotTrained { model: "rf" }
             .to_string()
-            .contains("empty"));
+            .contains("trained"));
+        assert!(ModelError::InvalidTrainingData {
+            reason: "empty".to_string()
+        }
+        .to_string()
+        .contains("empty"));
     }
 
     #[test]

@@ -67,7 +67,12 @@ impl TreeNode {
     fn predict(&self, features: &[f32]) -> usize {
         match self {
             TreeNode::Leaf { class } => *class,
-            TreeNode::Split { feature, threshold, left, right } => {
+            TreeNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 if features[*feature] <= *threshold {
                     left.predict(features)
                 } else {
@@ -177,7 +182,7 @@ fn build_tree(
                 + n_right as f64 * gini(&right_counts, n_right))
                 / indices.len() as f64;
             let gain = parent_gini - weighted;
-            if best.map_or(true, |(_, _, bg)| gain > bg) {
+            if best.is_none_or(|(_, _, bg)| gain > bg) {
                 best = Some((feature, threshold, gain));
             }
         }
@@ -190,11 +195,33 @@ fn build_tree(
         return TreeNode::Leaf { class: majority };
     }
 
-    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-        indices.iter().partition(|&&i| features[i][feature] <= threshold);
-    let left = build_tree(features, labels, &left_idx, n_classes, depth + 1, config, rng);
-    let right = build_tree(features, labels, &right_idx, n_classes, depth + 1, config, rng);
-    TreeNode::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+        .iter()
+        .partition(|&&i| features[i][feature] <= threshold);
+    let left = build_tree(
+        features,
+        labels,
+        &left_idx,
+        n_classes,
+        depth + 1,
+        config,
+        rng,
+    );
+    let right = build_tree(
+        features,
+        labels,
+        &right_idx,
+        n_classes,
+        depth + 1,
+        config,
+        rng,
+    );
+    TreeNode::Split {
+        feature,
+        threshold,
+        left: Box::new(left),
+        right: Box::new(right),
+    }
 }
 
 /// A trained random-forest activity classifier.
@@ -212,7 +239,10 @@ impl RandomForest {
     ///
     /// Returns [`ModelError::InvalidTrainingData`] when `windows` is empty or
     /// contains malformed windows.
-    pub fn train(windows: &[LabeledWindow], config: RandomForestConfig) -> Result<Self, ModelError> {
+    pub fn train(
+        windows: &[LabeledWindow],
+        config: RandomForestConfig,
+    ) -> Result<Self, ModelError> {
         if windows.is_empty() {
             return Err(ModelError::InvalidTrainingData {
                 reason: "no training windows provided".to_string(),
@@ -227,7 +257,9 @@ impl RandomForest {
             .iter()
             .map(|w| w.accel_features().map(|f| f.to_vec()))
             .collect::<Result<_, _>>()
-            .map_err(|e| ModelError::InvalidTrainingData { reason: e.to_string() })?;
+            .map_err(|e| ModelError::InvalidTrainingData {
+                reason: e.to_string(),
+            })?;
         let labels: Vec<usize> = windows.iter().map(|w| w.activity.index()).collect();
         let n_classes = Activity::COUNT;
 
@@ -235,11 +267,18 @@ impl RandomForest {
         let mut trees = Vec::with_capacity(config.n_trees);
         for _ in 0..config.n_trees {
             // Bootstrap sample.
-            let indices: Vec<usize> =
-                (0..windows.len()).map(|_| rng.random_range(0..windows.len())).collect();
-            trees.push(build_tree(&features, &labels, &indices, n_classes, 0, &config, &mut rng));
+            let indices: Vec<usize> = (0..windows.len())
+                .map(|_| rng.random_range(0..windows.len()))
+                .collect();
+            trees.push(build_tree(
+                &features, &labels, &indices, n_classes, 0, &config, &mut rng,
+            ));
         }
-        Ok(Self { config, trees, n_classes })
+        Ok(Self {
+            config,
+            trees,
+            n_classes,
+        })
     }
 
     /// The hyper-parameters the forest was trained with.
@@ -350,7 +389,10 @@ mod tests {
     fn training_rejects_bad_input() {
         assert!(RandomForest::train(&[], RandomForestConfig::default()).is_err());
         let windows = dataset(1, 1);
-        let bad = RandomForestConfig { n_trees: 0, ..Default::default() };
+        let bad = RandomForestConfig {
+            n_trees: 0,
+            ..Default::default()
+        };
         assert!(RandomForest::train(&windows, bad).is_err());
     }
 
@@ -394,8 +436,11 @@ mod tests {
             .into_iter()
             .filter(|w| w.subject.0 < 2)
             .collect();
-        let test: Vec<LabeledWindow> =
-            all.windows().into_iter().filter(|w| w.subject.0 == 2).collect();
+        let test: Vec<LabeledWindow> = all
+            .windows()
+            .into_iter()
+            .filter(|w| w.subject.0 == 2)
+            .collect();
         let rf = RandomForest::train(&train, RandomForestConfig::default()).unwrap();
         let threshold = DifficultyLevel::new(5).unwrap();
         let acc = rf.easy_hard_accuracy(&test, threshold).unwrap();
@@ -440,8 +485,8 @@ mod tests {
             .iter()
             .filter(|w| matches!(w.activity, Activity::Resting | Activity::TableSoccer))
         {
-            let predicted_hard = rf.classify(w).unwrap().difficulty()
-                >= DifficultyLevel::new(5).unwrap();
+            let predicted_hard =
+                rf.classify(w).unwrap().difficulty() >= DifficultyLevel::new(5).unwrap();
             let truly_hard = w.activity == Activity::TableSoccer;
             if predicted_hard == truly_hard {
                 correct += 1;

@@ -42,13 +42,19 @@ impl Default for SpectralPeak {
 impl SpectralPeak {
     /// Creates the estimator with a 10 BPM per-window tracking limit.
     pub fn new() -> Self {
-        Self { max_step_bpm: 10.0, last_bpm: None }
+        Self {
+            max_step_bpm: 10.0,
+            last_bpm: None,
+        }
     }
 
     /// Creates the estimator with a custom tracking limit; `f32::INFINITY`
     /// disables tracking entirely.
     pub fn with_tracking_limit(max_step_bpm: f32) -> Self {
-        Self { max_step_bpm, last_bpm: None }
+        Self {
+            max_step_bpm,
+            last_bpm: None,
+        }
     }
 }
 
@@ -67,9 +73,18 @@ impl HrEstimator for SpectralPeak {
                 ),
             });
         }
-        let filtered = band_pass(&window.ppg, BAND_LOW_HZ, BAND_HIGH_HZ, ppg_data::SAMPLE_RATE_HZ)?;
-        let (_, freq_hz, _) =
-            dominant_frequency(&filtered, ppg_data::SAMPLE_RATE_HZ, BAND_LOW_HZ, BAND_HIGH_HZ)?;
+        let filtered = band_pass(
+            &window.ppg,
+            BAND_LOW_HZ,
+            BAND_HIGH_HZ,
+            ppg_data::SAMPLE_RATE_HZ,
+        )?;
+        let (_, freq_hz, _) = dominant_frequency(
+            &filtered,
+            ppg_data::SAMPLE_RATE_HZ,
+            BAND_LOW_HZ,
+            BAND_HIGH_HZ,
+        )?;
         let mut bpm = clamp_bpm(freq_hz * 60.0);
         if let Some(last) = self.last_bpm {
             bpm = bpm.clamp(last - self.max_step_bpm, last + self.max_step_bpm);
@@ -133,7 +148,10 @@ mod tests {
         // Sudden (unphysiological) jump of the true HR.
         let w2 = synthetic_window(170.0, 0.0, 31);
         let second = sp.predict(&w2).unwrap();
-        assert!(second <= first + 10.0 + 1e-3, "tracking should limit the step");
+        assert!(
+            second <= first + 10.0 + 1e-3,
+            "tracking should limit the step"
+        );
     }
 
     #[test]
@@ -141,7 +159,10 @@ mod tests {
         let mut sp = SpectralPeak::new();
         let mut w = synthetic_window(70.0, 0.0, 32);
         w.ppg.truncate(100);
-        assert!(matches!(sp.predict(&w), Err(ModelError::InvalidWindow { .. })));
+        assert!(matches!(
+            sp.predict(&w),
+            Err(ModelError::InvalidWindow { .. })
+        ));
     }
 
     #[test]
@@ -152,7 +173,10 @@ mod tests {
         sp.reset();
         let w2 = synthetic_window(160.0, 0.0, 34);
         let est = sp.predict(&w2).unwrap();
-        assert!(est > 100.0, "after reset the estimator should not be anchored at 60");
+        assert!(
+            est > 100.0,
+            "after reset the estimator should not be anchored at 60"
+        );
     }
 
     #[test]

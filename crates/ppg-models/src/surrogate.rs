@@ -43,7 +43,12 @@ impl CalibratedEstimator {
     /// Creates a calibrated estimator for the given model with a deterministic
     /// error sequence derived from `seed`.
     pub fn new(kind: ModelKind, seed: u64) -> Self {
-        Self { kind, seed, rng: StdRng::seed_from_u64(seed ^ kind as u64), previous_noise: 0.0 }
+        Self {
+            kind,
+            seed,
+            rng: StdRng::seed_from_u64(seed ^ kind as u64),
+            previous_noise: 0.0,
+        }
     }
 
     /// The model this surrogate is calibrated to.
@@ -145,7 +150,10 @@ mod tests {
         };
         let easy = mae_for(&mut est, Activity::Resting);
         let hard = mae_for(&mut est, Activity::TableSoccer);
-        assert!(hard > easy * 2.0, "AT surrogate: resting {easy:.2} vs table soccer {hard:.2}");
+        assert!(
+            hard > easy * 2.0,
+            "AT surrogate: resting {easy:.2} vs table soccer {hard:.2}"
+        );
     }
 
     #[test]
@@ -154,7 +162,10 @@ mod tests {
         let at = measured_mae(ModelKind::AdaptiveThreshold, &ws);
         let small = measured_mae(ModelKind::TimePpgSmall, &ws);
         let big = measured_mae(ModelKind::TimePpgBig, &ws);
-        assert!(big < small && small < at, "ordering violated: {big} {small} {at}");
+        assert!(
+            big < small && small < at,
+            "ordering violated: {big} {small} {at}"
+        );
     }
 
     #[test]

@@ -192,9 +192,18 @@ pub fn window_to_tensor(window: &LabeledWindow) -> Result<Tensor, ModelError> {
         });
     }
     let mut data = Vec::with_capacity(4 * len);
-    for channel in [&window.ppg, &window.accel_x, &window.accel_y, &window.accel_z] {
+    for channel in [
+        &window.ppg,
+        &window.accel_x,
+        &window.accel_y,
+        &window.accel_z,
+    ] {
         let mean = channel.iter().sum::<f32>() / len as f32;
-        let var = channel.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / len as f32;
+        let var = channel
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / len as f32;
         let std = var.sqrt().max(1e-6);
         data.extend(channel.iter().map(|&x| (x - mean) / std));
     }
@@ -220,7 +229,10 @@ impl TimePpg {
     ///
     /// Propagates network-construction errors.
     pub fn new(variant: TimePpgVariant) -> Result<Self, ModelError> {
-        Ok(Self { variant, network: build_network(variant)? })
+        Ok(Self {
+            variant,
+            network: build_network(variant)?,
+        })
     }
 
     /// The wrapped variant.
@@ -277,8 +289,14 @@ mod tests {
         let macs = net.macs(&[4, 256]).unwrap() as f64;
         let p_ratio = params / SMALL_NOMINAL_PARAMS as f64;
         let m_ratio = macs / SMALL_NOMINAL_MACS as f64;
-        assert!((0.6..=1.6).contains(&p_ratio), "params {params} vs 5.09k (ratio {p_ratio:.2})");
-        assert!((0.6..=1.6).contains(&m_ratio), "macs {macs} vs 77.6k (ratio {m_ratio:.2})");
+        assert!(
+            (0.6..=1.6).contains(&p_ratio),
+            "params {params} vs 5.09k (ratio {p_ratio:.2})"
+        );
+        assert!(
+            (0.6..=1.6).contains(&m_ratio),
+            "macs {macs} vs 77.6k (ratio {m_ratio:.2})"
+        );
     }
 
     #[test]
@@ -288,8 +306,14 @@ mod tests {
         let macs = net.macs(&[4, 256]).unwrap() as f64;
         let p_ratio = params / BIG_NOMINAL_PARAMS as f64;
         let m_ratio = macs / BIG_NOMINAL_MACS as f64;
-        assert!((0.6..=1.6).contains(&p_ratio), "params {params} vs 232.6k (ratio {p_ratio:.2})");
-        assert!((0.6..=1.6).contains(&m_ratio), "macs {macs} vs 12.27M (ratio {m_ratio:.2})");
+        assert!(
+            (0.6..=1.6).contains(&p_ratio),
+            "params {params} vs 232.6k (ratio {p_ratio:.2})"
+        );
+        assert!(
+            (0.6..=1.6).contains(&m_ratio),
+            "macs {macs} vs 12.27M (ratio {m_ratio:.2})"
+        );
     }
 
     #[test]
@@ -305,13 +329,22 @@ mod tests {
         for variant in [TimePpgVariant::Small, TimePpgVariant::Big] {
             let net = build_network(variant).unwrap();
             let convs = net.layers().iter().filter(|l| l.name() == "conv1d").count();
-            assert_eq!(convs, 9, "{:?} should have 3 blocks x 3 conv layers", variant);
+            assert_eq!(
+                convs, 9,
+                "{:?} should have 3 blocks x 3 conv layers",
+                variant
+            );
         }
     }
 
     #[test]
     fn forward_pass_produces_plausible_bpm() {
-        let d = DatasetBuilder::new().subjects(1).seconds_per_activity(16.0).seed(2).build().unwrap();
+        let d = DatasetBuilder::new()
+            .subjects(1)
+            .seconds_per_activity(16.0)
+            .seed(2)
+            .build()
+            .unwrap();
         let w = &d.windows()[0];
         let mut model = TimePpg::new(TimePpgVariant::Small).unwrap();
         let bpm = model.predict(w).unwrap();
@@ -323,7 +356,12 @@ mod tests {
 
     #[test]
     fn window_to_tensor_normalizes_channels() {
-        let d = DatasetBuilder::new().subjects(1).seconds_per_activity(16.0).seed(3).build().unwrap();
+        let d = DatasetBuilder::new()
+            .subjects(1)
+            .seconds_per_activity(16.0)
+            .seed(3)
+            .build()
+            .unwrap();
         let w = &d.windows()[0];
         let t = window_to_tensor(w).unwrap();
         assert_eq!(t.shape(), &[4, 256]);
@@ -339,7 +377,12 @@ mod tests {
 
     #[test]
     fn window_to_tensor_rejects_malformed_windows() {
-        let d = DatasetBuilder::new().subjects(1).seconds_per_activity(16.0).seed(4).build().unwrap();
+        let d = DatasetBuilder::new()
+            .subjects(1)
+            .seconds_per_activity(16.0)
+            .seed(4)
+            .build()
+            .unwrap();
         let mut w = d.windows()[0].clone();
         w.accel_x.truncate(100);
         assert!(window_to_tensor(&w).is_err());
@@ -365,18 +408,33 @@ mod tests {
     #[test]
     fn gap_head_variant_builds_and_runs() {
         let mut net = build_network_gap_head(TimePpgVariant::Small).unwrap();
-        let d = DatasetBuilder::new().subjects(1).seconds_per_activity(16.0).seed(5).build().unwrap();
+        let d = DatasetBuilder::new()
+            .subjects(1)
+            .seconds_per_activity(16.0)
+            .seed(5)
+            .build()
+            .unwrap();
         let input = window_to_tensor(&d.windows()[0]).unwrap();
         let out = net.forward(&input).unwrap();
         assert_eq!(out.len(), 1);
-        assert!(net.parameter_count() < build_network(TimePpgVariant::Small).unwrap().parameter_count());
+        assert!(
+            net.parameter_count()
+                < build_network(TimePpgVariant::Small)
+                    .unwrap()
+                    .parameter_count()
+        );
     }
 
     #[test]
     fn small_network_is_quantizable() {
         let net = build_network(TimePpgVariant::Small).unwrap();
         let q = tinydl::quant::QuantizedNetwork::from_sequential(&net).unwrap();
-        let d = DatasetBuilder::new().subjects(1).seconds_per_activity(16.0).seed(6).build().unwrap();
+        let d = DatasetBuilder::new()
+            .subjects(1)
+            .seconds_per_activity(16.0)
+            .seed(6)
+            .build()
+            .unwrap();
         let input = window_to_tensor(&d.windows()[0]).unwrap();
         let out = q.forward(&input).unwrap();
         assert_eq!(out.len(), 1);

@@ -91,7 +91,12 @@ mod tests {
 
     #[test]
     fn oracle_returns_true_activity() {
-        let d = DatasetBuilder::new().subjects(1).seconds_per_activity(16.0).seed(1).build().unwrap();
+        let d = DatasetBuilder::new()
+            .subjects(1)
+            .seconds_per_activity(16.0)
+            .seed(1)
+            .build()
+            .unwrap();
         let oracle = OracleActivityClassifier::new();
         for w in d.windows() {
             assert_eq!(oracle.classify(&w).unwrap(), w.activity);

@@ -32,8 +32,11 @@ pub enum ModelKind {
 
 impl ModelKind {
     /// All model kinds, ordered from least to most accurate.
-    pub const ALL: [ModelKind; 3] =
-        [ModelKind::AdaptiveThreshold, ModelKind::TimePpgSmall, ModelKind::TimePpgBig];
+    pub const ALL: [ModelKind; 3] = [
+        ModelKind::AdaptiveThreshold,
+        ModelKind::TimePpgSmall,
+        ModelKind::TimePpgBig,
+    ];
 
     /// Human-readable name as used in the paper.
     pub fn name(self) -> &'static str {
@@ -64,9 +67,7 @@ impl ModelKind {
     pub fn per_activity_mae_bpm(self, activity: Activity) -> f32 {
         let idx = activity.index();
         match self {
-            ModelKind::AdaptiveThreshold => {
-                [3.0, 3.5, 4.5, 7.0, 9.0, 12.0, 14.0, 19.0, 26.91][idx]
-            }
+            ModelKind::AdaptiveThreshold => [3.0, 3.5, 4.5, 7.0, 9.0, 12.0, 14.0, 19.0, 26.91][idx],
             ModelKind::TimePpgSmall => [3.4, 3.6, 3.9, 4.5, 5.2, 5.9, 6.5, 7.6, 9.8][idx],
             ModelKind::TimePpgBig => [3.1, 3.3, 3.5, 4.0, 4.5, 5.1, 5.6, 6.5, 8.23][idx],
         }
@@ -197,7 +198,10 @@ impl ModelZoo {
 
     /// Characterizes every model, ordered as [`ModelKind::ALL`].
     pub fn table(&self) -> Vec<ModelCharacterization> {
-        ModelKind::ALL.iter().map(|&k| self.characterize(k)).collect()
+        ModelKind::ALL
+            .iter()
+            .map(|&k| self.characterize(k))
+            .collect()
     }
 
     /// Builds an accuracy-calibrated estimator for the given model (see
@@ -253,7 +257,8 @@ mod tests {
     #[test]
     fn at_is_much_more_sensitive_to_difficulty_than_big() {
         let spread = |k: ModelKind| {
-            k.per_activity_mae_bpm(Activity::TableSoccer) - k.per_activity_mae_bpm(Activity::Resting)
+            k.per_activity_mae_bpm(Activity::TableSoccer)
+                - k.per_activity_mae_bpm(Activity::Resting)
         };
         assert!(spread(ModelKind::AdaptiveThreshold) > 4.0 * spread(ModelKind::TimePpgBig));
     }

@@ -43,12 +43,23 @@ impl fmt::Display for TinyDlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TinyDlError::ShapeMismatch { expected, actual } => {
-                write!(f, "shape mismatch: shape implies {expected} elements, data has {actual}")
+                write!(
+                    f,
+                    "shape mismatch: shape implies {expected} elements, data has {actual}"
+                )
             }
-            TinyDlError::InvalidShape { op, expected, actual } => {
+            TinyDlError::InvalidShape {
+                op,
+                expected,
+                actual,
+            } => {
                 write!(f, "{op}: expected shape {expected}, got {actual:?}")
             }
-            TinyDlError::InvalidParameter { op, name, requirement } => {
+            TinyDlError::InvalidParameter {
+                op,
+                name,
+                requirement,
+            } => {
                 write!(f, "{op}: invalid parameter `{name}` ({requirement})")
             }
             TinyDlError::MissingForwardPass { layer } => {
@@ -67,7 +78,12 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(TinyDlError::ShapeMismatch { expected: 4, actual: 3 }.to_string().contains('4'));
+        assert!(TinyDlError::ShapeMismatch {
+            expected: 4,
+            actual: 3
+        }
+        .to_string()
+        .contains('4'));
         assert!(TinyDlError::EmptyNetwork.to_string().contains("no layers"));
         assert!(TinyDlError::MissingForwardPass { layer: "conv1d" }
             .to_string()

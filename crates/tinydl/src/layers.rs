@@ -136,12 +136,18 @@ impl Conv1d {
                 });
             }
         }
-        let padding = if same_padding { dilation * (kernel - 1) / 2 } else { 0 };
+        let padding = if same_padding {
+            dilation * (kernel - 1) / 2
+        } else {
+            0
+        };
         let n_weights = out_channels * in_channels * kernel;
         let scale = (2.0 / (in_channels * kernel) as f32).sqrt();
         let mut seed = 0x9E37_79B9_7F4A_7C15u64
             ^ ((in_channels as u64) << 32 | (out_channels as u64) << 16 | kernel as u64);
-        let weights = (0..n_weights).map(|_| scale * deterministic_uniform(&mut seed)).collect();
+        let weights = (0..n_weights)
+            .map(|_| scale * deterministic_uniform(&mut seed))
+            .collect();
         Ok(Self {
             in_channels,
             out_channels,
@@ -244,8 +250,8 @@ impl Layer for Conv1d {
                 let mut acc = self.bias[oc];
                 for ic in 0..self.in_channels {
                     for k in 0..self.kernel {
-                        let pos = (t * self.stride + k * self.dilation) as isize
-                            - self.padding as isize;
+                        let pos =
+                            (t * self.stride + k * self.dilation) as isize - self.padding as isize;
                         if pos >= 0 && (pos as usize) < in_len {
                             acc += self.weight(oc, ic, k) * input.at(ic, pos as usize);
                         }
@@ -279,8 +285,8 @@ impl Layer for Conv1d {
                 self.grad_bias[oc] += go;
                 for ic in 0..self.in_channels {
                     for k in 0..self.kernel {
-                        let pos = (t * self.stride + k * self.dilation) as isize
-                            - self.padding as isize;
+                        let pos =
+                            (t * self.stride + k * self.dilation) as isize - self.padding as isize;
                         if pos >= 0 && (pos as usize) < in_len {
                             let pos = pos as usize;
                             let widx = (oc * self.in_channels + ic) * self.kernel + k;
@@ -358,7 +364,8 @@ impl Dense {
             });
         }
         let scale = (2.0 / in_features as f32).sqrt();
-        let mut seed = 0xD6E8_FEB8_6659_FD93u64 ^ ((in_features as u64) << 20 | out_features as u64);
+        let mut seed =
+            0xD6E8_FEB8_6659_FD93u64 ^ ((in_features as u64) << 20 | out_features as u64);
         let weights = (0..in_features * out_features)
             .map(|_| scale * deterministic_uniform(&mut seed))
             .collect();
@@ -453,11 +460,11 @@ impl Layer for Dense {
         let x = input.as_slice();
         let go = grad_output.as_slice();
         let mut grad_input = vec![0.0f32; self.in_features];
-        for o in 0..self.out_features {
-            self.grad_bias[o] += go[o];
+        for (o, &go_o) in go.iter().enumerate().take(self.out_features) {
+            self.grad_bias[o] += go_o;
             for i in 0..self.in_features {
-                self.grad_weights[o * self.in_features + i] += go[o] * x[i];
-                grad_input[i] += go[o] * self.weights[o * self.in_features + i];
+                self.grad_weights[o * self.in_features + i] += go_o * x[i];
+                grad_input[i] += go_o * self.weights[o * self.in_features + i];
             }
         }
         Tensor::from_vec(grad_input, &[self.in_features])
@@ -532,8 +539,10 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TinyDlError> {
-        let mask =
-            self.mask.as_ref().ok_or(TinyDlError::MissingForwardPass { layer: "relu" })?;
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or(TinyDlError::MissingForwardPass { layer: "relu" })?;
         if mask.len() != grad_output.len() {
             return Err(TinyDlError::InvalidShape {
                 op: "Relu::backward",
@@ -611,7 +620,9 @@ impl Layer for GlobalAvgPool {
         let shape = self
             .cached_shape
             .as_ref()
-            .ok_or(TinyDlError::MissingForwardPass { layer: "global_avg_pool" })?;
+            .ok_or(TinyDlError::MissingForwardPass {
+                layer: "global_avg_pool",
+            })?;
         let (c, l) = (shape[0], shape[1]);
         if grad_output.len() != c {
             return Err(TinyDlError::InvalidShape {
@@ -798,7 +809,7 @@ mod tests {
         let analytic = conv.grad_weights.clone();
 
         let eps = 1e-3f32;
-        for w_idx in 0..conv.weights.len() {
+        for (w_idx, &analytic_grad) in analytic.iter().enumerate() {
             let orig = conv.weights[w_idx];
             conv.weights[w_idx] = orig + eps;
             let f_plus: f32 = conv.forward(&input).unwrap().as_slice().iter().sum();
@@ -807,9 +818,8 @@ mod tests {
             conv.weights[w_idx] = orig;
             let numeric = (f_plus - f_minus) / (2.0 * eps);
             assert!(
-                (numeric - analytic[w_idx]).abs() < 1e-2,
-                "weight grad {w_idx}: numeric {numeric} vs analytic {}",
-                analytic[w_idx]
+                (numeric - analytic_grad).abs() < 1e-2,
+                "weight grad {w_idx}: numeric {numeric} vs analytic {analytic_grad}"
             );
         }
     }
@@ -817,7 +827,9 @@ mod tests {
     #[test]
     fn dense_forward_matches_manual_computation() {
         let mut dense = Dense::new(3, 2).unwrap();
-        dense.weights.copy_from_slice(&[1.0, 0.0, -1.0, 0.5, 0.5, 0.5]);
+        dense
+            .weights
+            .copy_from_slice(&[1.0, 0.0, -1.0, 0.5, 0.5, 0.5]);
         dense.bias.copy_from_slice(&[1.0, -1.0]);
         let input = Tensor::from_slice(&[2.0, 4.0, 6.0]);
         let out = dense.forward(&input).unwrap();
@@ -869,7 +881,9 @@ mod tests {
         let input = Tensor::from_slice(&[-1.0, 2.0, -3.0, 4.0]);
         let out = relu.forward(&input).unwrap();
         assert_eq!(out.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
-        let grad = relu.backward(&Tensor::from_slice(&[1.0, 1.0, 1.0, 1.0])).unwrap();
+        let grad = relu
+            .backward(&Tensor::from_slice(&[1.0, 1.0, 1.0, 1.0]))
+            .unwrap();
         assert_eq!(grad.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
         assert_eq!(relu.output_shape(&[1, 4]).unwrap(), vec![1, 4]);
         assert_eq!(relu.parameter_count(), 0);
@@ -884,7 +898,8 @@ mod tests {
     #[test]
     fn global_avg_pool_averages_channels() {
         let mut pool = GlobalAvgPool::new();
-        let input = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[2, 4]).unwrap();
+        let input =
+            Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[2, 4]).unwrap();
         let out = pool.forward(&input).unwrap();
         assert_eq!(out.shape(), &[2]);
         assert!((out.as_slice()[0] - 4.0).abs() < 1e-6);
@@ -938,7 +953,10 @@ mod tests {
             }
         }
         let after = loss_of(&mut dense);
-        assert!(after < before * 0.01, "training should reduce loss: {before} -> {after}");
+        assert!(
+            after < before * 0.01,
+            "training should reduce loss: {before} -> {after}"
+        );
     }
 
     #[test]

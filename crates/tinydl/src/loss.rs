@@ -40,8 +40,10 @@ impl Loss {
         let n = prediction.len() as f32;
         let mut grad = prediction.clone();
         let mut loss = 0.0f32;
-        for (g, (&p, &t)) in
-            grad.as_mut_slice().iter_mut().zip(prediction.as_slice().iter().zip(target.as_slice()))
+        for (g, (&p, &t)) in grad
+            .as_mut_slice()
+            .iter_mut()
+            .zip(prediction.as_slice().iter().zip(target.as_slice()))
         {
             let d = p - t;
             match self {

@@ -196,7 +196,11 @@ impl Sequential {
                 let (input, target) = &samples[idx];
                 epoch_loss += self.train_step(input, target, loss, learning_rate)?;
             }
-            last_epoch_loss = if samples.is_empty() { 0.0 } else { epoch_loss / samples.len() as f32 };
+            last_epoch_loss = if samples.is_empty() {
+                0.0
+            } else {
+                epoch_loss / samples.len() as f32
+            };
         }
         Ok(last_epoch_loss)
     }
@@ -258,7 +262,10 @@ mod tests {
         let macs = net.macs(&[1, 64]).unwrap();
         // conv1: 64*4*1*3 = 768, conv2: 32*4*4*3 = 1536, dense: 4.
         assert_eq!(macs, 768 + 1536 + 4);
-        assert_eq!(net.parameter_count(), (4 * 1 * 3 + 4) + (4 * 4 * 3 + 4) + (4 + 1));
+        assert_eq!(
+            net.parameter_count(),
+            (4 * 3 + 4) + (4 * 4 * 3 + 4) + (4 + 1)
+        );
     }
 
     #[test]
@@ -267,7 +274,9 @@ mod tests {
         net.push(Conv1d::new(1, 2, 3, 1, 1, true).unwrap());
         net.push(Flatten::new());
         net.push(Dense::new(2 * 16, 1).unwrap());
-        let out = net.forward(&Tensor::from_vec(vec![0.1; 16], &[1, 16]).unwrap()).unwrap();
+        let out = net
+            .forward(&Tensor::from_vec(vec![0.1; 16], &[1, 16]).unwrap())
+            .unwrap();
         assert_eq!(out.len(), 1);
     }
 
@@ -303,8 +312,9 @@ mod tests {
             .sum::<f32>()
             / samples.len() as f32;
 
-        let final_loss =
-            net.fit(&samples, Loss::MeanSquaredError, 0.05, 60, &mut rng).unwrap();
+        let final_loss = net
+            .fit(&samples, Loss::MeanSquaredError, 0.05, 60, &mut rng)
+            .unwrap();
         assert!(
             final_loss < initial * 0.2,
             "training should reduce loss substantially: {initial} -> {final_loss}"
@@ -323,6 +333,8 @@ mod tests {
     fn fit_on_empty_network_fails() {
         let mut net = Sequential::new();
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(net.fit(&[], Loss::MeanSquaredError, 0.1, 1, &mut rng).is_err());
+        assert!(net
+            .fit(&[], Loss::MeanSquaredError, 0.1, 1, &mut rng)
+            .is_err());
     }
 }

@@ -46,7 +46,14 @@ impl QuantParams {
 /// Quantizes a whole tensor, returning the int8 data and its parameters.
 pub fn quantize_tensor(tensor: &Tensor) -> (Vec<i8>, QuantParams) {
     let params = QuantParams::from_abs_max(tensor.abs_max());
-    (tensor.as_slice().iter().map(|&x| params.quantize(x)).collect(), params)
+    (
+        tensor
+            .as_slice()
+            .iter()
+            .map(|&x| params.quantize(x))
+            .collect(),
+        params,
+    )
 }
 
 /// Quantizes a slice of weights.
@@ -137,7 +144,8 @@ impl QuantizedNetwork {
                 return Err(TinyDlError::InvalidParameter {
                     op: "QuantizedNetwork::from_sequential",
                     name: "layer",
-                    requirement: "only Conv1d, Dense, Relu, GlobalAvgPool and Flatten are supported",
+                    requirement:
+                        "only Conv1d, Dense, Relu, GlobalAvgPool and Flatten are supported",
                 });
             }
         }
@@ -160,7 +168,8 @@ impl QuantizedNetwork {
         self.layers
             .iter()
             .map(|l| match l {
-                QuantLayer::Conv { weights, bias, .. } | QuantLayer::Dense { weights, bias, .. } => {
+                QuantLayer::Conv { weights, bias, .. }
+                | QuantLayer::Dense { weights, bias, .. } => {
                     weights.len() + bias.len() * std::mem::size_of::<f32>()
                 }
                 _ => 0,
@@ -202,9 +211,20 @@ impl QuantizedNetwork {
                     *weight_params,
                     bias,
                 )?,
-                QuantLayer::Dense { in_features, out_features, weights, weight_params, bias } => {
-                    quantized_dense_forward(&x, *in_features, *out_features, weights, *weight_params, bias)?
-                }
+                QuantLayer::Dense {
+                    in_features,
+                    out_features,
+                    weights,
+                    weight_params,
+                    bias,
+                } => quantized_dense_forward(
+                    &x,
+                    *in_features,
+                    *out_features,
+                    weights,
+                    *weight_params,
+                    bias,
+                )?,
                 QuantLayer::Relu => {
                     let mut out = x.clone();
                     for v in out.as_mut_slice() {
@@ -263,7 +283,11 @@ fn quantized_conv_forward(
     let in_len = input.cols();
     let span = dilation * (kernel - 1);
     let padded = in_len + 2 * padding;
-    let out_len = if padded <= span { 0 } else { (padded - span - 1) / stride + 1 };
+    let out_len = if padded <= span {
+        0
+    } else {
+        (padded - span - 1) / stride + 1
+    };
 
     let (qx, x_params) = quantize_tensor(input);
     let rescale = x_params.scale * weight_params.scale;
@@ -390,7 +414,10 @@ mod tests {
             let rel = (float_out - quant_out).abs() / float_out.abs().max(0.1);
             max_rel_err = max_rel_err.max(rel);
         }
-        assert!(max_rel_err < 0.12, "int8 inference should track f32, max rel err {max_rel_err}");
+        assert!(
+            max_rel_err < 0.12,
+            "int8 inference should track f32, max rel err {max_rel_err}"
+        );
     }
 
     #[test]

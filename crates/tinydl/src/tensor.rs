@@ -33,9 +33,15 @@ impl Tensor {
         }
         let expected: usize = shape.iter().product();
         if expected != data.len() {
-            return Err(TinyDlError::ShapeMismatch { expected, actual: data.len() });
+            return Err(TinyDlError::ShapeMismatch {
+                expected,
+                actual: data.len(),
+            });
         }
-        Ok(Self { data, shape: shape.to_vec() })
+        Ok(Self {
+            data,
+            shape: shape.to_vec(),
+        })
     }
 
     /// Creates a zero-filled tensor of the given shape.
@@ -50,7 +56,10 @@ impl Tensor {
 
     /// Creates a rank-1 tensor from a slice.
     pub fn from_slice(data: &[f32]) -> Self {
-        Self { data: data.to_vec(), shape: vec![data.len()] }
+        Self {
+            data: data.to_vec(),
+            shape: vec![data.len()],
+        }
     }
 
     /// The tensor's shape.
@@ -151,7 +160,10 @@ mod tests {
         assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
         assert!(matches!(
             Tensor::from_vec(vec![1.0; 5], &[2, 3]),
-            Err(TinyDlError::ShapeMismatch { expected: 6, actual: 5 })
+            Err(TinyDlError::ShapeMismatch {
+                expected: 6,
+                actual: 5
+            })
         ));
         assert!(Tensor::from_vec(vec![1.0; 6], &[1, 2, 3]).is_err());
         assert!(Tensor::from_vec(vec![], &[]).is_err());

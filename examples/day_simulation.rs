@@ -29,8 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Train the activity-recognition random forest on the first two subjects
     // and run CHRIS with it (instead of the oracle) on the full day.
-    let train: Vec<LabeledWindow> =
-        windows.iter().filter(|w| w.subject.0 < 2).cloned().collect();
+    let train: Vec<LabeledWindow> = windows
+        .iter()
+        .filter(|w| w.subject.0 < 2)
+        .cloned()
+        .collect();
     let rf = RandomForest::train(&train, RandomForestConfig::default())?;
     println!(
         "activity RF: {} trees, depth <= {}, 9-way accuracy {:.1} %",
@@ -43,12 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schedule = ConnectionSchedule::DutyCycle { up: 8, down: 2 };
     let constraint = UserConstraint::MaxMae(5.60);
 
-    let mut runtime = ChrisRuntime::with_classifier(
-        zoo.clone(),
-        engine,
-        Box::new(rf),
-        RuntimeOptions::default(),
-    );
+    let mut runtime =
+        ChrisRuntime::with_classifier(zoo.clone(), engine, Box::new(rf), RuntimeOptions::default());
     let report = runtime.run(&windows, &constraint, &schedule)?;
     println!("\nCHRIS over an intermittently connected day:");
     println!("{report}");
@@ -60,13 +59,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows: Vec<(String, f64)> = zoo
         .table()
         .into_iter()
-        .map(|c| (format!("{} always on watch", c.kind.name()), c.watch_energy.as_millijoules()))
+        .map(|c| {
+            (
+                format!("{} always on watch", c.kind.name()),
+                c.watch_energy.as_millijoules(),
+            )
+        })
         .collect();
     rows.push((
         "stream every window to the phone".to_string(),
-        zoo.ble().transfer_energy(chris::hw::WINDOW_PAYLOAD_BYTES).as_millijoules(),
+        zoo.ble()
+            .transfer_energy(chris::hw::WINDOW_PAYLOAD_BYTES)
+            .as_millijoules(),
     ));
-    rows.push(("CHRIS (this run)".to_string(), report.avg_watch_energy.as_millijoules()));
+    rows.push((
+        "CHRIS (this run)".to_string(),
+        report.avg_watch_energy.as_millijoules(),
+    ));
     for (label, energy_mj) in rows {
         let avg_power = Power::from_milliwatts(energy_mj / chris::hw::PREDICTION_PERIOD_S);
         let days = battery.lifetime(avg_power).as_seconds() / 86_400.0;

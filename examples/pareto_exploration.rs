@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let table = profiler.profile_all(&windows, ProfilingOptions::default())?;
     let engine = DecisionEngine::new(table);
 
-    println!("all {} configurations (sorted by smartwatch energy):", engine.len());
+    println!(
+        "all {} configurations (sorted by smartwatch energy):",
+        engine.len()
+    );
     println!(
         "  {:<38} {:>10} {:>12} {:>10} {:>10}",
         "configuration", "MAE [BPM]", "watch [mJ]", "offload %", "simple %"
@@ -43,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for status in [ConnectionStatus::Connected, ConnectionStatus::Disconnected] {
         let front = engine.pareto(status);
-        println!("\nPareto front with the phone {status:?} ({} points):", front.len());
+        println!(
+            "\nPareto front with the phone {status:?} ({} points):",
+            front.len()
+        );
         for p in front {
             println!(
                 "  {:<38} {:>7.2} BPM {:>10.3} mJ",
@@ -56,8 +62,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The two selections highlighted in the paper.
     for (label, constraint) in [
-        ("Constraint 1 (MAE <= 5.60 BPM)", UserConstraint::MaxMae(5.60)),
-        ("Constraint 2 (MAE <= 7.20 BPM)", UserConstraint::MaxMae(7.20)),
+        (
+            "Constraint 1 (MAE <= 5.60 BPM)",
+            UserConstraint::MaxMae(5.60),
+        ),
+        (
+            "Constraint 2 (MAE <= 7.20 BPM)",
+            UserConstraint::MaxMae(7.20),
+        ),
     ] {
         let selected = engine
             .select(&constraint, ConnectionStatus::Connected)

@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .seed(42)
         .build()?;
     let windows = dataset.windows();
-    println!("  {} subjects, {} windows\n", dataset.subject_count(), windows.len());
+    println!(
+        "  {} subjects, {} windows\n",
+        dataset.subject_count(),
+        windows.len()
+    );
 
     // 2. The model zoo (Table I of the paper).
     let zoo = ModelZoo::paper_setup();
@@ -43,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profiler = Profiler::new(&zoo);
     let table = profiler.profile_all(&windows, ProfilingOptions::default())?;
     let engine = DecisionEngine::new(table);
-    println!("  {} configurations profiled, {} Pareto-optimal while connected", engine.len(), engine.pareto(ConnectionStatus::Connected).len());
+    println!(
+        "  {} configurations profiled, {} Pareto-optimal while connected",
+        engine.len(),
+        engine.pareto(ConnectionStatus::Connected).len()
+    );
 
     // 4. Run CHRIS with the paper's Constraint 1: MAE <= 5.60 BPM (the MAE of
     //    TimePPG-Small running alone).

@@ -31,13 +31,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
     // 1. Activity-recognition random forest.
     // ------------------------------------------------------------------
-    let train: Vec<LabeledWindow> =
-        windows.iter().filter(|w| w.subject.0 < 2).cloned().collect();
-    let test: Vec<LabeledWindow> =
-        windows.iter().filter(|w| w.subject.0 == 2).cloned().collect();
+    let train: Vec<LabeledWindow> = windows
+        .iter()
+        .filter(|w| w.subject.0 < 2)
+        .cloned()
+        .collect();
+    let test: Vec<LabeledWindow> = windows
+        .iter()
+        .filter(|w| w.subject.0 == 2)
+        .cloned()
+        .collect();
     let rf = RandomForest::train(&train, RandomForestConfig::default())?;
-    println!("random forest ({} trees, depth <= {}):", rf.tree_count(), rf.config().max_depth);
-    println!("  9-way accuracy on the held-out subject : {:.1} %", rf.accuracy(&test)? * 100.0);
+    println!(
+        "random forest ({} trees, depth <= {}):",
+        rf.tree_count(),
+        rf.config().max_depth
+    );
+    println!(
+        "  9-way accuracy on the held-out subject : {:.1} %",
+        rf.accuracy(&test)? * 100.0
+    );
     for threshold in [3u8, 5, 7] {
         let level = chris::data::DifficultyLevel::new(threshold).expect("valid level");
         println!(
@@ -49,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
     // 2. TimePPG-Small training and int8 quantization.
     // ------------------------------------------------------------------
-    println!("\ntraining TimePPG-Small with SGD on {} easy windows...", 120.min(train.len()));
+    println!(
+        "\ntraining TimePPG-Small with SGD on {} easy windows...",
+        120.min(train.len())
+    );
     let mut model = TimePpg::new(TimePpgVariant::Small)?;
     // Use the quieter half of the training windows so the tiny training run
     // has a learnable signal.
@@ -62,7 +78,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(9);
     let mut last_loss = f32::INFINITY;
     for epoch in 0..5 {
-        last_loss = model.network_mut().fit(&samples, Loss::MeanSquaredError, 0.01, 1, &mut rng)?;
+        last_loss = model
+            .network_mut()
+            .fit(&samples, Loss::MeanSquaredError, 0.01, 1, &mut rng)?;
         println!("  epoch {epoch}: training loss {last_loss:.4}");
     }
     println!("  final training loss: {last_loss:.4}");

@@ -78,8 +78,16 @@ pub mod core {
     pub use chris_core::*;
 }
 
+/// Fleet-scale parallel simulation (re-export of `fleet`).
+pub mod fleet {
+    pub use ::fleet::*;
+}
+
 /// One-stop imports for applications and examples.
 pub mod prelude {
+    pub use ::fleet::{
+        DeviceScenario, FleetReport, FleetSimulation, ScenarioGenerator, ScenarioMix,
+    };
     pub use chris_core::prelude::*;
     pub use hw_sim::battery::Battery;
     pub use hw_sim::ble::{BleLink, ConnectionSchedule};

@@ -87,7 +87,10 @@ fn offloading_tradeoffs_match_section_4a() {
 
     // AT: local watch energy beats even the bare BLE transmission energy
     // from the total-system point of view (0.234 vs 0.52 + phone 1.6).
-    assert!(at.watch_energy.as_millijoules() < at.ble_energy.as_millijoules() + at.phone_energy.as_millijoules());
+    assert!(
+        at.watch_energy.as_millijoules()
+            < at.ble_energy.as_millijoules() + at.phone_energy.as_millijoules()
+    );
 
     // Small: offloading is slightly better for the *watch* (BLE 0.52 < 0.735)
     // but worse for the total system (0.52 + 5.54 > 0.735).
@@ -113,8 +116,11 @@ fn constraint1_selection_roughly_halves_energy_versus_local_small() {
     let ws = windows(201);
     let zoo = ModelZoo::paper_setup();
     let profiler = Profiler::new(&zoo);
-    let engine =
-        DecisionEngine::new(profiler.profile_all(&ws, ProfilingOptions::default()).unwrap());
+    let engine = DecisionEngine::new(
+        profiler
+            .profile_all(&ws, ProfilingOptions::default())
+            .unwrap(),
+    );
 
     let selected = engine
         .select(&UserConstraint::MaxMae(5.60), ConnectionStatus::Connected)
@@ -122,7 +128,10 @@ fn constraint1_selection_roughly_halves_energy_versus_local_small() {
     assert_eq!(selected.configuration.simple, ModelKind::AdaptiveThreshold);
     assert_eq!(selected.configuration.complex, ModelKind::TimePpgBig);
     assert_eq!(selected.configuration.target, ExecutionTarget::Hybrid);
-    assert!(selected.offload_fraction > 0.4, "most windows go to the phone");
+    assert!(
+        selected.offload_fraction > 0.4,
+        "most windows go to the phone"
+    );
 
     let small_local = zoo.characterize(ModelKind::TimePpgSmall).watch_energy;
     let saving = small_local.as_millijoules() / selected.watch_energy.as_millijoules();
@@ -139,8 +148,11 @@ fn constraint2_selection_reaches_the_sub_half_millijoule_regime() {
     let ws = windows(202);
     let zoo = ModelZoo::paper_setup();
     let profiler = Profiler::new(&zoo);
-    let engine =
-        DecisionEngine::new(profiler.profile_all(&ws, ProfilingOptions::default()).unwrap());
+    let engine = DecisionEngine::new(
+        profiler
+            .profile_all(&ws, ProfilingOptions::default())
+            .unwrap(),
+    );
 
     let selected = engine
         .select(&UserConstraint::MaxMae(7.20), ConnectionStatus::Connected)
@@ -183,7 +195,9 @@ fn fig5_threshold_sweep_is_monotone() {
             ExecutionTarget::Hybrid,
         )
         .unwrap();
-        let p = profiler.profile(config, &ws, ProfilingOptions::default()).unwrap();
+        let p = profiler
+            .profile(config, &ws, ProfilingOptions::default())
+            .unwrap();
         energies.push(p.watch_energy.as_millijoules());
         maes.push(p.mae_bpm);
     }
@@ -210,8 +224,11 @@ fn profile_table_is_sorted_and_has_60_rows() {
     let ws = windows(204);
     let zoo = ModelZoo::paper_setup();
     let profiler = Profiler::new(&zoo);
-    let engine =
-        DecisionEngine::new(profiler.profile_all(&ws, ProfilingOptions::default()).unwrap());
+    let engine = DecisionEngine::new(
+        profiler
+            .profile_all(&ws, ProfilingOptions::default())
+            .unwrap(),
+    );
     assert_eq!(engine.len(), 60);
     for pair in engine.profiles().windows(2) {
         assert!(pair[0].watch_energy <= pair[1].watch_energy);

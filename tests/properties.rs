@@ -13,7 +13,11 @@ fn arbitrary_profile() -> impl Strategy<Value = ConfigurationProfile> {
                 ModelKind::AdaptiveThreshold,
                 ModelKind::TimePpgBig,
                 DifficultyThreshold::new(threshold).expect("threshold in range"),
-                if hybrid { ExecutionTarget::Hybrid } else { ExecutionTarget::Local },
+                if hybrid {
+                    ExecutionTarget::Hybrid
+                } else {
+                    ExecutionTarget::Local
+                },
             )
             .expect("ordered pair"),
             mae_bpm: mae,

@@ -1,0 +1,312 @@
+//! Vendored stand-in for `criterion`.
+//!
+//! A small wall-clock benchmarking harness exposing the criterion API shape
+//! the workspace uses (`bench_function`, `iter`, `iter_batched`,
+//! `benchmark_group`, `bench_with_input`, the `criterion_group!` /
+//! `criterion_main!` macros). Timing is a simple warmup + fixed sample count
+//! around `Instant::now()`; results are printed as mean time per iteration
+//! and derived throughput when configured.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted for API compatibility;
+/// every batch is per-iteration here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: large batches in real criterion.
+    SmallInput,
+    /// Large inputs: small batches in real criterion.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // When run under `cargo test` the harness executes each benchmark
+        // once, mirroring criterion's test mode.
+        let quick = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 10,
+            quick,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            quick: self.quick,
+        };
+        let samples = if self.quick { 1 } else { self.sample_size };
+        for _ in 0..samples {
+            f(&mut bencher);
+        }
+        report(name, &bencher.samples, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Final reporting hook (no-op; kept for API compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            quick: self.criterion.quick,
+        };
+        let samples = if self.criterion.quick {
+            1
+        } else {
+            self.criterion.sample_size
+        };
+        for _ in 0..samples {
+            f(&mut bencher);
+        }
+        report(
+            &format!("{}/{}", self.name, id),
+            &bencher.samples,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    quick: bool,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let iters = self.calibrate(&mut routine);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.samples
+            .push(elapsed / u32::try_from(iters).unwrap_or(u32::MAX));
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup excluded).
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let iters = if self.quick { 1 } else { 10 };
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples
+            .push(total / u32::try_from(iters).unwrap_or(u32::MAX));
+    }
+
+    /// Picks an iteration count so a sample takes a measurable time slice.
+    fn calibrate<O, F: FnMut() -> O>(&self, routine: &mut F) -> u64 {
+        if self.quick {
+            return 1;
+        }
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        // Aim for ~20 ms per sample, capped to keep total time bounded.
+        (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64
+    }
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let mean_ns =
+        samples.iter().map(Duration::as_nanos).sum::<u128>() as f64 / samples.len() as f64;
+    let (scaled, unit) = if mean_ns < 1_000.0 {
+        (mean_ns, "ns")
+    } else if mean_ns < 1_000_000.0 {
+        (mean_ns / 1e3, "us")
+    } else if mean_ns < 1_000_000_000.0 {
+        (mean_ns / 1e6, "ms")
+    } else {
+        (mean_ns / 1e9, "s")
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_s = n as f64 / (mean_ns / 1e9);
+            println!("{name:<50} {scaled:>10.3} {unit}/iter   {per_s:>12.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_s = n as f64 / (mean_ns / 1e9);
+            println!(
+                "{name:<50} {scaled:>10.3} {unit}/iter   {:>12.1} MiB/s",
+                per_s / (1024.0 * 1024.0)
+            );
+        }
+        None => println!("{name:<50} {scaled:>10.3} {unit}/iter"),
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grouped");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 2,
+            quick: true,
+        };
+        work(&mut c);
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}
