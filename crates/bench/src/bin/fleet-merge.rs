@@ -1,0 +1,113 @@
+//! Merge step of the sharded fleet pipeline.
+//!
+//! Reads the shard artifacts written by `fleet-shard`, validates that they
+//! describe one fleet (same master seed, mix, engine version; device ranges
+//! that tile the fleet with no overlap and no gap) and folds them into the
+//! aggregate report. With `--json` the output is **byte-identical** to
+//! `fleet --json` run single-process over the same fleet; any incompatibility
+//! is rejected with a typed error instead of a corrupted report.
+//!
+//! ```text
+//! fleet-merge --json shard-0.json shard-1.json shard-2.json shard-3.json
+//! ```
+
+use std::process::ExitCode;
+
+use fleet::{merge, ShardReport};
+
+const USAGE: &str = "usage: fleet-merge [--json] [--per-device] SHARD.json...\n\
+       --json          print the merged aggregate report as JSON instead of text\n\
+       --per-device    also print one line per device\n\
+     Positional arguments are shard artifacts written by fleet-shard, in any order.";
+
+struct Args {
+    json: bool,
+    per_device: bool,
+    paths: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        per_device: false,
+        paths: Vec::new(),
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--per-device" => args.per_device = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown argument `{other}`\n{USAGE}"));
+            }
+            path => args.paths.push(path.to_string()),
+        }
+    }
+    if args.paths.is_empty() {
+        return Err(format!("no shard artifacts given\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn read_shard(path: &str) -> Result<ShardReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path} failed: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path} failed: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut shards = Vec::with_capacity(args.paths.len());
+    for path in &args.paths {
+        match read_shard(path) {
+            Ok(shard) => shards.push(shard),
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let shard_count = shards.len();
+    let seed = shards[0].meta.master_seed;
+    let fleet_devices = shards[0].meta.fleet_devices;
+
+    let outcome = match merge(shards) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("merge failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.json {
+        match serde_json::to_string_pretty(&outcome.report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("serializing the report failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        println!(
+            "CHRIS fleet simulation  (seed {seed}, {fleet_devices} devices, \
+             merged from {shard_count} shard artifacts)"
+        );
+        println!("{}", outcome.report);
+        if args.per_device {
+            println!();
+            for d in &outcome.devices {
+                println!("{}", chris_bench::fleet_cli::device_line(d));
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

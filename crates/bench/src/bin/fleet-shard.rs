@@ -1,0 +1,118 @@
+//! Shard worker of the sharded fleet pipeline.
+//!
+//! Simulates one contiguous slice of a fleet's device-id range and writes the
+//! resulting [`fleet::ShardReport`] artifact as JSON. Because every device
+//! scenario is a pure function of `(master seed, device id)`, the K shard
+//! invocations can run on different processes or hosts with no coordination;
+//! `fleet-merge` later folds the artifacts into the exact single-process
+//! report.
+//!
+//! ```text
+//! fleet-shard --devices 1000 --shards 4 --shard-index 0 --seed 42 --out shard-0.json
+//! ```
+
+use std::process::ExitCode;
+
+use chris_bench::fleet_cli::{self, FleetArgs};
+use fleet::{FleetSimulation, ShardSpec};
+
+struct Args {
+    common: FleetArgs,
+    shards: u32,
+    shard_index: u32,
+    out: Option<String>,
+}
+
+const USAGE: &str = "usage: fleet-shard --shards K --shard-index I [--devices N] [--threads N] \
+     [--seed N] [--mix NAME] [--out PATH]\n\
+     {COMMON}\n\
+       --shards K      number of contiguous shards the fleet is split into (default 1)\n\
+       --shard-index I which shard to simulate, 0-based (default 0)\n\
+       --out PATH      write the shard artifact to PATH instead of stdout";
+
+fn usage() -> String {
+    USAGE.replace("{COMMON}", fleet_cli::COMMON_USAGE)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        common: FleetArgs::default(),
+        shards: 1,
+        shard_index: 0,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if fleet_cli::parse_common(&mut args.common, &flag, &mut it)? {
+            continue;
+        }
+        match flag.as_str() {
+            "--shards" => args.shards = fleet_cli::parse_value(&flag, &mut it)?,
+            "--shard-index" => args.shard_index = fleet_cli::parse_value(&flag, &mut it)?,
+            "--out" => args.out = Some(fleet_cli::flag_value(&flag, &mut it)?),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let spec = match ShardSpec::new(args.common.devices, args.shards) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("invalid shard specification: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let simulation = match FleetSimulation::new(args.common.seed, args.common.mix) {
+        Ok(simulation) => simulation,
+        Err(e) => {
+            eprintln!("profiling the shared configuration table failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let shard = match simulation.run_shard(&spec, args.shard_index, args.common.threads) {
+        Ok(shard) => shard,
+        Err(e) => {
+            eprintln!("shard run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let json = match serde_json::to_string_pretty(&shard) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("serializing the shard artifact failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("writing {path} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "shard {}/{} (devices [{}, {})) -> {path}",
+                shard.meta.shard_index, shard.meta.shard_count, shard.meta.start, shard.meta.end,
+            );
+        }
+        None => println!("{json}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -12,79 +12,44 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use fleet::{FleetSimulation, ScenarioMix};
+use chris_bench::fleet_cli::{self, FleetArgs};
+use fleet::FleetSimulation;
 
 struct Args {
-    devices: u64,
-    threads: usize,
-    seed: u64,
-    mix: ScenarioMix,
-    mix_name: String,
+    common: FleetArgs,
     json: bool,
     per_device: bool,
 }
 
-impl Default for Args {
-    fn default() -> Self {
-        Self {
-            devices: 1000,
-            threads: 0,
-            seed: 42,
-            mix: ScenarioMix::balanced(),
-            mix_name: "balanced".to_string(),
-            json: false,
-            per_device: false,
-        }
-    }
-}
-
 const USAGE: &str =
     "usage: fleet [--devices N] [--threads N] [--seed N] [--mix NAME] [--json] [--per-device]\n\
-       --devices N     number of simulated devices (default 1000)\n\
-       --threads N     worker threads, 0 = one per core (default 0)\n\
-       --seed N        master seed; fixes every device's scenario (default 42)\n\
-       --mix NAME      scenario mix: balanced | harsh | connected (default balanced)\n\
+     {COMMON}\n\
        --json          print the aggregate report as JSON instead of text\n\
        --per-device    also print one line per device";
 
+fn usage() -> String {
+    USAGE.replace("{COMMON}", fleet_cli::COMMON_USAGE)
+}
+
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args::default();
+    let mut args = Args {
+        common: FleetArgs::default(),
+        json: false,
+        per_device: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        if fleet_cli::parse_common(&mut args.common, &flag, &mut it)? {
+            continue;
+        }
         match flag.as_str() {
-            "--devices" => {
-                args.devices = value("--devices")?
-                    .parse()
-                    .map_err(|e| format!("--devices: {e}"))?;
-            }
-            "--threads" => {
-                args.threads = value("--threads")?
-                    .parse()
-                    .map_err(|e| format!("--threads: {e}"))?;
-            }
-            "--seed" => {
-                args.seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?;
-            }
-            "--mix" => {
-                let name = value("--mix")?;
-                args.mix = ScenarioMix::from_name(&name).ok_or_else(|| {
-                    format!(
-                        "unknown mix `{name}`; expected one of {}",
-                        ScenarioMix::PRESETS.join(", ")
-                    )
-                })?;
-                args.mix_name = name;
-            }
             "--json" => args.json = true,
             "--per-device" => args.per_device = true,
             "--help" | "-h" => {
-                println!("{USAGE}");
+                println!("{}", usage());
                 std::process::exit(0);
             }
-            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
     }
     Ok(args)
@@ -100,7 +65,7 @@ fn main() -> ExitCode {
     };
 
     let setup_start = Instant::now();
-    let simulation = match FleetSimulation::new(args.seed, args.mix) {
+    let simulation = match FleetSimulation::new(args.common.seed, args.common.mix) {
         Ok(simulation) => simulation,
         Err(e) => {
             eprintln!("profiling the shared configuration table failed: {e}");
@@ -110,7 +75,7 @@ fn main() -> ExitCode {
     let setup_time = setup_start.elapsed();
 
     let run_start = Instant::now();
-    let outcome = match simulation.run(args.devices, args.threads) {
+    let outcome = match simulation.run(args.common.devices, args.common.threads) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("fleet run failed: {e}");
@@ -130,32 +95,17 @@ fn main() -> ExitCode {
     } else {
         println!(
             "CHRIS fleet simulation  (seed {}, mix {}, {} devices)",
-            args.seed, args.mix_name, args.devices
+            args.common.seed, args.common.mix_name, args.common.devices
         );
         println!("{}", outcome.report);
         if args.per_device {
             println!();
             for d in &outcome.devices {
-                println!(
-                    "  device {:>6}  {:>4} windows  MAE {:>6.2} BPM  {:>8.1} uJ/pred  \
-                     offload {:>5.1} %  battery {:>8.1} h  {}{}",
-                    d.device_id,
-                    d.windows,
-                    d.mae_bpm,
-                    d.avg_watch_energy.as_microjoules(),
-                    d.offload_fraction * 100.0,
-                    d.battery_life_hours,
-                    d.constraint,
-                    if d.constraint_violated {
-                        "  VIOLATED"
-                    } else {
-                        ""
-                    },
-                );
+                println!("{}", fleet_cli::device_line(d));
             }
         }
         let windows_per_s = outcome.report.total_windows as f64 / run_time.as_secs_f64();
-        let devices_per_s = args.devices as f64 / run_time.as_secs_f64();
+        let devices_per_s = args.common.devices as f64 / run_time.as_secs_f64();
         eprintln!(
             "\nprofiling {:.2} s; simulated {} windows in {:.2} s \
              ({windows_per_s:.0} windows/s, {devices_per_s:.0} devices/s)",

@@ -1,0 +1,170 @@
+//! Shared CLI plumbing for the fleet binary family (`fleet`, `fleet-shard`,
+//! `fleet-merge`).
+//!
+//! `fleet` and `fleet-shard` describe a fleet by the same flags — master
+//! seed, device count, scenario mix, worker threads — so those flags live
+//! here once ([`parse_common`]): each binary loops over its raw arguments,
+//! first offering every flag to [`parse_common`], then handling its own
+//! extras, which keeps the shard and single-process CLIs from drifting apart
+//! on fleet identity. `fleet-merge` takes no fleet flags (it derives the
+//! fleet from the artifacts' provenance) but shares the per-device rendering
+//! ([`device_line`]) so its `--per-device` output matches `fleet`'s exactly.
+
+use fleet::ScenarioMix;
+
+/// The flags shared by every fleet binary, with their defaults.
+#[derive(Debug, Clone)]
+pub struct FleetArgs {
+    /// Number of simulated devices in the whole fleet.
+    pub devices: u64,
+    /// Worker threads; `0` means one per available core.
+    pub threads: usize,
+    /// Master seed; fixes every device's scenario.
+    pub seed: u64,
+    /// The resolved scenario mix.
+    pub mix: ScenarioMix,
+    /// Preset name of the mix (for display and shard provenance).
+    pub mix_name: String,
+}
+
+impl Default for FleetArgs {
+    fn default() -> Self {
+        Self {
+            devices: 1000,
+            threads: 0,
+            seed: 42,
+            mix: ScenarioMix::balanced(),
+            mix_name: "balanced".to_string(),
+        }
+    }
+}
+
+/// Usage lines of the flags [`parse_common`] understands, for embedding in
+/// each binary's `--help` text.
+pub const COMMON_USAGE: &str = "--devices N     number of simulated devices (default 1000)\n\
+       --threads N     worker threads, 0 = one per core (default 0)\n\
+       --seed N        master seed; fixes every device's scenario (default 42)\n\
+       --mix NAME      scenario mix: balanced | harsh | connected (default balanced)";
+
+/// Pulls the next raw argument as the value of `flag`.
+///
+/// # Errors
+///
+/// Returns a usage-style message when the iterator is exhausted.
+pub fn flag_value(flag: &str, it: &mut dyn Iterator<Item = String>) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("missing value for {flag}"))
+}
+
+/// Parses the value of `flag` into any `FromStr` type, with the flag name in
+/// the error message.
+///
+/// # Errors
+///
+/// Returns a usage-style message when the value is missing or unparseable.
+pub fn parse_value<T>(flag: &str, it: &mut dyn Iterator<Item = String>) -> Result<T, String>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    flag_value(flag, it)?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))
+}
+
+/// Formats the `--per-device` report line of one device, shared by `fleet`
+/// and `fleet-merge` so the two renderings cannot drift apart.
+pub fn device_line(d: &fleet::DeviceReport) -> String {
+    format!(
+        "  device {:>6}  {:>4} windows  MAE {:>6.2} BPM  {:>8.1} uJ/pred  \
+         offload {:>5.1} %  battery {:>8.1} h  {}{}",
+        d.device_id,
+        d.windows,
+        d.mae_bpm,
+        d.avg_watch_energy.as_microjoules(),
+        d.offload_fraction * 100.0,
+        d.battery_life_hours,
+        d.constraint,
+        if d.constraint_violated {
+            "  VIOLATED"
+        } else {
+            ""
+        },
+    )
+}
+
+/// Tries to consume one of the common fleet flags.
+///
+/// Returns `Ok(true)` when `flag` (and, where applicable, its value) was
+/// consumed, `Ok(false)` when the flag is not a common one and the caller
+/// should handle it.
+///
+/// # Errors
+///
+/// Returns a usage-style message when a value is missing or invalid.
+pub fn parse_common(
+    args: &mut FleetArgs,
+    flag: &str,
+    it: &mut dyn Iterator<Item = String>,
+) -> Result<bool, String> {
+    match flag {
+        "--devices" => args.devices = parse_value(flag, it)?,
+        "--threads" => args.threads = parse_value(flag, it)?,
+        "--seed" => args.seed = parse_value(flag, it)?,
+        "--mix" => {
+            let name = flag_value(flag, it)?;
+            args.mix = ScenarioMix::from_name(&name).ok_or_else(|| {
+                format!(
+                    "unknown mix `{name}`; expected one of {}",
+                    ScenarioMix::PRESETS.join(", ")
+                )
+            })?;
+            args.mix_name = name;
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(raw: &[&str]) -> Result<FleetArgs, String> {
+        let mut args = FleetArgs::default();
+        let mut it = raw.iter().map(|s| s.to_string());
+        while let Some(flag) = it.next() {
+            if !parse_common(&mut args, &flag, &mut it)? {
+                return Err(format!("unknown argument `{flag}`"));
+            }
+        }
+        Ok(args)
+    }
+
+    #[test]
+    fn common_flags_are_parsed() {
+        let args = parse_all(&[
+            "--devices",
+            "64",
+            "--threads",
+            "4",
+            "--seed",
+            "7",
+            "--mix",
+            "harsh",
+        ])
+        .unwrap();
+        assert_eq!(args.devices, 64);
+        assert_eq!(args.threads, 4);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.mix_name, "harsh");
+        assert_eq!(args.mix, ScenarioMix::harsh());
+    }
+
+    #[test]
+    fn bad_values_are_reported_with_the_flag_name() {
+        assert!(parse_all(&["--devices"]).unwrap_err().contains("--devices"));
+        assert!(parse_all(&["--seed", "x"]).unwrap_err().contains("--seed"));
+        assert!(parse_all(&["--mix", "nope"]).unwrap_err().contains("nope"));
+        assert!(parse_all(&["--wat"]).unwrap_err().contains("--wat"));
+    }
+}

@@ -17,6 +17,8 @@
 use chris_core::prelude::*;
 use ppg_data::{DatasetBuilder, LabeledWindow};
 
+pub mod fleet_cli;
+
 /// Default number of subjects used by the experiment binaries.
 pub const EXPERIMENT_SUBJECTS: usize = 6;
 /// Default seconds of recording per activity per subject.

@@ -7,6 +7,15 @@ use std::fmt;
 pub enum FleetError {
     /// The fleet has no devices.
     EmptyFleet,
+    /// A shard specification asked for zero shards.
+    ZeroShards,
+    /// A shard index was outside the shard specification.
+    ShardIndexOutOfRange {
+        /// The offending shard index.
+        index: u32,
+        /// Number of shards in the specification.
+        shards: u32,
+    },
     /// A device simulation failed; carries the offending device id.
     Device {
         /// Id of the device whose simulation failed.
@@ -20,18 +29,25 @@ pub enum FleetError {
     Chris(chris_core::ChrisError),
     /// Hardware modelling failed (battery construction, BLE).
     Hardware(hw_sim::HwError),
+    /// Merging shard reports failed.
+    Merge(MergeError),
 }
 
 impl fmt::Display for FleetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FleetError::EmptyFleet => write!(f, "the fleet has no devices"),
+            FleetError::ZeroShards => write!(f, "a fleet cannot be split into zero shards"),
+            FleetError::ShardIndexOutOfRange { index, shards } => {
+                write!(f, "shard index {index} out of range for {shards} shards")
+            }
             FleetError::Device { device_id, source } => {
                 write!(f, "device {device_id} failed: {source}")
             }
             FleetError::Data(e) => write!(f, "scenario data error: {e}"),
             FleetError::Chris(e) => write!(f, "runtime error: {e}"),
             FleetError::Hardware(e) => write!(f, "hardware error: {e}"),
+            FleetError::Merge(e) => write!(f, "shard merge error: {e}"),
         }
     }
 }
@@ -43,8 +59,129 @@ impl std::error::Error for FleetError {
             FleetError::Data(e) => Some(e),
             FleetError::Chris(e) => Some(e),
             FleetError::Hardware(e) => Some(e),
-            FleetError::EmptyFleet => None,
+            FleetError::Merge(e) => Some(e),
+            FleetError::EmptyFleet
+            | FleetError::ZeroShards
+            | FleetError::ShardIndexOutOfRange { .. } => None,
         }
+    }
+}
+
+/// Errors produced while validating and merging shard artifacts.
+///
+/// Every variant names the exact incompatibility, so `fleet-merge` can reject
+/// a bad artifact set without ever emitting a corrupted [`crate::FleetReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// No shard reports were supplied.
+    NoShards,
+    /// A shard was produced by a different engine version than the merger.
+    VersionMismatch {
+        /// The merger's engine version.
+        expected: String,
+        /// The shard's engine version.
+        found: String,
+    },
+    /// Shards disagree on the fleet's master seed.
+    SeedMismatch {
+        /// Master seed of the first shard.
+        expected: u64,
+        /// Conflicting master seed.
+        found: u64,
+    },
+    /// Shards disagree on the scenario mix.
+    MixMismatch,
+    /// Shards disagree on the total fleet size.
+    FleetSizeMismatch {
+        /// Fleet size of the first shard.
+        expected: u64,
+        /// Conflicting fleet size.
+        found: u64,
+    },
+    /// Shards disagree on how many shards the fleet was split into.
+    ShardCountMismatch {
+        /// Shard count of the first shard.
+        expected: u32,
+        /// Conflicting shard count.
+        found: u32,
+    },
+    /// Two shards claim overlapping device-id ranges.
+    OverlappingShards {
+        /// Device range `[start, end)` of the earlier shard.
+        left: (u64, u64),
+        /// Device range `[start, end)` of the overlapping shard.
+        right: (u64, u64),
+    },
+    /// A device-id range is covered by no shard (a shard artifact is missing).
+    MissingDevices {
+        /// First uncovered device id.
+        start: u64,
+        /// One past the last uncovered device id.
+        end: u64,
+    },
+    /// A shard artifact is internally inconsistent (device list does not
+    /// match its declared range).
+    CorruptShard {
+        /// Declared start of the shard's device range.
+        start: u64,
+        /// Declared end (exclusive) of the shard's device range.
+        end: u64,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::NoShards => write!(f, "no shard reports to merge"),
+            MergeError::VersionMismatch { expected, found } => {
+                write!(
+                    f,
+                    "engine version mismatch: expected {expected}, found {found}"
+                )
+            }
+            MergeError::SeedMismatch { expected, found } => {
+                write!(
+                    f,
+                    "master seed mismatch: expected {expected}, found {found}"
+                )
+            }
+            MergeError::MixMismatch => {
+                write!(f, "shards were generated from different scenario mixes")
+            }
+            MergeError::FleetSizeMismatch { expected, found } => {
+                write!(
+                    f,
+                    "fleet size mismatch: expected {expected} devices, found {found}"
+                )
+            }
+            MergeError::ShardCountMismatch { expected, found } => {
+                write!(
+                    f,
+                    "shard count mismatch: expected {expected}, found {found}"
+                )
+            }
+            MergeError::OverlappingShards { left, right } => write!(
+                f,
+                "shards [{}, {}) and [{}, {}) overlap",
+                left.0, left.1, right.0, right.1
+            ),
+            MergeError::MissingDevices { start, end } => {
+                write!(f, "devices [{start}, {end}) are covered by no shard")
+            }
+            MergeError::CorruptShard { start, end, detail } => {
+                write!(f, "shard [{start}, {end}) is corrupt: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+impl From<MergeError> for FleetError {
+    fn from(e: MergeError) -> Self {
+        FleetError::Merge(e)
     }
 }
 
@@ -97,5 +234,27 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<FleetError>();
+        assert_send_sync::<MergeError>();
+    }
+
+    #[test]
+    fn merge_errors_name_the_incompatibility() {
+        let e = MergeError::SeedMismatch {
+            expected: 1,
+            found: 2,
+        };
+        assert!(e.to_string().contains("master seed"));
+        let e = MergeError::OverlappingShards {
+            left: (0, 8),
+            right: (4, 12),
+        };
+        assert!(e.to_string().contains("[0, 8)"));
+        assert!(e.to_string().contains("[4, 12)"));
+        let e = MergeError::MissingDevices { start: 8, end: 16 };
+        assert!(e.to_string().contains("[8, 16)"));
+        let wrapped: FleetError = MergeError::NoShards.into();
+        assert!(wrapped.to_string().contains("merge"));
+        use std::error::Error;
+        assert!(wrapped.source().is_some());
     }
 }

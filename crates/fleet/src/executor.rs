@@ -6,6 +6,13 @@
 //! the shared (read-only) zoo + decision engine, and results are merged in
 //! device order afterwards, so the output is byte-identical for any thread
 //! count and any scheduling interleaving.
+//!
+//! The executor is the per-process layer of the scale-out story: both the
+//! single-process path ([`crate::FleetSimulation::run`]) and every
+//! `fleet-shard` worker drive their device range through [`run_fleet`], so a
+//! sharded fleet and a single-process fleet execute identical per-device
+//! work — only the partitioning and the final [`crate::merge::merge`]
+//! differ.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -9,7 +9,7 @@
 //! percentiles, battery-life distribution, offload load on phones,
 //! constraint-violation counts).
 //!
-//! The engine has three layers:
+//! The engine has four layers:
 //!
 //! * [`scenario`] — a deterministic scenario generator: from one master seed
 //!   it derives, per device id, the subject physiology (via `ppg-data`
@@ -25,7 +25,13 @@
 //! * [`report`] — the aggregation layer: MAE percentiles (p50/p90/p99),
 //!   per-device energy and projected battery-life distributions, an
 //!   offload-fraction histogram and constraint-violation counts, all
-//!   serializable via serde.
+//!   serializable via serde,
+//! * [`shard`] / [`merge`] — scale-out: a [`ShardSpec`] cuts the device-id
+//!   range into contiguous shards that can run on any process or host, each
+//!   producing a serializable [`ShardReport`] artifact; [`merge::merge`]
+//!   validates the artifacts and folds them into a [`FleetReport`]
+//!   **byte-identical** to a single-process run. The single-process path
+//!   itself is "run one shard, then merge", so the two can never drift.
 //!
 //! ## Example
 //!
@@ -44,13 +50,17 @@
 
 pub mod error;
 pub mod executor;
+pub mod merge;
 pub mod report;
 pub mod scenario;
+pub mod shard;
 
-pub use error::FleetError;
+pub use error::{FleetError, MergeError};
 pub use executor::{run_fleet, simulate_device, ExecutorOptions};
+pub use merge::merge;
 pub use report::{DeviceReport, DistributionSummary, FleetReport, OFFLOAD_HISTOGRAM_BINS};
 pub use scenario::{DeviceScenario, ScenarioGenerator, ScenarioMix};
+pub use shard::{ShardMeta, ShardReport, ShardSpec, ENGINE_VERSION};
 
 use chris_core::{DecisionEngine, Profiler, ProfilingOptions};
 use ppg_data::DatasetBuilder;
@@ -125,21 +135,73 @@ impl FleetSimulation {
     /// Simulates `devices` devices on `threads` worker threads (0 = one per
     /// available core) and aggregates the results.
     ///
+    /// This *is* the sharded path specialized to one shard: the fleet runs as
+    /// a single in-process shard whose [`ShardReport`] is fed through
+    /// [`merge::merge`], so single-process and sharded execution share one
+    /// code path and cannot drift apart.
+    ///
     /// # Errors
     ///
     /// Returns [`FleetError`] when the fleet is empty or any device
     /// simulation fails.
     pub fn run(&self, devices: u64, threads: usize) -> Result<FleetOutcome, FleetError> {
-        let scenarios = self.generator.scenarios(devices);
-        let options = ExecutorOptions {
-            threads,
-            ..ExecutorOptions::default()
+        if devices == 0 {
+            return Err(FleetError::EmptyFleet);
+        }
+        let spec = ShardSpec::single(devices);
+        let shard = self.run_shard(&spec, 0, threads)?;
+        merge::merge(vec![shard]).map_err(FleetError::from)
+    }
+
+    /// Simulates one shard of a partitioned fleet and returns its
+    /// serializable [`ShardReport`] artifact.
+    ///
+    /// Any shard can run on any process or host: the scenario of each device
+    /// is derived purely from `(master seed, device id)`, and the artifact
+    /// carries the provenance ([`ShardMeta`]) that [`merge::merge`] later
+    /// validates. A shard with an empty device range (possible when
+    /// `spec.shards() > spec.devices()`) yields a well-formed artifact with
+    /// no device reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::ShardIndexOutOfRange`] when
+    /// `index >= spec.shards()`, or the underlying error when a device
+    /// simulation fails.
+    pub fn run_shard(
+        &self,
+        spec: &ShardSpec,
+        index: u32,
+        threads: usize,
+    ) -> Result<ShardReport, FleetError> {
+        let range = spec
+            .range(index)
+            .ok_or_else(|| FleetError::ShardIndexOutOfRange {
+                index,
+                shards: spec.shards(),
+            })?;
+        let scenarios = self.generator.scenarios_in(range.clone());
+        let devices = if scenarios.is_empty() {
+            Vec::new()
+        } else {
+            let options = ExecutorOptions {
+                threads,
+                ..ExecutorOptions::default()
+            };
+            run_fleet(&scenarios, &self.zoo, &self.engine, &options)?
         };
-        let reports = run_fleet(&scenarios, &self.zoo, &self.engine, &options)?;
-        let report = FleetReport::from_devices(&reports);
-        Ok(FleetOutcome {
-            report,
-            devices: reports,
+        Ok(ShardReport {
+            meta: ShardMeta {
+                engine_version: ENGINE_VERSION.to_string(),
+                master_seed: self.generator.master_seed(),
+                mix: *self.generator.mix(),
+                fleet_devices: spec.devices(),
+                shard_count: spec.shards(),
+                shard_index: index,
+                start: range.start,
+                end: range.end,
+            },
+            devices,
         })
     }
 }

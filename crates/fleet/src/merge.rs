@@ -1,0 +1,260 @@
+//! Exact merging of shard artifacts into a fleet report.
+//!
+//! [`merge`] folds K [`ShardReport`]s into the [`FleetOutcome`] a
+//! single-process run over the same fleet would have produced — not an
+//! approximation: the per-device reports are concatenated in device-id order
+//! and fed through the same fixed-order reductions
+//! ([`FleetReport::from_devices`]), so the merged report serializes
+//! **byte-identically** to the single-process one. The population-level
+//! MAE/energy claims the paper's evaluation rests on therefore survive
+//! scale-out unchanged.
+//!
+//! Before touching any numbers, [`merge`] proves the artifact set is
+//! coherent: same engine version, master seed, scenario mix, fleet size and
+//! shard count everywhere; each shard's device list matches its declared
+//! range; and the ranges tile `0..fleet_devices` with no overlap and no gap.
+//! Any violation is a typed [`MergeError`] — a corrupted report is never
+//! emitted.
+
+use crate::error::MergeError;
+use crate::report::FleetReport;
+use crate::shard::{ShardReport, ENGINE_VERSION};
+use crate::FleetOutcome;
+
+/// Merges shard reports into the exact single-process [`FleetOutcome`].
+///
+/// Shards may be supplied in any order; they are sorted by range start before
+/// folding. Empty shards (from a [`crate::ShardSpec`] with more shards than
+/// devices) are valid and contribute nothing.
+///
+/// # Errors
+///
+/// Returns the [`MergeError`] naming the first incompatibility found:
+/// [`MergeError::NoShards`], a provenance mismatch
+/// ([`MergeError::VersionMismatch`], [`MergeError::SeedMismatch`],
+/// [`MergeError::MixMismatch`], [`MergeError::FleetSizeMismatch`],
+/// [`MergeError::ShardCountMismatch`]), an internally inconsistent artifact
+/// ([`MergeError::CorruptShard`]) or bad coverage
+/// ([`MergeError::OverlappingShards`], [`MergeError::MissingDevices`]).
+pub fn merge(mut shards: Vec<ShardReport>) -> Result<FleetOutcome, MergeError> {
+    let Some(first) = shards.first() else {
+        return Err(MergeError::NoShards);
+    };
+    let reference = first.meta.clone();
+
+    for shard in &shards {
+        let meta = &shard.meta;
+        if meta.engine_version != ENGINE_VERSION {
+            return Err(MergeError::VersionMismatch {
+                expected: ENGINE_VERSION.to_string(),
+                found: meta.engine_version.clone(),
+            });
+        }
+        if meta.master_seed != reference.master_seed {
+            return Err(MergeError::SeedMismatch {
+                expected: reference.master_seed,
+                found: meta.master_seed,
+            });
+        }
+        if meta.mix != reference.mix {
+            return Err(MergeError::MixMismatch);
+        }
+        if meta.fleet_devices != reference.fleet_devices {
+            return Err(MergeError::FleetSizeMismatch {
+                expected: reference.fleet_devices,
+                found: meta.fleet_devices,
+            });
+        }
+        if meta.shard_count != reference.shard_count {
+            return Err(MergeError::ShardCountMismatch {
+                expected: reference.shard_count,
+                found: meta.shard_count,
+            });
+        }
+        validate_shard_devices(shard)?;
+    }
+
+    shards.sort_by_key(|s| (s.meta.start, s.meta.end));
+
+    // The sorted ranges must tile 0..fleet_devices exactly.
+    let mut cursor = 0u64;
+    let mut previous = None;
+    for shard in &shards {
+        let meta = &shard.meta;
+        if meta.start < cursor {
+            return Err(MergeError::OverlappingShards {
+                left: previous.expect("a shard has been seen before any overlap"),
+                right: (meta.start, meta.end),
+            });
+        }
+        if meta.start > cursor {
+            return Err(MergeError::MissingDevices {
+                start: cursor,
+                end: meta.start,
+            });
+        }
+        cursor = meta.end;
+        if meta.end > meta.start {
+            previous = Some((meta.start, meta.end));
+        }
+    }
+    if cursor < reference.fleet_devices {
+        return Err(MergeError::MissingDevices {
+            start: cursor,
+            end: reference.fleet_devices,
+        });
+    }
+
+    // Concatenating range-sorted shards yields the devices in id order — the
+    // exact input a single-process run hands to `FleetReport::from_devices`.
+    let devices: Vec<_> = shards.into_iter().flat_map(|s| s.devices).collect();
+    let report = FleetReport::from_devices(&devices);
+    Ok(FleetOutcome { report, devices })
+}
+
+/// Checks that a shard's device list is exactly its declared range, in order.
+fn validate_shard_devices(shard: &ShardReport) -> Result<(), MergeError> {
+    let meta = &shard.meta;
+    let corrupt = |detail: String| MergeError::CorruptShard {
+        start: meta.start,
+        end: meta.end,
+        detail,
+    };
+    if meta.end < meta.start {
+        return Err(corrupt("range end precedes range start".to_string()));
+    }
+    if meta.end > meta.fleet_devices {
+        return Err(corrupt(format!(
+            "range exceeds the {}-device fleet",
+            meta.fleet_devices
+        )));
+    }
+    let expected = meta.end - meta.start;
+    if shard.devices.len() as u64 != expected {
+        return Err(corrupt(format!(
+            "expected {expected} device reports, found {}",
+            shard.devices.len()
+        )));
+    }
+    for (offset, device) in shard.devices.iter().enumerate() {
+        let expected_id = meta.start + offset as u64;
+        if device.device_id != expected_id {
+            return Err(corrupt(format!(
+                "expected device {expected_id} at offset {offset}, found {}",
+                device.device_id
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::DeviceReport;
+    use crate::scenario::ScenarioMix;
+    use crate::shard::ShardMeta;
+    use chris_core::config::EnergyAccounting;
+    use chris_core::decision::UserConstraint;
+    use hw_sim::units::Energy;
+
+    fn device(id: u64) -> DeviceReport {
+        DeviceReport {
+            device_id: id,
+            windows: 10,
+            mae_bpm: 5.0 + id as f32,
+            avg_watch_energy: Energy::from_microjoules(300.0 + id as f64),
+            avg_phone_energy: Energy::from_microjoules(30.0),
+            offload_fraction: 0.5,
+            simple_fraction: 0.3,
+            disconnected_fraction: 0.0,
+            battery_life_hours: 500.0,
+            constraint: UserConstraint::MaxMae(6.0),
+            accounting: EnergyAccounting::BleOnly,
+            constraint_violated: false,
+        }
+    }
+
+    fn shard(
+        fleet_devices: u64,
+        shard_count: u32,
+        index: u32,
+        start: u64,
+        end: u64,
+    ) -> ShardReport {
+        ShardReport {
+            meta: ShardMeta {
+                engine_version: ENGINE_VERSION.to_string(),
+                master_seed: 42,
+                mix: ScenarioMix::balanced(),
+                fleet_devices,
+                shard_count,
+                shard_index: index,
+                start,
+                end,
+            },
+            devices: (start..end).map(device).collect(),
+        }
+    }
+
+    #[test]
+    fn merge_of_ordered_shards_matches_direct_aggregation() {
+        let merged = merge(vec![shard(8, 2, 0, 0, 4), shard(8, 2, 1, 4, 8)]).unwrap();
+        let direct: Vec<_> = (0..8).map(device).collect();
+        assert_eq!(merged.devices, direct);
+        assert_eq!(merged.report, FleetReport::from_devices(&direct));
+    }
+
+    #[test]
+    fn shard_order_does_not_matter() {
+        let a = merge(vec![shard(8, 2, 0, 0, 4), shard(8, 2, 1, 4, 8)]).unwrap();
+        let b = merge(vec![shard(8, 2, 1, 4, 8), shard(8, 2, 0, 0, 4)]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_shards_are_valid() {
+        let merged = merge(vec![
+            shard(2, 4, 0, 0, 1),
+            shard(2, 4, 1, 1, 2),
+            shard(2, 4, 2, 2, 2),
+            shard(2, 4, 3, 2, 2),
+        ])
+        .unwrap();
+        assert_eq!(merged.report.devices, 2);
+    }
+
+    #[test]
+    fn no_shards_is_rejected() {
+        assert_eq!(merge(Vec::new()).unwrap_err(), MergeError::NoShards);
+    }
+
+    #[test]
+    fn corrupt_device_list_is_rejected() {
+        let mut bad = shard(4, 1, 0, 0, 4);
+        bad.devices[2].device_id = 99;
+        assert!(matches!(
+            merge(vec![bad]).unwrap_err(),
+            MergeError::CorruptShard {
+                start: 0,
+                end: 4,
+                ..
+            }
+        ));
+        let mut truncated = shard(4, 1, 0, 0, 4);
+        truncated.devices.pop();
+        assert!(matches!(
+            merge(vec![truncated]).unwrap_err(),
+            MergeError::CorruptShard { .. }
+        ));
+    }
+
+    #[test]
+    fn range_beyond_the_fleet_is_corrupt() {
+        let bad = shard(4, 2, 1, 2, 6);
+        assert!(matches!(
+            merge(vec![shard(4, 2, 0, 0, 2), bad]).unwrap_err(),
+            MergeError::CorruptShard { .. }
+        ));
+    }
+}

@@ -6,7 +6,10 @@
 //! distributions, the offload-fraction histogram (how much work the phones
 //! absorb) and constraint-violation counts. Aggregation iterates devices in
 //! id order with fixed-order floating-point reductions, so a fleet's report
-//! is byte-identical no matter how many threads produced the device reports.
+//! is byte-identical no matter how many threads produced the device reports —
+//! and, because [`crate::merge::merge`] feeds the same id-ordered device
+//! slice through this same function, no matter how many *processes or hosts*
+//! produced them either.
 
 use std::collections::BTreeMap;
 

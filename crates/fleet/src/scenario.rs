@@ -294,7 +294,15 @@ impl ScenarioGenerator {
 
     /// Derives the scenarios of devices `0..count`.
     pub fn scenarios(&self, count: u64) -> Vec<DeviceScenario> {
-        (0..count).map(|id| self.scenario(id)).collect()
+        self.scenarios_in(0..count)
+    }
+
+    /// Derives the scenarios of a contiguous device-id range — the unit of
+    /// work of one fleet shard. Because scenarios depend only on
+    /// `(master seed, device id)`, a range's scenarios are the same whether
+    /// it is generated in one process or split across many.
+    pub fn scenarios_in(&self, range: std::ops::Range<u64>) -> Vec<DeviceScenario> {
+        range.map(|id| self.scenario(id)).collect()
     }
 }
 
@@ -313,6 +321,23 @@ mod tests {
         let big = a.scenarios(64);
         let small = a.scenarios(8);
         assert_eq!(&big[..8], &small[..]);
+    }
+
+    #[test]
+    fn range_generation_matches_per_id_generation() {
+        let generator = ScenarioGenerator::new(13, ScenarioMix::balanced());
+        let ranged = generator.scenarios_in(5..9);
+        assert_eq!(ranged.len(), 4);
+        for (offset, scenario) in ranged.iter().enumerate() {
+            assert_eq!(scenario, &generator.scenario(5 + offset as u64));
+        }
+        assert!(generator.scenarios_in(7..7).is_empty());
+        // Boundary device ids derive valid scenarios without panicking.
+        for id in [u64::MAX, u64::MAX - 1] {
+            let scenario = generator.scenario(id);
+            assert_eq!(scenario.device_id, id);
+            assert!(!scenario.activities.is_empty());
+        }
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Degenerate-input coverage: empty shards, single-device fleets and u64
+//! device-id boundaries must yield well-formed reports — no panics, no NaNs.
+
+use fleet::{
+    merge, run_fleet, DistributionSummary, ExecutorOptions, FleetReport, FleetSimulation,
+    ScenarioMix, ShardSpec,
+};
+
+fn assert_finite(summary: &DistributionSummary, name: &str) {
+    for (field, value) in [
+        ("min", summary.min),
+        ("mean", summary.mean),
+        ("p50", summary.p50),
+        ("p90", summary.p90),
+        ("p99", summary.p99),
+        ("max", summary.max),
+    ] {
+        assert!(value.is_finite(), "{name}.{field} is not finite: {value}");
+    }
+}
+
+fn assert_well_formed(report: &FleetReport) {
+    assert_finite(&report.mae_bpm, "mae_bpm");
+    assert_finite(&report.watch_energy_uj, "watch_energy_uj");
+    assert_finite(&report.battery_life_hours, "battery_life_hours");
+    assert!(report.offloaded_window_share.is_finite());
+    assert!(report.disconnected_window_share.is_finite());
+    assert!(report.avg_phone_energy_uj.is_finite());
+    assert_eq!(
+        report.offload_histogram.len(),
+        fleet::OFFLOAD_HISTOGRAM_BINS
+    );
+    assert_eq!(
+        report.offload_histogram.iter().sum::<usize>(),
+        report.devices
+    );
+}
+
+#[test]
+fn empty_shards_produce_well_formed_artifacts_and_merge() {
+    let simulation = FleetSimulation::new(7, ScenarioMix::balanced()).unwrap();
+    // More shards than devices: the last two shards are empty.
+    let spec = ShardSpec::new(2, 4).unwrap();
+    let shards: Vec<_> = (0..4)
+        .map(|i| simulation.run_shard(&spec, i, 1).unwrap())
+        .collect();
+    assert!(shards[2].devices.is_empty());
+    assert!(shards[3].devices.is_empty());
+    // Empty artifacts survive serialization and merge into the exact
+    // single-process outcome.
+    for shard in &shards {
+        let json = serde_json::to_string(shard).unwrap();
+        let back: fleet::ShardReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, shard);
+    }
+    let merged = merge(shards).unwrap();
+    assert_eq!(merged, simulation.run(2, 1).unwrap());
+    assert_well_formed(&merged.report);
+}
+
+#[test]
+fn zero_device_fleet_merges_to_an_all_zero_report() {
+    let simulation = FleetSimulation::new(7, ScenarioMix::balanced()).unwrap();
+    let spec = ShardSpec::single(0);
+    let shard = simulation.run_shard(&spec, 0, 1).unwrap();
+    assert!(shard.devices.is_empty());
+    let merged = merge(vec![shard]).unwrap();
+    assert_eq!(merged.report, FleetReport::from_devices(&[]));
+    assert_eq!(merged.report.devices, 0);
+    assert_well_formed(&merged.report);
+    // The single-process entry point still reports the empty fleet loudly.
+    assert!(matches!(
+        simulation.run(0, 1),
+        Err(fleet::FleetError::EmptyFleet)
+    ));
+}
+
+#[test]
+fn single_device_fleet_is_well_formed() {
+    let simulation = FleetSimulation::new(11, ScenarioMix::harsh()).unwrap();
+    let outcome = simulation.run(1, 1).unwrap();
+    assert_eq!(outcome.report.devices, 1);
+    assert_eq!(outcome.devices.len(), 1);
+    assert_well_formed(&outcome.report);
+    // With one sample every order statistic is that sample.
+    let mae = &outcome.report.mae_bpm;
+    assert_eq!(mae.min, mae.max);
+    assert_eq!(mae.p50, mae.max);
+    assert_eq!(mae.p99, mae.max);
+    assert_eq!(mae.mean, mae.max);
+}
+
+#[test]
+fn u64_boundary_device_ids_simulate_cleanly() {
+    let simulation = FleetSimulation::new(3, ScenarioMix::balanced()).unwrap();
+    let generator = simulation.generator();
+    let scenarios: Vec<_> = [u64::MAX, u64::MAX - 1, 0]
+        .into_iter()
+        .map(|id| generator.scenario(id))
+        .collect();
+    let reports = run_fleet(
+        &scenarios,
+        simulation.zoo(),
+        simulation.engine(),
+        &ExecutorOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(reports[0].device_id, u64::MAX);
+    assert!(reports.iter().all(|r| r.windows > 0));
+    let report = FleetReport::from_devices(&reports);
+    assert_well_formed(&report);
+    // Boundary ids survive the JSON round trip without losing precision.
+    let json = serde_json::to_string(&reports).unwrap();
+    let back: Vec<fleet::DeviceReport> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, reports);
+}
+
+#[test]
+fn huge_shard_specs_partition_without_overflow() {
+    for shards in [1u32, 2, 7, 64] {
+        let spec = ShardSpec::new(u64::MAX, shards).unwrap();
+        let mut cursor = 0u64;
+        for range in spec.ranges() {
+            assert_eq!(range.start, cursor);
+            cursor = range.end;
+        }
+        assert_eq!(cursor, u64::MAX);
+    }
+}
+
+#[test]
+fn distribution_summary_degenerate_samples() {
+    assert!(DistributionSummary::from_values(&[]).is_none());
+    let single = DistributionSummary::from_values(&[3.5]).unwrap();
+    assert_eq!(single.min, 3.5);
+    assert_eq!(single.max, 3.5);
+    assert_eq!(single.p50, 3.5);
+    assert_eq!(single.p90, 3.5);
+    assert_eq!(single.p99, 3.5);
+    assert_eq!(single.mean, 3.5);
+    assert_finite(&single, "single");
+}

@@ -1,0 +1,149 @@
+//! Negative-path coverage for `merge` — the validation layer behind the
+//! `fleet-merge` binary. Every bad artifact set must be rejected with the
+//! specific typed [`MergeError`], never folded into a corrupted report.
+
+use fleet::{merge, FleetSimulation, MergeError, ScenarioMix, ShardReport, ShardSpec};
+
+const DEVICES: u64 = 8;
+const SHARDS: u32 = 4;
+
+/// Simulates a small fleet and returns its four shard artifacts.
+fn artifacts() -> Vec<ShardReport> {
+    let simulation = FleetSimulation::new(42, ScenarioMix::balanced()).unwrap();
+    let spec = ShardSpec::new(DEVICES, SHARDS).unwrap();
+    (0..SHARDS)
+        .map(|index| simulation.run_shard(&spec, index, 1).unwrap())
+        .collect()
+}
+
+#[test]
+fn overlapping_ranges_are_rejected() {
+    let mut shards = artifacts();
+    // Duplicate the second shard: its range is now claimed twice.
+    shards.push(shards[1].clone());
+    let err = merge(shards).unwrap_err();
+    assert_eq!(
+        err,
+        MergeError::OverlappingShards {
+            left: (2, 4),
+            right: (2, 4),
+        }
+    );
+}
+
+#[test]
+fn partially_overlapping_ranges_are_rejected() {
+    let mut shards = artifacts();
+    // Stretch shard 0 to also claim shard 1's first device.
+    let extra = shards[1].devices[0].clone();
+    shards[0].meta.end = 3;
+    shards[0].devices.push(extra);
+    let err = merge(shards).unwrap_err();
+    assert_eq!(
+        err,
+        MergeError::OverlappingShards {
+            left: (0, 3),
+            right: (2, 4),
+        }
+    );
+}
+
+#[test]
+fn a_missing_shard_is_rejected() {
+    let mut shards = artifacts();
+    shards.remove(2); // devices [4, 6) now uncovered
+    let err = merge(shards).unwrap_err();
+    assert_eq!(err, MergeError::MissingDevices { start: 4, end: 6 });
+}
+
+#[test]
+fn a_missing_trailing_shard_is_rejected() {
+    let mut shards = artifacts();
+    shards.pop(); // devices [6, 8) now uncovered
+    let err = merge(shards).unwrap_err();
+    assert_eq!(err, MergeError::MissingDevices { start: 6, end: 8 });
+}
+
+#[test]
+fn mismatched_master_seed_is_rejected() {
+    let mut shards = artifacts();
+    shards[3].meta.master_seed = 43;
+    let err = merge(shards).unwrap_err();
+    assert_eq!(
+        err,
+        MergeError::SeedMismatch {
+            expected: 42,
+            found: 43,
+        }
+    );
+}
+
+#[test]
+fn mismatched_engine_version_is_rejected() {
+    let mut shards = artifacts();
+    shards[1].meta.engine_version = "0.0.0-other".to_string();
+    let err = merge(shards).unwrap_err();
+    assert_eq!(
+        err,
+        MergeError::VersionMismatch {
+            expected: fleet::ENGINE_VERSION.to_string(),
+            found: "0.0.0-other".to_string(),
+        }
+    );
+}
+
+#[test]
+fn mismatched_mix_is_rejected() {
+    let mut shards = artifacts();
+    shards[2].meta.mix = ScenarioMix::harsh();
+    assert_eq!(merge(shards).unwrap_err(), MergeError::MixMismatch);
+}
+
+#[test]
+fn mismatched_fleet_size_is_rejected() {
+    let mut shards = artifacts();
+    shards[2].meta.fleet_devices = DEVICES + 1;
+    assert_eq!(
+        merge(shards).unwrap_err(),
+        MergeError::FleetSizeMismatch {
+            expected: DEVICES,
+            found: DEVICES + 1,
+        }
+    );
+}
+
+#[test]
+fn mismatched_shard_count_is_rejected() {
+    let mut shards = artifacts();
+    shards[0].meta.shard_count = SHARDS + 1;
+    assert_eq!(
+        merge(shards).unwrap_err(),
+        MergeError::ShardCountMismatch {
+            expected: SHARDS + 1,
+            found: SHARDS,
+        }
+    );
+}
+
+#[test]
+fn tampered_device_list_is_rejected() {
+    let mut shards = artifacts();
+    shards[1].devices.swap(0, 1);
+    assert!(matches!(
+        merge(shards).unwrap_err(),
+        MergeError::CorruptShard {
+            start: 2,
+            end: 4,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn validation_never_yields_a_partial_report() {
+    // The untampered artifact set still merges cleanly after all the
+    // negative tests above cloned and mutated copies of it.
+    let outcome = merge(artifacts()).unwrap();
+    assert_eq!(outcome.report.devices, DEVICES as usize);
+    assert_eq!(outcome.devices.len(), DEVICES as usize);
+}

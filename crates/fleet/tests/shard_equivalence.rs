@@ -1,0 +1,78 @@
+//! Conformance suite for sharded fleet execution: for random fleets,
+//! partitioning the device-id range into K shards, simulating each shard
+//! independently and merging the artifacts must reproduce the single-process
+//! report **byte-for-byte** — the property that makes population-level
+//! MAE/energy claims survive scale-out unchanged.
+
+use std::collections::BTreeSet;
+
+use fleet::{merge, FleetSimulation, ScenarioMix, ShardSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shard boundaries never duplicate or drop a device, for any fleet size
+    /// and shard count (including more shards than devices).
+    #[test]
+    fn shard_ranges_tile_the_fleet(devices in 0u64..100_000, shards in 1u32..=64) {
+        let spec = ShardSpec::new(devices, shards).unwrap();
+        let ranges = spec.ranges();
+        prop_assert_eq!(ranges.len(), shards as usize);
+        let mut cursor = 0u64;
+        for (index, range) in ranges.iter().enumerate() {
+            // Contiguous: no gap, no overlap.
+            prop_assert_eq!(range.start, cursor);
+            prop_assert!(range.end >= range.start);
+            cursor = range.end;
+            prop_assert_eq!(spec.range(index as u32).unwrap(), range.clone());
+        }
+        prop_assert_eq!(cursor, devices);
+        prop_assert!(spec.range(shards).is_none());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// End-to-end equivalence: running K shards independently (at an
+    /// arbitrary thread count) and merging serializes byte-identically to
+    /// the single-process run over the same fleet.
+    #[test]
+    fn merged_report_is_byte_identical_to_single_process(
+        master_seed in 0u64..1000,
+        devices in 1u64..40,
+        shards in 1u32..=8,
+        threads in 1usize..=4,
+    ) {
+        let simulation = FleetSimulation::new(master_seed, ScenarioMix::balanced()).unwrap();
+        let single = simulation.run(devices, 1).unwrap();
+
+        let spec = ShardSpec::new(devices, shards).unwrap();
+        let mut artifacts = Vec::new();
+        let mut seen_ids = BTreeSet::new();
+        for index in 0..shards {
+            let shard = simulation.run_shard(&spec, index, threads).unwrap();
+            for device in &shard.devices {
+                // No device id may appear in two shards.
+                prop_assert!(seen_ids.insert(device.device_id));
+            }
+            // Shard artifacts survive the JSON round trip exactly.
+            let json = serde_json::to_string(&shard).unwrap();
+            let back: fleet::ShardReport = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(&back, &shard);
+            artifacts.push(back);
+        }
+        // No device id may be dropped.
+        let expected_ids: BTreeSet<u64> = (0..devices).collect();
+        prop_assert_eq!(seen_ids, expected_ids);
+
+        let merged = merge(artifacts).unwrap();
+        prop_assert_eq!(&merged.devices, &single.devices);
+        prop_assert_eq!(&merged.report, &single.report);
+
+        let merged_json = serde_json::to_string_pretty(&merged.report).unwrap();
+        let single_json = serde_json::to_string_pretty(&single.report).unwrap();
+        prop_assert_eq!(merged_json, single_json);
+    }
+}

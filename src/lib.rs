@@ -86,7 +86,8 @@ pub mod fleet {
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use ::fleet::{
-        DeviceScenario, FleetReport, FleetSimulation, ScenarioGenerator, ScenarioMix,
+        merge, DeviceScenario, FleetReport, FleetSimulation, ScenarioGenerator, ScenarioMix,
+        ShardReport, ShardSpec,
     };
     pub use chris_core::prelude::*;
     pub use hw_sim::battery::Battery;
@@ -109,6 +110,7 @@ mod tests {
         let _ = Platform::stm32wb55();
         let _ = BleLink::paper_calibrated();
         let _ = Battery::hwatch();
+        let _ = ShardSpec::single(8);
         assert_eq!(ModelKind::ALL.len(), 3);
         assert_eq!(Activity::ALL.len(), 9);
     }
