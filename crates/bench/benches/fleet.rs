@@ -12,10 +12,12 @@ const DEVICES: u64 = 64;
 fn bench_fleet(c: &mut Criterion) {
     let simulation = FleetSimulation::new(42, ScenarioMix::balanced())
         .expect("profiling the shared table succeeds");
-    let scenarios = simulation.generator().scenarios(DEVICES);
+    let scenarios: Vec<_> = simulation.generator().scenarios(DEVICES).collect();
+    // Exact window count from the schedule geometry alone — no signal is
+    // synthesized just to size the throughput denominator.
     let total_windows: usize = scenarios
         .iter()
-        .map(|s| s.windows().expect("scenario windows build").len())
+        .map(|s| s.window_count().expect("scenario windows build"))
         .sum();
 
     let mut group = c.benchmark_group("fleet");
@@ -23,7 +25,12 @@ fn bench_fleet(c: &mut Criterion) {
 
     group.throughput(Throughput::Elements(DEVICES));
     group.bench_function("scenario_generation_64_devices", |b| {
-        b.iter(|| simulation.generator().scenarios(black_box(DEVICES)))
+        b.iter(|| {
+            simulation
+                .generator()
+                .scenarios(black_box(DEVICES))
+                .collect::<Vec<_>>()
+        })
     });
 
     // Window throughput of the full simulation (synthesis + runtime), the

@@ -1,0 +1,103 @@
+//! Streaming vs eager window delivery, head to head.
+//!
+//! Two comparisons, both on fleet-shaped workloads:
+//!
+//! * **synthesis** — draining `DatasetBuilder::window_stream()` vs
+//!   materializing `build()?.windows()` for the same `(seed, subjects,
+//!   schedule)`: the stream does the same signal synthesis without ever
+//!   holding the session or its window vector,
+//! * **device simulation** — `simulate_device` (the streaming executor path)
+//!   vs the legacy shape (collect the device's windows, then run the runtime
+//!   over the slice), over a slice of the default 1000-device `--devices
+//!   1000 --seed 42` fleet. The two produce byte-identical reports; the
+//!   streaming path wins on windows/sec because it never allocates or copies
+//!   the per-device window vector.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use chris_core::runtime::{ChrisRuntime, RuntimeOptions};
+use fleet::{simulate_device, FleetSimulation, ScenarioMix};
+use ppg_data::{DatasetBuilder, WindowSource};
+
+/// Devices benchmarked out of the default 1000-device fleet; a contiguous
+/// prefix keeps the run time sane while sampling the same scenario
+/// distribution the `fleet --devices 1000` CLI sees.
+const DEVICES: u64 = 16;
+
+fn synthesis_builder() -> DatasetBuilder {
+    DatasetBuilder::new()
+        .subjects(2)
+        .seconds_per_activity(24.0)
+        .seed(42)
+}
+
+fn bench_stream_vs_eager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_vs_eager");
+    group.sample_size(10);
+
+    let total_windows = synthesis_builder().window_stream().unwrap().len() as u64;
+    group.throughput(Throughput::Elements(total_windows));
+    group.bench_function("synthesis/eager_build_then_windows", |b| {
+        b.iter(|| black_box(synthesis_builder().build().unwrap().windows()))
+    });
+    group.bench_function("synthesis/window_stream_drain", |b| {
+        b.iter(|| {
+            let mut stream = synthesis_builder().window_stream().unwrap();
+            let mut n = 0usize;
+            while let Some(item) = stream.next_window() {
+                black_box(item.unwrap());
+                n += 1;
+            }
+            n
+        })
+    });
+
+    // The fleet the default CLI invocation simulates (seed 42, balanced),
+    // restricted to the first DEVICES devices.
+    let simulation = FleetSimulation::new(42, ScenarioMix::balanced()).expect("profiling succeeds");
+    let scenarios: Vec<_> = simulation.generator().scenarios(DEVICES).collect();
+    let fleet_windows: u64 = scenarios
+        .iter()
+        .map(|s| s.window_count().expect("valid scenario") as u64)
+        .sum();
+
+    group.throughput(Throughput::Elements(fleet_windows));
+    group.bench_function("simulate/eager_collect_then_run", |b| {
+        b.iter(|| {
+            for scenario in &scenarios {
+                // The pre-redesign executor shape: materialize the session's
+                // window vector, then run the runtime over the slice.
+                let windows = scenario.windows().unwrap();
+                let options = RuntimeOptions {
+                    accounting: scenario.accounting,
+                    seed: scenario.dataset_seed,
+                    ..RuntimeOptions::default()
+                };
+                let mut runtime = ChrisRuntime::new(
+                    simulation.zoo().clone(),
+                    simulation.engine().clone(),
+                    options,
+                );
+                black_box(
+                    runtime
+                        .run(&windows, &scenario.constraint, &scenario.schedule)
+                        .unwrap(),
+                );
+            }
+        })
+    });
+    group.bench_function("simulate/streaming_simulate_device", |b| {
+        b.iter(|| {
+            for scenario in &scenarios {
+                black_box(
+                    simulate_device(scenario, simulation.zoo(), simulation.engine()).unwrap(),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_vs_eager);
+criterion_main!(benches);

@@ -13,7 +13,7 @@
 
 use std::process::ExitCode;
 
-use chris_bench::fleet_cli::{self, FleetArgs};
+use chris_bench::fleet_cli::{self, FleetArgs, StderrProgress};
 use fleet::{FleetSimulation, ShardSpec};
 
 struct Args {
@@ -21,14 +21,16 @@ struct Args {
     shards: u32,
     shard_index: u32,
     out: Option<String>,
+    progress: bool,
 }
 
 const USAGE: &str = "usage: fleet-shard --shards K --shard-index I [--devices N] [--threads N] \
-     [--seed N] [--mix NAME] [--out PATH]\n\
+     [--seed N] [--mix NAME] [--out PATH] [--progress]\n\
      {COMMON}\n\
        --shards K      number of contiguous shards the fleet is split into (default 1)\n\
        --shard-index I which shard to simulate, 0-based (default 0)\n\
-       --out PATH      write the shard artifact to PATH instead of stdout";
+       --out PATH      write the shard artifact to PATH instead of stdout\n\
+       --progress      print live progress lines (windows / devices) to stderr";
 
 fn usage() -> String {
     USAGE.replace("{COMMON}", fleet_cli::COMMON_USAGE)
@@ -40,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         shards: 1,
         shard_index: 0,
         out: None,
+        progress: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -50,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
             "--shards" => args.shards = fleet_cli::parse_value(&flag, &mut it)?,
             "--shard-index" => args.shard_index = fleet_cli::parse_value(&flag, &mut it)?,
             "--out" => args.out = Some(fleet_cli::flag_value(&flag, &mut it)?),
+            "--progress" => args.progress = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -85,7 +89,17 @@ fn main() -> ExitCode {
         }
     };
 
-    let shard = match simulation.run_shard(&spec, args.shard_index, args.common.threads) {
+    // Progress totals are per shard: the worker only sees its own range.
+    let shard_devices = spec
+        .range(args.shard_index)
+        .map_or(0, |range| range.end - range.start);
+    let sink = args.progress.then(|| StderrProgress::new(shard_devices));
+    let shard = match simulation.run_shard_with_progress(
+        &spec,
+        args.shard_index,
+        args.common.threads,
+        sink.as_ref().map(|s| s as &dyn fleet::ProgressSink),
+    ) {
         Ok(shard) => shard,
         Err(e) => {
             eprintln!("shard run failed: {e}");

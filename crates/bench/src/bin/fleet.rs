@@ -12,20 +12,22 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use chris_bench::fleet_cli::{self, FleetArgs};
+use chris_bench::fleet_cli::{self, FleetArgs, StderrProgress};
 use fleet::FleetSimulation;
 
 struct Args {
     common: FleetArgs,
     json: bool,
     per_device: bool,
+    progress: bool,
 }
 
-const USAGE: &str =
-    "usage: fleet [--devices N] [--threads N] [--seed N] [--mix NAME] [--json] [--per-device]\n\
+const USAGE: &str = "usage: fleet [--devices N] [--threads N] [--seed N] [--mix NAME] [--json] \
+     [--per-device] [--progress]\n\
      {COMMON}\n\
        --json          print the aggregate report as JSON instead of text\n\
-       --per-device    also print one line per device";
+       --per-device    also print one line per device\n\
+       --progress      print live progress lines (windows / devices) to stderr";
 
 fn usage() -> String {
     USAGE.replace("{COMMON}", fleet_cli::COMMON_USAGE)
@@ -36,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         common: FleetArgs::default(),
         json: false,
         per_device: false,
+        progress: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -45,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--json" => args.json = true,
             "--per-device" => args.per_device = true,
+            "--progress" => args.progress = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -75,7 +79,14 @@ fn main() -> ExitCode {
     let setup_time = setup_start.elapsed();
 
     let run_start = Instant::now();
-    let outcome = match simulation.run(args.common.devices, args.common.threads) {
+    let sink = args
+        .progress
+        .then(|| StderrProgress::new(args.common.devices));
+    let outcome = match simulation.run_with_progress(
+        args.common.devices,
+        args.common.threads,
+        sink.as_ref().map(|s| s as &dyn fleet::ProgressSink),
+    ) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("fleet run failed: {e}");

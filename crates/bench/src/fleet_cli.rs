@@ -10,7 +10,9 @@
 //! fleet from the artifacts' provenance) but shares the per-device rendering
 //! ([`device_line`]) so its `--per-device` output matches `fleet`'s exactly.
 
-use fleet::ScenarioMix;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fleet::{ProgressSink, ScenarioMix};
 
 /// The flags shared by every fleet binary, with their defaults.
 #[derive(Debug, Clone)]
@@ -69,6 +71,72 @@ where
     flag_value(flag, it)?
         .parse()
         .map_err(|e| format!("{flag}: {e}"))
+}
+
+/// [`ProgressSink`] that prints `progress:` lines to stderr, shared by the
+/// `fleet` and `fleet-shard` binaries behind their `--progress` flag.
+///
+/// Lines go to **stderr** so a redirected `--json` report on stdout stays
+/// byte-identical with or without progress. To keep huge fleets from
+/// drowning the terminal, a line is printed roughly every 1/32nd of the
+/// device range (at least every device for small fleets) plus one final
+/// line when the last device completes.
+pub struct StderrProgress {
+    total_devices: u64,
+    step: u64,
+    devices_done: AtomicU64,
+    windows_done: AtomicU64,
+    /// Serializes printing; counters are re-read under it so the printed
+    /// device counts never go backwards across interleaved workers.
+    print_lock: std::sync::Mutex<()>,
+}
+
+impl StderrProgress {
+    /// Creates a sink for a fleet (or shard) of `total_devices` devices.
+    pub fn new(total_devices: u64) -> Self {
+        Self {
+            total_devices,
+            step: (total_devices / 32).max(1),
+            devices_done: AtomicU64::new(0),
+            windows_done: AtomicU64::new(0),
+            print_lock: std::sync::Mutex::new(()),
+        }
+    }
+
+    /// Devices completed so far.
+    pub fn devices_done(&self) -> u64 {
+        self.devices_done.load(Ordering::Relaxed)
+    }
+
+    /// Windows processed so far, across all devices.
+    pub fn windows_done(&self) -> u64 {
+        self.windows_done.load(Ordering::Relaxed)
+    }
+}
+
+impl ProgressSink for StderrProgress {
+    fn windows_processed(&self, _device_id: u64, count: usize) {
+        self.windows_done.fetch_add(count as u64, Ordering::Relaxed);
+    }
+
+    fn device_completed(&self, _device_id: u64, _windows: usize) {
+        let done = self.devices_done.fetch_add(1, Ordering::Relaxed) + 1;
+        if done.is_multiple_of(self.step) || done == self.total_devices {
+            let _guard = self
+                .print_lock
+                .lock()
+                .expect("progress printing never panics");
+            // Fresh snapshot under the lock: a worker that lost the print
+            // race reports the newer totals instead of a stale, smaller
+            // count.
+            eprintln!(
+                "progress: devices {}/{} windows {}",
+                self.devices_done.load(Ordering::Relaxed),
+                self.total_devices,
+                self.windows_done.load(Ordering::Relaxed),
+            );
+        }
+    }
 }
 
 /// Formats the `--per-device` report line of one device, shared by `fleet`
@@ -158,6 +226,17 @@ mod tests {
         assert_eq!(args.seed, 7);
         assert_eq!(args.mix_name, "harsh");
         assert_eq!(args.mix, ScenarioMix::harsh());
+    }
+
+    #[test]
+    fn stderr_progress_counts_devices_and_windows() {
+        let sink = StderrProgress::new(64);
+        assert_eq!(sink.devices_done(), 0);
+        sink.windows_processed(3, 10);
+        sink.windows_processed(3, 5);
+        sink.device_completed(3, 15);
+        assert_eq!(sink.devices_done(), 1);
+        assert_eq!(sink.windows_done(), 15);
     }
 
     #[test]

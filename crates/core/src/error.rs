@@ -21,6 +21,8 @@ pub enum ChrisError {
     EmptyProfileTable,
     /// No windows were provided to profile or run on.
     EmptyWorkload,
+    /// A streaming window source failed to synthesize or extract a window.
+    Data(ppg_data::DataError),
     /// A model failed while predicting.
     Model(ppg_models::ModelError),
     /// A hardware model rejected a request.
@@ -40,6 +42,7 @@ impl fmt::Display for ChrisError {
             }
             ChrisError::EmptyProfileTable => write!(f, "the profiling table is empty"),
             ChrisError::EmptyWorkload => write!(f, "no windows provided"),
+            ChrisError::Data(e) => write!(f, "window source error: {e}"),
             ChrisError::Model(e) => write!(f, "model error: {e}"),
             ChrisError::Hardware(e) => write!(f, "hardware error: {e}"),
             ChrisError::Dsp(e) => write!(f, "dsp error: {e}"),
@@ -50,11 +53,18 @@ impl fmt::Display for ChrisError {
 impl std::error::Error for ChrisError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            ChrisError::Data(e) => Some(e),
             ChrisError::Model(e) => Some(e),
             ChrisError::Hardware(e) => Some(e),
             ChrisError::Dsp(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<ppg_data::DataError> for ChrisError {
+    fn from(e: ppg_data::DataError) -> Self {
+        ChrisError::Data(e)
     }
 }
 
@@ -106,6 +116,13 @@ mod tests {
         assert!(e.source().is_some());
         let e: ChrisError = ppg_models::ModelError::NotTrained { model: "rf" }.into();
         assert!(e.source().is_some());
+        let e: ChrisError = ppg_data::DataError::RecordingTooShort {
+            samples: 10,
+            required: 256,
+        }
+        .into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("window source"));
     }
 
     #[test]

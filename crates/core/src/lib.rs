@@ -77,5 +77,6 @@ pub mod prelude {
     pub use crate::profiling::{ConfigurationProfile, Profiler, ProfilingOptions};
     pub use crate::report::RunReport;
     pub use crate::runtime::{ChrisRuntime, RuntimeOptions};
+    pub use ppg_data::{IntoWindowSource, SliceSource, WindowSource};
     pub use ppg_models::zoo::{ModelKind, ModelZoo};
 }

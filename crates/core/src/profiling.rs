@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use hw_sim::units::Energy;
-use ppg_data::LabeledWindow;
+use ppg_data::{IntoWindowSource, LabeledWindow, WindowSource};
 use ppg_dsp::stats::ErrorAccumulator;
 use ppg_models::traits::{ActivityClassifier, HrEstimator, OracleActivityClassifier};
 use ppg_models::zoo::{ModelKind, ModelZoo};
@@ -111,14 +111,18 @@ impl<'a> Profiler<'a> {
     /// Profiles one configuration on the given windows with the oracle
     /// activity classifier.
     ///
+    /// Like every profiling entry point, `windows` accepts both eager
+    /// buffers and lazy [`WindowSource`] streams (see
+    /// [`Profiler::profile_all`]).
+    ///
     /// # Errors
     ///
-    /// Returns [`ChrisError::EmptyWorkload`] when `windows` is empty and
-    /// propagates model errors.
-    pub fn profile(
+    /// Returns [`ChrisError::EmptyWorkload`] when `windows` yields nothing
+    /// and propagates model errors.
+    pub fn profile<S: IntoWindowSource>(
         &self,
         configuration: Configuration,
-        windows: &[LabeledWindow],
+        windows: S,
         options: ProfilingOptions,
     ) -> Result<ConfigurationProfile, ChrisError> {
         self.profile_with(
@@ -133,20 +137,21 @@ impl<'a> Profiler<'a> {
     /// that classifier mispredictions are reflected in the profile (as in the
     /// paper's evaluation).
     ///
+    /// A single pass: windows are pulled from the source one at a time, so a
+    /// lazy stream is profiled in O(1 window) memory.
+    ///
     /// # Errors
     ///
-    /// Returns [`ChrisError::EmptyWorkload`] when `windows` is empty and
-    /// propagates model errors.
-    pub fn profile_with(
+    /// Returns [`ChrisError::EmptyWorkload`] when `windows` yields nothing
+    /// and propagates model errors.
+    pub fn profile_with<S: IntoWindowSource>(
         &self,
         configuration: Configuration,
-        windows: &[LabeledWindow],
+        windows: S,
         classifier: &dyn ActivityClassifier,
         options: ProfilingOptions,
     ) -> Result<ConfigurationProfile, ChrisError> {
-        if windows.is_empty() {
-            return Err(ChrisError::EmptyWorkload);
-        }
+        let mut source = windows.into_window_source();
         let mut simple_est = self
             .zoo
             .calibrated_estimator(configuration.simple, options.seed);
@@ -159,8 +164,9 @@ impl<'a> Profiler<'a> {
         let mut phone_energy = Energy::ZERO;
         let mut offloaded_count = 0usize;
         let mut simple_count = 0usize;
-
-        for window in windows {
+        // By-reference internal iteration: slices profile with zero copies,
+        // lazy sources materialize one window at a time.
+        let n = source.try_for_each_window(|window| -> Result<(), ChrisError> {
             let predicted_activity = classifier.classify(window)?;
             let difficulty = predicted_activity.difficulty();
             let model = configuration.model_for(difficulty);
@@ -180,9 +186,12 @@ impl<'a> Profiler<'a> {
                 offloaded_count += 1;
                 phone_energy += self.window_phone_energy(model);
             }
-        }
+            Ok(())
+        })?;
 
-        let n = windows.len();
+        if n == 0 {
+            return Err(ChrisError::EmptyWorkload);
+        }
         Ok(ConfigurationProfile {
             configuration,
             mae_bpm: errors.mae().unwrap_or(0.0),
@@ -198,12 +207,19 @@ impl<'a> Profiler<'a> {
     /// returning the table sorted by increasing smartwatch energy (the
     /// ordering the paper stores in MCU memory).
     ///
+    /// `windows` accepts both eager buffers and lazy
+    /// [`WindowSource`] streams. Profiling every configuration is inherently
+    /// multi-pass, so a one-shot stream is drained into a buffer once up
+    /// front — profiling is the offline, once-per-fleet step where that is
+    /// the right trade.
+    ///
     /// # Errors
     ///
-    /// Same conditions as [`Profiler::profile`].
-    pub fn profile_all(
+    /// Same conditions as [`Profiler::profile`], plus [`ChrisError::Data`]
+    /// when a streaming source fails.
+    pub fn profile_all<S: IntoWindowSource>(
         &self,
-        windows: &[LabeledWindow],
+        windows: S,
         options: ProfilingOptions,
     ) -> Result<Vec<ConfigurationProfile>, ChrisError> {
         self.profile_all_with(windows, &OracleActivityClassifier::new(), options)
@@ -213,8 +229,27 @@ impl<'a> Profiler<'a> {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`Profiler::profile`].
-    pub fn profile_all_with(
+    /// Same conditions as [`Profiler::profile_all`].
+    pub fn profile_all_with<S: IntoWindowSource>(
+        &self,
+        windows: S,
+        classifier: &dyn ActivityClassifier,
+        options: ProfilingOptions,
+    ) -> Result<Vec<ConfigurationProfile>, ChrisError> {
+        let source = windows.into_window_source();
+        // Buffer-backed sources are profiled in place; only genuinely lazy
+        // streams are drained into a buffer for the multi-pass table build.
+        if let Some(slice) = source.as_slice() {
+            return self.profile_each(slice, classifier, options);
+        }
+        let buffered: Vec<LabeledWindow> = source.iter().collect::<Result<_, _>>()?;
+        self.profile_each(&buffered, classifier, options)
+    }
+
+    /// The multi-pass core of [`Profiler::profile_all_with`]: one
+    /// [`Profiler::profile_with`] pass per configuration over a shared,
+    /// borrowed workload.
+    fn profile_each(
         &self,
         windows: &[LabeledWindow],
         classifier: &dyn ActivityClassifier,

@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 use hw_sim::ble::ConnectionSchedule;
 use hw_sim::power_state::{PowerState, PowerStateTrace};
 use hw_sim::units::{Energy, TimeSpan};
-use ppg_data::LabeledWindow;
+use ppg_data::{IntoWindowSource, WindowSource};
 use ppg_dsp::stats::ErrorAccumulator;
 use ppg_models::traits::{ActivityClassifier, HrEstimator, OracleActivityClassifier};
 use ppg_models::zoo::{ModelKind, ModelZoo};
@@ -135,20 +135,27 @@ impl ChrisRuntime {
     /// Runs CHRIS over a sequence of windows under a user constraint and a
     /// BLE connection schedule, returning the aggregated report.
     ///
+    /// `windows` is anything convertible into a
+    /// [`WindowSource`](ppg_data::WindowSource): an eager buffer
+    /// (`&[LabeledWindow]`, `&Vec<LabeledWindow>`) or a lazy stream such as
+    /// [`ppg_data::DatasetBuilder::window_stream`]. The runtime pulls one
+    /// window at a time and never buffers the workload — with a synthesis
+    /// stream, peak memory is O(1 window) instead of O(session) — and the
+    /// report is byte-identical either way.
+    ///
     /// # Errors
     ///
-    /// Returns [`ChrisError::EmptyWorkload`] when `windows` is empty,
+    /// Returns [`ChrisError::EmptyWorkload`] when `windows` yields nothing,
     /// [`ChrisError::EmptyProfileTable`] when the decision engine has no
-    /// configurations, and propagates model errors.
-    pub fn run(
+    /// configurations, [`ChrisError::Data`] when a streaming source fails
+    /// mid-synthesis, and propagates model errors.
+    pub fn run<S: IntoWindowSource>(
         &mut self,
-        windows: &[LabeledWindow],
+        windows: S,
         constraint: &UserConstraint,
         schedule: &ConnectionSchedule,
     ) -> Result<RunReport, ChrisError> {
-        if windows.is_empty() {
-            return Err(ChrisError::EmptyWorkload);
-        }
+        let mut source = windows.into_window_source();
         let profiler = Profiler::new(&self.zoo);
         let period = TimeSpan::from_seconds(hw_sim::PREDICTION_PERIOD_S);
 
@@ -161,7 +168,10 @@ impl ChrisRuntime {
         let mut disconnected = 0usize;
         let mut report = RunReport::default();
 
-        for (index, window) in windows.iter().enumerate() {
+        let mut index = 0usize;
+        // By-reference internal iteration: buffer-backed sources visit their
+        // windows without cloning, lazy sources materialize one at a time.
+        let n = source.try_for_each_window(|window| -> Result<(), ChrisError> {
             let connected = schedule.is_connected(index);
             if !connected {
                 disconnected += 1;
@@ -217,9 +227,13 @@ impl ChrisRuntime {
                     self.zoo.watch().sleep_power * sleep_time,
                 );
             }
-        }
+            index += 1;
+            Ok(())
+        })?;
 
-        let n = windows.len();
+        if n == 0 {
+            return Err(ChrisError::EmptyWorkload);
+        }
         let total_watch = trace.total_energy();
         report.windows = n;
         report.mae_bpm = errors.mae().unwrap_or(0.0);
@@ -248,7 +262,7 @@ impl ChrisRuntime {
 mod tests {
     use super::*;
     use crate::profiling::ProfilingOptions;
-    use ppg_data::DatasetBuilder;
+    use ppg_data::{DatasetBuilder, LabeledWindow};
     use ppg_models::random_forest::{RandomForest, RandomForestConfig};
 
     fn dataset_windows(subjects: usize, seed: u64) -> Vec<LabeledWindow> {
@@ -485,6 +499,28 @@ mod tests {
             (delta - 50.0).abs() < 1.0,
             "classifier energy should add ~50 uJ, added {delta}"
         );
+    }
+
+    #[test]
+    fn streaming_and_eager_runs_produce_identical_reports() {
+        let windows = dataset_windows(2, 42);
+        let engine = engine_for(&windows);
+        let zoo = ModelZoo::paper_setup();
+        let mut eager_rt =
+            ChrisRuntime::new(zoo.clone(), engine.clone(), RuntimeOptions::default());
+        let mut stream_rt = ChrisRuntime::new(zoo, engine, RuntimeOptions::default());
+        let constraint = UserConstraint::MaxMae(5.6);
+        let schedule = ConnectionSchedule::DutyCycle { up: 5, down: 2 };
+        let eager = eager_rt.run(&windows, &constraint, &schedule).unwrap();
+        let stream = DatasetBuilder::new()
+            .subjects(2)
+            .seconds_per_activity(24.0)
+            .seed(42)
+            .window_stream()
+            .unwrap();
+        let streamed = stream_rt.run(stream, &constraint, &schedule).unwrap();
+        assert_eq!(eager, streamed);
+        assert_eq!(streamed.windows, windows.len());
     }
 
     #[test]

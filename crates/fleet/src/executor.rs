@@ -23,6 +23,7 @@ use hw_sim::battery::{Battery, HWATCH_BATTERY_VOLTAGE, HWATCH_CONVERTER_EFFICIEN
 use ppg_models::zoo::ModelZoo;
 
 use crate::error::FleetError;
+use crate::progress::{ProgressSink, ProgressSource};
 use crate::report::DeviceReport;
 use crate::scenario::DeviceScenario;
 
@@ -60,12 +61,18 @@ impl ExecutorOptions {
     }
 }
 
-/// Simulates one device: synthesizes its recording, runs CHRIS under its
-/// constraint and schedule, and projects battery life.
+/// Simulates one device: streams its windows straight out of the synthesizer
+/// into CHRIS under the device's constraint and schedule, and projects
+/// battery life.
 ///
 /// Each call owns a fresh [`ChrisRuntime`] built from clones of the shared
 /// zoo and engine, which is what lets workers run devices concurrently
-/// without sharing mutable state.
+/// without sharing mutable state. The session is never materialized: the
+/// runtime pulls windows one at a time from
+/// [`DeviceScenario::window_stream`], so peak per-device memory is one
+/// activity segment plus one window instead of the whole session vector
+/// (asserted by the `streaming` integration test via
+/// [`ppg_data::stream::metrics`]).
 ///
 /// # Errors
 ///
@@ -76,17 +83,41 @@ pub fn simulate_device(
     zoo: &ModelZoo,
     engine: &DecisionEngine,
 ) -> Result<DeviceReport, FleetError> {
+    simulate_device_with_progress(scenario, zoo, engine, None)
+}
+
+/// [`simulate_device`] with an optional [`ProgressSink`] observing every
+/// pulled window and the device's completion.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_device`].
+pub fn simulate_device_with_progress(
+    scenario: &DeviceScenario,
+    zoo: &ModelZoo,
+    engine: &DecisionEngine,
+    sink: Option<&dyn ProgressSink>,
+) -> Result<DeviceReport, FleetError> {
     let for_device = |e: FleetError| FleetError::for_device(scenario.device_id, e);
-    let windows = scenario.windows().map_err(|e| for_device(e.into()))?;
+    let stream = scenario.window_stream().map_err(|e| for_device(e.into()))?;
     let options = RuntimeOptions {
         accounting: scenario.accounting,
         seed: scenario.dataset_seed,
         ..RuntimeOptions::default()
     };
     let mut runtime = ChrisRuntime::new(zoo.clone(), engine.clone(), options);
-    let run = runtime
-        .run(&windows, &scenario.constraint, &scenario.schedule)
-        .map_err(|e| for_device(e.into()))?;
+    let run = match sink {
+        Some(sink) => runtime.run(
+            ProgressSource::new(stream, sink, scenario.device_id),
+            &scenario.constraint,
+            &scenario.schedule,
+        ),
+        None => runtime.run(stream, &scenario.constraint, &scenario.schedule),
+    }
+    .map_err(|e| for_device(e.into()))?;
+    if let Some(sink) = sink {
+        sink.device_completed(scenario.device_id, run.windows);
+    }
 
     let battery = Battery::new(
         scenario.battery_capacity_mah,
@@ -131,6 +162,25 @@ pub fn run_fleet(
     engine: &DecisionEngine,
     options: &ExecutorOptions,
 ) -> Result<Vec<DeviceReport>, FleetError> {
+    run_fleet_with_progress(scenarios, zoo, engine, options, None)
+}
+
+/// [`run_fleet`] with an optional [`ProgressSink`] receiving window- and
+/// device-level progress from the worker threads while the fleet runs.
+///
+/// Attaching a sink never changes the results: reports stay byte-identical
+/// for any thread count, with or without progress.
+///
+/// # Errors
+///
+/// Same conditions as [`run_fleet`].
+pub fn run_fleet_with_progress(
+    scenarios: &[DeviceScenario],
+    zoo: &ModelZoo,
+    engine: &DecisionEngine,
+    options: &ExecutorOptions,
+    sink: Option<&dyn ProgressSink>,
+) -> Result<Vec<DeviceReport>, FleetError> {
     if scenarios.is_empty() {
         return Err(FleetError::EmptyFleet);
     }
@@ -140,7 +190,7 @@ pub fn run_fleet(
     if threads == 1 {
         return scenarios
             .iter()
-            .map(|scenario| simulate_device(scenario, zoo, engine))
+            .map(|scenario| simulate_device_with_progress(scenario, zoo, engine, sink))
             .collect();
     }
 
@@ -159,7 +209,10 @@ pub fn run_fleet(
                     }
                     let end = (start + chunk).min(scenarios.len());
                     for (index, scenario) in scenarios[start..end].iter().enumerate() {
-                        local.push((start + index, simulate_device(scenario, zoo, engine)));
+                        local.push((
+                            start + index,
+                            simulate_device_with_progress(scenario, zoo, engine, sink),
+                        ));
                     }
                 }
                 collected
@@ -215,7 +268,9 @@ mod tests {
     fn parallel_and_sequential_results_are_identical() {
         let zoo = ModelZoo::paper_setup();
         let engine = shared_engine(&zoo);
-        let scenarios = ScenarioGenerator::new(9, ScenarioMix::balanced()).scenarios(12);
+        let scenarios: Vec<_> = ScenarioGenerator::new(9, ScenarioMix::balanced())
+            .scenarios(12)
+            .collect();
         let sequential = run_fleet(
             &scenarios,
             &zoo,

@@ -21,7 +21,11 @@
 //!   chunks of devices from a shared work queue (work stealing by atomic
 //!   cursor). Every device simulation is independent, and results are merged
 //!   in device-id order, so reports are **byte-identical for any thread
-//!   count**,
+//!   count**. Device windows are *streamed*, not materialized: the runtime
+//!   pulls them one at a time from [`DeviceScenario::window_stream`], so
+//!   peak per-device memory is one activity segment instead of the whole
+//!   session, and [`progress`] sinks can observe partial progress
+//!   (`--progress` on the `fleet` / `fleet-shard` CLIs),
 //! * [`report`] — the aggregation layer: MAE percentiles (p50/p90/p99),
 //!   per-device energy and projected battery-life distributions, an
 //!   offload-fraction histogram and constraint-violation counts, all
@@ -51,13 +55,18 @@
 pub mod error;
 pub mod executor;
 pub mod merge;
+pub mod progress;
 pub mod report;
 pub mod scenario;
 pub mod shard;
 
 pub use error::{FleetError, MergeError};
-pub use executor::{run_fleet, simulate_device, ExecutorOptions};
+pub use executor::{
+    run_fleet, run_fleet_with_progress, simulate_device, simulate_device_with_progress,
+    ExecutorOptions,
+};
 pub use merge::merge;
+pub use progress::{ProgressSink, ProgressSource};
 pub use report::{DeviceReport, DistributionSummary, FleetReport, OFFLOAD_HISTOGRAM_BINS};
 pub use scenario::{DeviceScenario, ScenarioGenerator, ScenarioMix};
 pub use shard::{ShardMeta, ShardReport, ShardSpec, ENGINE_VERSION};
@@ -101,14 +110,16 @@ impl FleetSimulation {
     /// Returns [`FleetError`] when profiling the configuration table fails.
     pub fn new(master_seed: u64, mix: ScenarioMix) -> Result<Self, FleetError> {
         let zoo = ModelZoo::paper_setup();
-        let profiling_windows = DatasetBuilder::new()
+        // The profiling dataset is streamed straight into the profiler:
+        // windows are buffered once for the multi-pass table build, but the
+        // raw recordings never materialize.
+        let profiling_stream = DatasetBuilder::new()
             .subjects(Self::PROFILING_SUBJECTS)
             .seconds_per_activity(Self::PROFILING_SECONDS_PER_ACTIVITY)
             .seed(master_seed)
-            .build()?
-            .windows();
+            .window_stream()?;
         let profiler = Profiler::new(&zoo);
-        let table = profiler.profile_all(&profiling_windows, ProfilingOptions::default())?;
+        let table = profiler.profile_all(profiling_stream, ProfilingOptions::default())?;
         Ok(Self {
             generator: ScenarioGenerator::new(master_seed, mix),
             zoo,
@@ -145,11 +156,29 @@ impl FleetSimulation {
     /// Returns [`FleetError`] when the fleet is empty or any device
     /// simulation fails.
     pub fn run(&self, devices: u64, threads: usize) -> Result<FleetOutcome, FleetError> {
+        self.run_with_progress(devices, threads, None)
+    }
+
+    /// [`FleetSimulation::run`] with an optional [`ProgressSink`] observing
+    /// windows processed and devices completed while the fleet executes.
+    ///
+    /// Progress is purely observational: the returned outcome is
+    /// byte-identical with or without a sink.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FleetSimulation::run`].
+    pub fn run_with_progress(
+        &self,
+        devices: u64,
+        threads: usize,
+        sink: Option<&dyn ProgressSink>,
+    ) -> Result<FleetOutcome, FleetError> {
         if devices == 0 {
             return Err(FleetError::EmptyFleet);
         }
         let spec = ShardSpec::single(devices);
-        let shard = self.run_shard(&spec, 0, threads)?;
+        let shard = self.run_shard_with_progress(&spec, 0, threads, sink)?;
         merge::merge(vec![shard]).map_err(FleetError::from)
     }
 
@@ -174,13 +203,31 @@ impl FleetSimulation {
         index: u32,
         threads: usize,
     ) -> Result<ShardReport, FleetError> {
+        self.run_shard_with_progress(spec, index, threads, None)
+    }
+
+    /// [`FleetSimulation::run_shard`] with an optional [`ProgressSink`]:
+    /// the shard worker streams every device's windows and reports partial
+    /// progress (windows processed, devices completed) as it goes — what the
+    /// `fleet-shard --progress` CLI surfaces for very large device ranges.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FleetSimulation::run_shard`].
+    pub fn run_shard_with_progress(
+        &self,
+        spec: &ShardSpec,
+        index: u32,
+        threads: usize,
+        sink: Option<&dyn ProgressSink>,
+    ) -> Result<ShardReport, FleetError> {
         let range = spec
             .range(index)
             .ok_or_else(|| FleetError::ShardIndexOutOfRange {
                 index,
                 shards: spec.shards(),
             })?;
-        let scenarios = self.generator.scenarios_in(range.clone());
+        let scenarios: Vec<DeviceScenario> = self.generator.scenarios_in(range.clone()).collect();
         let devices = if scenarios.is_empty() {
             Vec::new()
         } else {
@@ -188,7 +235,7 @@ impl FleetSimulation {
                 threads,
                 ..ExecutorOptions::default()
             };
-            run_fleet(&scenarios, &self.zoo, &self.engine, &options)?
+            run_fleet_with_progress(&scenarios, &self.zoo, &self.engine, &options, sink)?
         };
         Ok(ShardReport {
             meta: ShardMeta {

@@ -1,0 +1,123 @@
+//! Live progress reporting for streaming fleet execution.
+//!
+//! With eager window synthesis, a shard worker was silent until its whole
+//! device range finished. The streaming executor pulls windows one at a time,
+//! so it can report partial progress — windows processed, devices completed —
+//! through a [`ProgressSink`] while the simulation runs, which is what the
+//! `--progress` flag of the `fleet` / `fleet-shard` CLIs surfaces. Progress
+//! is observational only: sinks receive callbacks from worker threads in
+//! whatever order devices finish, and the simulation's reports remain
+//! byte-identical whether a sink is attached or not.
+
+use ppg_data::{DataError, IntoWindowSource, LabeledWindow, WindowSource};
+
+/// Receiver of live fleet-execution progress.
+///
+/// Implementations must be [`Sync`]: the executor's worker threads call them
+/// concurrently. Callbacks arrive in completion order, which depends on
+/// scheduling — sinks must not assume device-id order.
+pub trait ProgressSink: Sync {
+    /// One or more windows of `device_id` were pulled through the runtime.
+    fn windows_processed(&self, device_id: u64, count: usize);
+
+    /// The device finished simulating; `windows` is its total window count.
+    fn device_completed(&self, device_id: u64, windows: usize);
+}
+
+/// [`WindowSource`] adapter that reports every pulled window to a
+/// [`ProgressSink`] — how the executor observes progress without the runtime
+/// knowing about fleets.
+#[derive(Clone, Copy)]
+pub struct ProgressSource<'a, S> {
+    inner: S,
+    sink: &'a dyn ProgressSink,
+    device_id: u64,
+}
+
+impl<'a, S: WindowSource> ProgressSource<'a, S> {
+    /// Wraps a window source so each yielded window is reported to `sink`
+    /// under `device_id`.
+    pub fn new(inner: S, sink: &'a dyn ProgressSink, device_id: u64) -> Self {
+        Self {
+            inner,
+            sink,
+            device_id,
+        }
+    }
+}
+
+impl<S: WindowSource> WindowSource for ProgressSource<'_, S> {
+    fn next_window(&mut self) -> Option<Result<LabeledWindow, DataError>> {
+        let item = self.inner.next_window();
+        if let Some(Ok(_)) = &item {
+            self.sink.windows_processed(self.device_id, 1);
+        }
+        item
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+
+    /// Delegates to the inner source's visitor (preserving its zero-copy
+    /// overrides), reporting each pulled window to the sink.
+    fn try_for_each_window<E: From<DataError>>(
+        &mut self,
+        mut f: impl FnMut(&LabeledWindow) -> Result<(), E>,
+    ) -> Result<usize, E> {
+        let sink = self.sink;
+        let device_id = self.device_id;
+        self.inner.try_for_each_window(|window| {
+            sink.windows_processed(device_id, 1);
+            f(window)
+        })
+    }
+}
+
+impl<'a, S: WindowSource> IntoWindowSource for ProgressSource<'a, S> {
+    type Source = Self;
+
+    fn into_window_source(self) -> Self::Source {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[derive(Default)]
+    struct CountingSink {
+        windows: AtomicUsize,
+        devices: AtomicUsize,
+    }
+
+    impl ProgressSink for CountingSink {
+        fn windows_processed(&self, _device_id: u64, count: usize) {
+            self.windows.fetch_add(count, Ordering::Relaxed);
+        }
+
+        fn device_completed(&self, _device_id: u64, _windows: usize) {
+            self.devices.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn progress_source_reports_every_window_and_preserves_the_stream() {
+        let stream = ppg_data::DatasetBuilder::new()
+            .subjects(1)
+            .seconds_per_activity(16.0)
+            .seed(3)
+            .window_stream()
+            .unwrap();
+        let expected: Vec<_> = stream.clone().iter().map(Result::unwrap).collect();
+        let sink = CountingSink::default();
+        let observed: Vec<_> = ProgressSource::new(stream, &sink, 7)
+            .iter()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(observed, expected);
+        assert_eq!(sink.windows.load(Ordering::Relaxed), expected.len());
+    }
+}

@@ -13,7 +13,7 @@ use chris_core::config::EnergyAccounting;
 use chris_core::decision::UserConstraint;
 use hw_sim::ble::ConnectionSchedule;
 use hw_sim::units::Energy;
-use ppg_data::{Activity, DatasetBuilder, LabeledWindow};
+use ppg_data::{Activity, DatasetBuilder, LabeledWindow, SynthWindows};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -144,21 +144,48 @@ pub struct DeviceScenario {
 }
 
 impl DeviceScenario {
-    /// Synthesizes the device's labeled windows.
+    /// Streams the device's labeled windows lazily, synthesizing them on
+    /// demand from `(dataset seed, activity schedule)`.
+    ///
+    /// The executor's path: at most one activity segment of raw signal and
+    /// one window are alive per device, instead of the whole session — the
+    /// collected stream is element-wise identical to the legacy eager
+    /// [`DeviceScenario::windows`] vector.
     ///
     /// # Errors
     ///
     /// Returns [`ppg_data::DataError`] when the sampled parameters are
     /// rejected by the dataset builder (cannot happen for mixes whose ranges
     /// respect the builder's invariants).
-    pub fn windows(&self) -> Result<Vec<LabeledWindow>, ppg_data::DataError> {
-        Ok(DatasetBuilder::new()
+    pub fn window_stream(&self) -> Result<SynthWindows, ppg_data::DataError> {
+        DatasetBuilder::new()
             .subjects(1)
             .seconds_per_activity(self.seconds_per_activity)
             .seed(self.dataset_seed)
             .activities(&self.activities)
-            .build()?
-            .windows())
+            .window_stream()
+    }
+
+    /// Exact number of windows the device's session yields, computed from
+    /// the schedule geometry without synthesizing any signal.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DeviceScenario::window_stream`].
+    pub fn window_count(&self) -> Result<usize, ppg_data::DataError> {
+        Ok(self.window_stream()?.len())
+    }
+
+    /// Synthesizes the device's labeled windows eagerly.
+    ///
+    /// Thin `collect()` wrapper over [`DeviceScenario::window_stream`] kept
+    /// for tests and offline analysis; the executor streams instead.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DeviceScenario::window_stream`].
+    pub fn windows(&self) -> Result<Vec<LabeledWindow>, ppg_data::DataError> {
+        ppg_data::collect_windows(self.window_stream()?)
     }
 }
 
@@ -292,17 +319,24 @@ impl ScenarioGenerator {
         }
     }
 
-    /// Derives the scenarios of devices `0..count`.
-    pub fn scenarios(&self, count: u64) -> Vec<DeviceScenario> {
+    /// Derives the scenarios of devices `0..count`, lazily.
+    ///
+    /// Returns an iterator rather than a `Vec`: scenario derivation is pure,
+    /// so callers that only need to walk (or count) scenarios never pay for
+    /// materializing the whole fleet. Collect when random access is needed.
+    pub fn scenarios(&self, count: u64) -> impl Iterator<Item = DeviceScenario> + '_ {
         self.scenarios_in(0..count)
     }
 
     /// Derives the scenarios of a contiguous device-id range — the unit of
-    /// work of one fleet shard. Because scenarios depend only on
+    /// work of one fleet shard — lazily. Because scenarios depend only on
     /// `(master seed, device id)`, a range's scenarios are the same whether
     /// it is generated in one process or split across many.
-    pub fn scenarios_in(&self, range: std::ops::Range<u64>) -> Vec<DeviceScenario> {
-        range.map(|id| self.scenario(id)).collect()
+    pub fn scenarios_in(
+        &self,
+        range: std::ops::Range<u64>,
+    ) -> impl Iterator<Item = DeviceScenario> + '_ {
+        range.map(|id| self.scenario(id))
     }
 }
 
@@ -318,20 +352,20 @@ mod tests {
             assert_eq!(a.scenario(id), b.scenario(id));
         }
         // Generating a big fleet does not perturb small-fleet scenarios.
-        let big = a.scenarios(64);
-        let small = a.scenarios(8);
+        let big: Vec<_> = a.scenarios(64).collect();
+        let small: Vec<_> = a.scenarios(8).collect();
         assert_eq!(&big[..8], &small[..]);
     }
 
     #[test]
     fn range_generation_matches_per_id_generation() {
         let generator = ScenarioGenerator::new(13, ScenarioMix::balanced());
-        let ranged = generator.scenarios_in(5..9);
+        let ranged: Vec<_> = generator.scenarios_in(5..9).collect();
         assert_eq!(ranged.len(), 4);
         for (offset, scenario) in ranged.iter().enumerate() {
             assert_eq!(scenario, &generator.scenario(5 + offset as u64));
         }
-        assert!(generator.scenarios_in(7..7).is_empty());
+        assert_eq!(generator.scenarios_in(7..7).count(), 0);
         // Boundary device ids derive valid scenarios without panicking.
         for id in [u64::MAX, u64::MAX - 1] {
             let scenario = generator.scenario(id);
@@ -351,7 +385,7 @@ mod tests {
     #[test]
     fn mix_shares_are_respected_in_aggregate() {
         let generator = ScenarioGenerator::new(11, ScenarioMix::balanced());
-        let scenarios = generator.scenarios(400);
+        let scenarios: Vec<_> = generator.scenarios(400).collect();
         let max_mae = scenarios
             .iter()
             .filter(|s| matches!(s.constraint, UserConstraint::MaxMae(_)))
@@ -386,6 +420,22 @@ mod tests {
         for pair in scenario.activities.windows(2) {
             assert!(pair[0].difficulty() <= pair[1].difficulty());
         }
+    }
+
+    #[test]
+    fn window_stream_matches_eager_windows_and_counts() {
+        use ppg_data::WindowSource;
+        let generator = ScenarioGenerator::new(19, ScenarioMix::balanced());
+        let scenario = generator.scenario(3);
+        let eager = scenario.windows().unwrap();
+        let streamed: Vec<_> = scenario
+            .window_stream()
+            .unwrap()
+            .iter()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(streamed, eager);
+        assert_eq!(scenario.window_count().unwrap(), eager.len());
     }
 
     #[test]

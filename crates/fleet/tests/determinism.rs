@@ -16,7 +16,7 @@ proptest! {
     #[test]
     fn fleet_reports_are_identical_for_1_2_and_8_threads(master_seed in 0u64..1000) {
         let simulation = FleetSimulation::new(master_seed, ScenarioMix::balanced()).unwrap();
-        let scenarios = simulation.generator().scenarios(64);
+        let scenarios: Vec<_> = simulation.generator().scenarios(64).collect();
 
         let mut outcomes = Vec::new();
         for threads in [1usize, 2, 8] {
@@ -53,9 +53,8 @@ proptest! {
 
         // Embedding the device in fleets of different sizes never changes it.
         let generator = ScenarioGenerator::new(master_seed, mix);
-        let small = generator.scenarios(device_id % 7 + 1);
-        for (id, scenario) in small.iter().enumerate() {
-            prop_assert_eq!(scenario, &generator.scenario(id as u64));
+        for (id, scenario) in generator.scenarios(device_id % 7 + 1).enumerate() {
+            prop_assert_eq!(&scenario, &generator.scenario(id as u64));
         }
 
         // A different master seed or device id yields a different stream.

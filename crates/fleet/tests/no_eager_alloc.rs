@@ -1,0 +1,27 @@
+//! The streaming executor never materializes a full per-device window
+//! vector: every eager collect in `ppg-data` bumps a process-global counter
+//! (`ppg_data::stream::metrics`), and a fleet run must leave it untouched.
+//!
+//! This lives in its own integration binary on purpose — other test
+//! binaries legitimately call eager `windows()` helpers concurrently, which
+//! would race the counter.
+
+use fleet::{FleetSimulation, ScenarioMix};
+use ppg_data::stream::metrics;
+
+#[test]
+fn fleet_execution_never_collects_a_window_vector() {
+    // Setup (profiling) is allowed to buffer its windows once; measure only
+    // the execution phase.
+    let simulation = FleetSimulation::new(42, ScenarioMix::balanced()).unwrap();
+
+    let before = metrics::eager_collects();
+    let outcome = simulation.run(8, 2).unwrap();
+    assert_eq!(outcome.report.devices, 8);
+    assert!(outcome.report.total_windows > 0);
+    assert_eq!(
+        metrics::eager_collects(),
+        before,
+        "the streaming executor materialized a full per-device window vector"
+    );
+}

@@ -38,6 +38,15 @@
 //! let windows = dataset.windows();
 //! assert!(!windows.is_empty());
 //! assert!(windows.iter().any(|w| w.activity == Activity::Walking));
+//!
+//! // The same windows, streamed lazily without materializing the dataset:
+//! use ppg_data::WindowSource;
+//! let stream = DatasetBuilder::new()
+//!     .subjects(3)
+//!     .seconds_per_activity(30.0)
+//!     .seed(7)
+//!     .window_stream()?;
+//! assert_eq!(stream.len(), windows.len());
 //! # Ok::<(), ppg_data::DataError>(())
 //! ```
 
@@ -52,6 +61,7 @@ pub mod folds;
 pub mod hr_profile;
 pub mod noise;
 pub mod ppg_synth;
+pub mod stream;
 pub mod subject;
 pub mod window;
 
@@ -59,6 +69,10 @@ pub use activity::{Activity, DifficultyLevel};
 pub use dataset::{Dataset, DatasetBuilder, SessionRecording};
 pub use error::DataError;
 pub use folds::{CrossValidation, Fold};
+pub use stream::{
+    collect_windows, DatasetWindows, IntoWindowSource, RecordingWindows, SliceSource, SynthWindows,
+    VecSource, WindowSource,
+};
 pub use subject::{SubjectId, SubjectProfile};
 pub use window::LabeledWindow;
 

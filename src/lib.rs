@@ -33,14 +33,31 @@
 //! let table = profiler.profile_all(&dataset.windows(), ProfilingOptions::default())?;
 //!
 //! // 3. Run CHRIS under a 6-BPM error constraint with the phone reachable.
+//! //    `run` takes anything convertible into a window source — here an
+//! //    eager slice of windows.
 //! let engine = DecisionEngine::new(table);
-//! let mut runtime = ChrisRuntime::new(zoo, engine, RuntimeOptions::default());
+//! let mut runtime = ChrisRuntime::new(zoo.clone(), engine.clone(), RuntimeOptions::default());
 //! let report = runtime.run(
 //!     &dataset.windows(),
 //!     &UserConstraint::MaxMae(6.0),
 //!     &ConnectionSchedule::AlwaysConnected,
 //! )?;
 //! assert!(report.mae_bpm < 7.0);
+//!
+//! // 4. Or stream the windows straight out of the synthesizer — same
+//! //    report, but peak memory is one window instead of the session.
+//! let stream = DatasetBuilder::new()
+//!     .subjects(2)
+//!     .seconds_per_activity(20.0)
+//!     .seed(7)
+//!     .window_stream()?;
+//! let mut fresh = ChrisRuntime::new(zoo, engine, RuntimeOptions::default());
+//! let streamed = fresh.run(
+//!     stream,
+//!     &UserConstraint::MaxMae(6.0),
+//!     &ConnectionSchedule::AlwaysConnected,
+//! )?;
+//! assert_eq!(report, streamed);
 //! # Ok(())
 //! # }
 //! ```
@@ -86,15 +103,18 @@ pub mod fleet {
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use ::fleet::{
-        merge, DeviceScenario, FleetReport, FleetSimulation, ScenarioGenerator, ScenarioMix,
-        ShardReport, ShardSpec,
+        merge, DeviceScenario, FleetReport, FleetSimulation, ProgressSink, ScenarioGenerator,
+        ScenarioMix, ShardReport, ShardSpec,
     };
     pub use chris_core::prelude::*;
     pub use hw_sim::battery::Battery;
     pub use hw_sim::ble::{BleLink, ConnectionSchedule};
     pub use hw_sim::platform::Platform;
     pub use hw_sim::units::{Cycles, Energy, Power, TimeSpan};
-    pub use ppg_data::{Activity, Dataset, DatasetBuilder, LabeledWindow, SubjectId};
+    pub use ppg_data::{
+        Activity, Dataset, DatasetBuilder, IntoWindowSource, LabeledWindow, SliceSource, SubjectId,
+        SynthWindows, WindowSource,
+    };
     pub use ppg_models::adaptive_threshold::AdaptiveThreshold;
     pub use ppg_models::random_forest::{RandomForest, RandomForestConfig};
     pub use ppg_models::traits::{ActivityClassifier, HrEstimator};
