@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-use fleet::{run_fleet, ExecutorOptions, FleetSimulation, ScenarioMix};
+use fleet::{run_fleet, run_fleet_range, ExecutorOptions, FleetSimulation, ScenarioMix};
 
 const DEVICES: u64 = 64;
 
@@ -54,6 +54,24 @@ fn bench_fleet(c: &mut Criterion) {
         b.iter(|| {
             run_fleet(
                 black_box(&scenarios),
+                simulation.zoo(),
+                simulation.engine(),
+                &ExecutorOptions {
+                    threads: 0,
+                    chunk_size: 8,
+                },
+            )
+            .unwrap()
+        })
+    });
+    // The scenario-free path: identical work, but each worker derives its
+    // scenarios on demand instead of reading a pre-built vector — the cost
+    // of O(threads) scenario memory, head to head against the slice path.
+    group.bench_function("simulate_64_devices_scenario_free", |b| {
+        b.iter(|| {
+            run_fleet_range(
+                simulation.generator(),
+                black_box(0..DEVICES),
                 simulation.zoo(),
                 simulation.engine(),
                 &ExecutorOptions {

@@ -7,13 +7,23 @@
 //! `fleet --json` run single-process over the same fleet; any incompatibility
 //! is rejected with a typed error instead of a corrupted report.
 //!
+//! The merge is *streaming*: a first pass reads each artifact only to record
+//! its provenance and range, then the fold re-reads them in device-id order,
+//! pushing each into `fleet::MergeAccumulator` and dropping it before the
+//! next is loaded. Peak memory is one shard artifact plus the accumulator's
+//! per-device scalars — never the whole artifact set — so the number of
+//! shards a merge can absorb is bounded by disk, not RAM. (`--per-device`
+//! is the exception: it buffers one rendered line per device, O(fleet),
+//! because the aggregate header prints before the device lines.)
+//!
 //! ```text
 //! fleet-merge --json shard-0.json shard-1.json shard-2.json shard-3.json
 //! ```
 
 use std::process::ExitCode;
 
-use fleet::{merge, ShardReport};
+use chris_bench::fleet_cli;
+use fleet::MergeAccumulator;
 
 const USAGE: &str = "usage: fleet-merge [--json] [--per-device] SHARD.json...\n\
        --json          print the merged aggregate report as JSON instead of text\n\
@@ -52,9 +62,34 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn read_shard(path: &str) -> Result<ShardReport, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path} failed: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("parsing {path} failed: {e}"))
+/// Provenance scanned from one artifact during the ordering pass.
+struct ScannedShard {
+    path: String,
+    start: u64,
+    end: u64,
+}
+
+/// Reads each artifact's provenance — the device payload is never
+/// deserialized on this pass (`fleet::ShardProvenance`) — and returns the
+/// paths sorted into device-id order, the order `MergeAccumulator` consumes.
+fn scan_and_sort(paths: &[String]) -> Result<(Vec<ScannedShard>, u64, u64), String> {
+    let mut scanned = Vec::with_capacity(paths.len());
+    let mut seed = 0;
+    let mut fleet_devices = 0;
+    for (index, path) in paths.iter().enumerate() {
+        let meta = fleet_cli::read_shard_meta(path)?;
+        if index == 0 {
+            seed = meta.master_seed;
+            fleet_devices = meta.fleet_devices;
+        }
+        scanned.push(ScannedShard {
+            path: path.clone(),
+            start: meta.start,
+            end: meta.end,
+        });
+    }
+    scanned.sort_by_key(|s| (s.start, s.end));
+    Ok((scanned, seed, fleet_devices))
 }
 
 fn main() -> ExitCode {
@@ -66,22 +101,37 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut shards = Vec::with_capacity(args.paths.len());
-    for path in &args.paths {
-        match read_shard(path) {
-            Ok(shard) => shards.push(shard),
+    let (scanned, seed, fleet_devices) = match scan_and_sort(&args.paths) {
+        Ok(scanned) => scanned,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Fold pass: one artifact resident at a time. Device lines are
+    // pre-rendered during the fold (only when requested) so no report needs
+    // to be retained for printing later.
+    let mut accumulator = MergeAccumulator::new();
+    let mut device_lines = Vec::new();
+    for shard in &scanned {
+        let artifact = match fleet_cli::read_shard_report(&shard.path) {
+            Ok(artifact) => artifact,
             Err(message) => {
                 eprintln!("{message}");
                 return ExitCode::FAILURE;
             }
+        };
+        if let Err(e) = accumulator.push(&artifact) {
+            eprintln!("merge failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        if args.per_device {
+            device_lines.extend(artifact.devices.iter().map(fleet_cli::device_line));
         }
     }
-    let shard_count = shards.len();
-    let seed = shards[0].meta.master_seed;
-    let fleet_devices = shards[0].meta.fleet_devices;
-
-    let outcome = match merge(shards) {
-        Ok(outcome) => outcome,
+    let report = match accumulator.finalize() {
+        Ok(report) => report,
         Err(e) => {
             eprintln!("merge failed: {e}");
             return ExitCode::FAILURE;
@@ -89,7 +139,7 @@ fn main() -> ExitCode {
     };
 
     if args.json {
-        match serde_json::to_string_pretty(&outcome.report) {
+        match serde_json::to_string_pretty(&report) {
             Ok(json) => println!("{json}"),
             Err(e) => {
                 eprintln!("serializing the report failed: {e}");
@@ -99,13 +149,14 @@ fn main() -> ExitCode {
     } else {
         println!(
             "CHRIS fleet simulation  (seed {seed}, {fleet_devices} devices, \
-             merged from {shard_count} shard artifacts)"
+             merged from {} shard artifacts)",
+            scanned.len()
         );
-        println!("{}", outcome.report);
+        println!("{report}");
         if args.per_device {
             println!();
-            for d in &outcome.devices {
-                println!("{}", chris_bench::fleet_cli::device_line(d));
+            for line in &device_lines {
+                println!("{line}");
             }
         }
     }

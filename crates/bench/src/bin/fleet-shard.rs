@@ -7,6 +7,11 @@
 //! `fleet-merge` later folds the artifacts into the exact single-process
 //! report.
 //!
+//! Workers are scenario-free: each worker thread derives the scenario of a
+//! device as it claims its id, so the shard never materializes a scenario
+//! vector — `--devices 1000000000 --shards 1000` costs O(threads) scenario
+//! memory per worker process, not O(range).
+//!
 //! ```text
 //! fleet-shard --devices 1000 --shards 4 --shard-index 0 --seed 42 --out shard-0.json
 //! ```

@@ -3,7 +3,10 @@
 //! Simulates a fleet of independent devices in parallel and prints the
 //! aggregate report (MAE percentiles, energy and battery-life distributions,
 //! offload histogram, constraint violations). The output is byte-identical
-//! for any `--threads` value.
+//! for any `--threads` value. Execution is scenario-free end to end: worker
+//! threads derive device scenarios on demand and the report is folded
+//! incrementally (`fleet::FleetAccumulator`), so memory scales with threads
+//! and devices' scalars, not with materialized scenarios.
 //!
 //! ```text
 //! cargo run --release -p bench --bin fleet -- --devices 1000 --threads 8 --seed 42

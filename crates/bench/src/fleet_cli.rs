@@ -139,6 +139,39 @@ impl ProgressSink for StderrProgress {
     }
 }
 
+/// Reads and parses one shard artifact written by `fleet-shard`.
+///
+/// The fold step of the streaming `fleet-merge` pipeline loads one artifact
+/// at a time through this and drops it after pushing it into the merge
+/// accumulator, so only one shard's device reports are ever resident.
+///
+/// # Errors
+///
+/// Returns a usage-style message naming the path when reading or parsing
+/// fails.
+pub fn read_shard_report(path: &str) -> Result<fleet::ShardReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path} failed: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path} failed: {e}"))
+}
+
+/// Reads only the provenance ([`fleet::ShardMeta`]) of one shard artifact.
+///
+/// The ordering scan of the streaming `fleet-merge` pipeline: deserializing
+/// into [`fleet::ShardProvenance`] skips materializing the artifact's device
+/// payload, so scanning N artifacts costs N metadata reads, not N full
+/// device-report parses.
+///
+/// # Errors
+///
+/// Returns a usage-style message naming the path when reading or parsing
+/// fails.
+pub fn read_shard_meta(path: &str) -> Result<fleet::ShardMeta, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path} failed: {e}"))?;
+    let provenance: fleet::ShardProvenance =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path} failed: {e}"))?;
+    Ok(provenance.meta)
+}
+
 /// Formats the `--per-device` report line of one device, shared by `fleet`
 /// and `fleet-merge` so the two renderings cannot drift apart.
 pub fn device_line(d: &fleet::DeviceReport) -> String {
@@ -237,6 +270,41 @@ mod tests {
         sink.device_completed(3, 15);
         assert_eq!(sink.devices_done(), 1);
         assert_eq!(sink.windows_done(), 15);
+    }
+
+    #[test]
+    fn read_shard_meta_skips_the_device_payload() {
+        let report = fleet::ShardReport {
+            meta: fleet::ShardMeta {
+                engine_version: fleet::ENGINE_VERSION.to_string(),
+                master_seed: 7,
+                mix: ScenarioMix::balanced(),
+                fleet_devices: 2,
+                shard_count: 1,
+                shard_index: 0,
+                start: 0,
+                end: 2,
+            },
+            devices: Vec::new(),
+        };
+        let path =
+            std::env::temp_dir().join(format!("chris-fleet-cli-meta-{}.json", std::process::id()));
+        std::fs::write(&path, serde_json::to_string(&report).unwrap()).unwrap();
+        let meta = read_shard_meta(path.to_str().unwrap()).unwrap();
+        assert_eq!(meta, report.meta);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_shard_report_names_the_path_on_failure() {
+        let missing = read_shard_report("/nonexistent/shard.json").unwrap_err();
+        assert!(missing.contains("/nonexistent/shard.json"));
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("chris-fleet-cli-bad-{}.json", std::process::id()));
+        std::fs::write(&path, "{ not json").unwrap();
+        let garbled = read_shard_report(path.to_str().unwrap()).unwrap_err();
+        assert!(garbled.contains("parsing"));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

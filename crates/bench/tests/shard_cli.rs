@@ -92,6 +92,32 @@ fn sharded_pipeline_reproduces_the_single_process_report_byte_for_byte() {
 }
 
 #[test]
+fn streaming_merge_accepts_any_argument_order_and_stays_byte_identical() {
+    // fleet-merge consumes artifacts one at a time (streaming fold); the
+    // metadata scan must put them in device-id order no matter how the
+    // paths are given, and the output must stay byte-identical.
+    let dir = temp_dir("ordering");
+    let shards = write_shards(&dir);
+
+    let forward: Vec<&str> = shards.iter().map(|p| p.to_str().unwrap()).collect();
+    let mut forward_args = vec!["--json"];
+    forward_args.extend(&forward);
+    let forward_out = run_ok(env!("CARGO_BIN_EXE_fleet-merge"), &forward_args);
+
+    let mut reversed: Vec<&str> = forward.clone();
+    reversed.reverse();
+    let mut reversed_args = vec!["--json"];
+    reversed_args.extend(&reversed);
+    let reversed_out = run_ok(env!("CARGO_BIN_EXE_fleet-merge"), &reversed_args);
+
+    assert_eq!(
+        forward_out.stdout, reversed_out.stdout,
+        "artifact argument order changed the merged report"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn merge_rejects_a_missing_shard_with_a_typed_error() {
     let dir = temp_dir("missing");
     let shards = write_shards(&dir);

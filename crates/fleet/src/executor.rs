@@ -7,14 +7,25 @@
 //! device order afterwards, so the output is byte-identical for any thread
 //! count and any scheduling interleaving.
 //!
+//! Workers are *scenario-free*: [`run_fleet_range`] hands each worker only a
+//! [`ScenarioGenerator`] and a device-id range, and the worker derives each
+//! [`DeviceScenario`] on demand as it claims ids — one scenario alive per
+//! worker, never a materialized `Vec<DeviceScenario>` (asserted by
+//! [`metrics::peak_live_scenarios`] in `tests/scenario_free.rs`). A
+//! billion-device shard therefore costs O(threads) scenario memory. The
+//! slice-based [`run_fleet`] is a thin wrapper over the same core for
+//! callers that already hold scenarios.
+//!
 //! The executor is the per-process layer of the scale-out story: both the
 //! single-process path ([`crate::FleetSimulation::run`]) and every
-//! `fleet-shard` worker drive their device range through [`run_fleet`], so a
-//! sharded fleet and a single-process fleet execute identical per-device
+//! `fleet-shard` worker drive their device range through [`run_fleet_range`],
+//! so a sharded fleet and a single-process fleet execute identical per-device
 //! work — only the partitioning and the final [`crate::merge::merge`]
 //! differ.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::borrow::Cow;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use chris_core::runtime::{ChrisRuntime, RuntimeOptions};
@@ -25,7 +36,87 @@ use ppg_models::zoo::ModelZoo;
 use crate::error::FleetError;
 use crate::progress::{ProgressSink, ProgressSource};
 use crate::report::DeviceReport;
-use crate::scenario::DeviceScenario;
+use crate::scenario::{DeviceScenario, ScenarioGenerator};
+
+/// Instrumentation counters for scenario materialization.
+///
+/// Cheap relaxed atomics, always compiled in — the `scenario_free`
+/// integration test uses them to prove that the generator-backed execution
+/// path keeps at most one generated [`DeviceScenario`] alive per worker
+/// thread, instead of materializing the whole range up front.
+pub mod metrics {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static LIVE: AtomicUsize = AtomicUsize::new(0);
+    static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+    /// Generated scenarios currently alive inside executor workers.
+    pub fn live_generated_scenarios() -> usize {
+        LIVE.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`live_generated_scenarios`] since the last
+    /// [`reset_peak`].
+    pub fn peak_live_scenarios() -> usize {
+        PEAK.load(Ordering::Relaxed)
+    }
+
+    /// Resets the peak gauge (the live gauge is self-balancing).
+    pub fn reset_peak() {
+        PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// RAII guard accounting one generated scenario's lifetime.
+    pub(crate) struct GeneratedScenario;
+
+    impl GeneratedScenario {
+        pub(crate) fn track() -> Self {
+            let live = LIVE.fetch_add(1, Ordering::Relaxed) + 1;
+            PEAK.fetch_max(live, Ordering::Relaxed);
+            Self
+        }
+    }
+
+    impl Drop for GeneratedScenario {
+        fn drop(&mut self) {
+            LIVE.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Where a worker gets the scenario of work item `index`: a caller-provided
+/// slice (the legacy eager path) or on-demand derivation from a generator
+/// and a device-id range (the scenario-free path).
+enum ScenarioSupply<'a> {
+    Slice(&'a [DeviceScenario]),
+    Generated {
+        generator: &'a ScenarioGenerator,
+        range: Range<u64>,
+    },
+}
+
+impl ScenarioSupply<'_> {
+    /// Number of work items (devices) supplied. An inverted range is empty
+    /// (Rust `Range` convention), not an underflow.
+    fn len(&self) -> u64 {
+        match self {
+            ScenarioSupply::Slice(scenarios) => scenarios.len() as u64,
+            ScenarioSupply::Generated { range, .. } => range.end.saturating_sub(range.start),
+        }
+    }
+
+    /// The scenario of work item `index` — borrowed from the slice, or
+    /// derived on demand (and owned by the caller, so it is dropped before
+    /// the worker claims its next item).
+    fn scenario(&self, index: u64) -> Cow<'_, DeviceScenario> {
+        match self {
+            ScenarioSupply::Slice(scenarios) => Cow::Borrowed(&scenarios[index as usize]),
+            ScenarioSupply::Generated { generator, range } => {
+                Cow::Owned(generator.scenario(range.start + index))
+            }
+        }
+    }
+}
 
 /// Upper bound on the projected battery life, in hours (≈11 years). Keeps
 /// the distribution finite for pathological near-zero average power.
@@ -151,6 +242,10 @@ pub fn simulate_device_with_progress(
 
 /// Runs every scenario and returns the device reports in device order.
 ///
+/// Thin wrapper over the scenario-free core: the slice is treated as a
+/// pre-materialized supply, so eager callers (tests, benches) share the
+/// exact worker loop of [`run_fleet_range`].
+///
 /// # Errors
 ///
 /// Returns [`FleetError::EmptyFleet`] for an empty scenario list; when
@@ -181,38 +276,116 @@ pub fn run_fleet_with_progress(
     options: &ExecutorOptions,
     sink: Option<&dyn ProgressSink>,
 ) -> Result<Vec<DeviceReport>, FleetError> {
-    if scenarios.is_empty() {
+    run_supply(
+        &ScenarioSupply::Slice(scenarios),
+        zoo,
+        engine,
+        options,
+        sink,
+    )
+}
+
+/// Runs the devices of a contiguous id range, deriving each scenario on
+/// demand inside the claiming worker — the scenario-free path.
+///
+/// No `Vec<DeviceScenario>` is ever built: peak *scenario* memory is one
+/// scenario per worker thread regardless of the range size. (The returned
+/// `Vec<DeviceReport>` is still O(range) — partition huge fleets into
+/// shards sized to what one process can report on.) Reports are returned in
+/// device-id order and are byte-identical to running [`run_fleet`] over
+/// `generator.scenarios_in(range).collect::<Vec<_>>()`.
+///
+/// # Errors
+///
+/// Returns [`FleetError::EmptyFleet`] for an empty range; otherwise the same
+/// conditions as [`run_fleet`].
+pub fn run_fleet_range(
+    generator: &ScenarioGenerator,
+    range: Range<u64>,
+    zoo: &ModelZoo,
+    engine: &DecisionEngine,
+    options: &ExecutorOptions,
+) -> Result<Vec<DeviceReport>, FleetError> {
+    run_fleet_range_with_progress(generator, range, zoo, engine, options, None)
+}
+
+/// [`run_fleet_range`] with an optional [`ProgressSink`] observing windows
+/// processed and devices completed while the range executes.
+///
+/// # Errors
+///
+/// Same conditions as [`run_fleet_range`].
+pub fn run_fleet_range_with_progress(
+    generator: &ScenarioGenerator,
+    range: Range<u64>,
+    zoo: &ModelZoo,
+    engine: &DecisionEngine,
+    options: &ExecutorOptions,
+    sink: Option<&dyn ProgressSink>,
+) -> Result<Vec<DeviceReport>, FleetError> {
+    run_supply(
+        &ScenarioSupply::Generated { generator, range },
+        zoo,
+        engine,
+        options,
+        sink,
+    )
+}
+
+/// Simulates one work item of a supply, tracking generated-scenario
+/// lifetimes so tests can assert the scenario-free memory bound.
+fn simulate_index(
+    supply: &ScenarioSupply<'_>,
+    index: u64,
+    zoo: &ModelZoo,
+    engine: &DecisionEngine,
+    sink: Option<&dyn ProgressSink>,
+) -> Result<DeviceReport, FleetError> {
+    let scenario = supply.scenario(index);
+    let _live = match &scenario {
+        Cow::Owned(_) => Some(metrics::GeneratedScenario::track()),
+        Cow::Borrowed(_) => None,
+    };
+    simulate_device_with_progress(scenario.as_ref(), zoo, engine, sink)
+}
+
+/// The shared executor core: claims work items from an atomic cursor over
+/// the supply, simulates them, and merges the reports in item order.
+fn run_supply(
+    supply: &ScenarioSupply<'_>,
+    zoo: &ModelZoo,
+    engine: &DecisionEngine,
+    options: &ExecutorOptions,
+    sink: Option<&dyn ProgressSink>,
+) -> Result<Vec<DeviceReport>, FleetError> {
+    let count = supply.len();
+    if count == 0 {
         return Err(FleetError::EmptyFleet);
     }
-    let threads = options.effective_threads(scenarios.len());
-    let chunk = options.chunk_size.max(1);
+    let threads = options.effective_threads(usize::try_from(count).unwrap_or(usize::MAX));
+    let chunk = options.chunk_size.max(1) as u64;
 
     if threads == 1 {
-        return scenarios
-            .iter()
-            .map(|scenario| simulate_device_with_progress(scenario, zoo, engine, sink))
+        return (0..count)
+            .map(|index| simulate_index(supply, index, zoo, engine, sink))
             .collect();
     }
 
-    let cursor = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, Result<DeviceReport, FleetError>)>> =
-        Mutex::new(Vec::with_capacity(scenarios.len()));
+    let cursor = AtomicU64::new(0);
+    let capacity = usize::try_from(count).unwrap_or(usize::MAX);
+    let collected: Mutex<Vec<(u64, Result<DeviceReport, FleetError>)>> =
+        Mutex::new(Vec::with_capacity(capacity));
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
                 let mut local = Vec::new();
-                loop {
-                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= scenarios.len() {
-                        break;
-                    }
-                    let end = (start + chunk).min(scenarios.len());
-                    for (index, scenario) in scenarios[start..end].iter().enumerate() {
-                        local.push((
-                            start + index,
-                            simulate_device_with_progress(scenario, zoo, engine, sink),
-                        ));
+                // Compare-exchange claims instead of `fetch_add`: the cursor
+                // never moves past `count`, so id ranges near `u64::MAX`
+                // cannot overflow it.
+                while let Some(claimed) = claim_chunk(&cursor, count, chunk) {
+                    for index in claimed {
+                        local.push((index, simulate_index(supply, index, zoo, engine, sink)));
                     }
                 }
                 collected
@@ -227,8 +400,24 @@ pub fn run_fleet_with_progress(
         .into_inner()
         .expect("all workers joined before the lock is consumed");
     merged.sort_by_key(|&(index, _)| index);
-    debug_assert_eq!(merged.len(), scenarios.len());
+    debug_assert_eq!(merged.len() as u64, count);
     merged.into_iter().map(|(_, result)| result).collect()
+}
+
+/// Claims the next chunk of work-item indices, or `None` when the supply is
+/// exhausted.
+fn claim_chunk(cursor: &AtomicU64, count: u64, chunk: u64) -> Option<Range<u64>> {
+    let mut start = cursor.load(Ordering::Relaxed);
+    loop {
+        if start >= count {
+            return None;
+        }
+        let end = start.saturating_add(chunk).min(count);
+        match cursor.compare_exchange_weak(start, end, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return Some(start..end),
+            Err(observed) => start = observed,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +486,69 @@ mod tests {
             assert_eq!(report.device_id, i as u64);
             assert!(report.windows > 0);
         }
+    }
+
+    #[test]
+    fn range_execution_matches_slice_execution() {
+        let zoo = ModelZoo::paper_setup();
+        let engine = shared_engine(&zoo);
+        let generator = ScenarioGenerator::new(9, ScenarioMix::balanced());
+        let scenarios: Vec<_> = generator.scenarios_in(3..11).collect();
+        let options = ExecutorOptions {
+            threads: 3,
+            chunk_size: 2,
+        };
+        let eager = run_fleet(&scenarios, &zoo, &engine, &options).unwrap();
+        let scenario_free = run_fleet_range(&generator, 3..11, &zoo, &engine, &options).unwrap();
+        assert_eq!(eager, scenario_free);
+        assert_eq!(scenario_free.len(), 8);
+        for (offset, report) in scenario_free.iter().enumerate() {
+            assert_eq!(report.device_id, 3 + offset as u64);
+        }
+    }
+
+    #[test]
+    fn empty_range_is_rejected() {
+        let zoo = ModelZoo::paper_setup();
+        let engine = shared_engine(&zoo);
+        let generator = ScenarioGenerator::new(9, ScenarioMix::balanced());
+        assert!(matches!(
+            run_fleet_range(&generator, 5..5, &zoo, &engine, &ExecutorOptions::default()),
+            Err(FleetError::EmptyFleet)
+        ));
+        // An inverted range is empty by Rust convention — EmptyFleet, not a
+        // subtraction underflow.
+        #[allow(clippy::reversed_empty_ranges)]
+        let inverted = 5..3;
+        assert!(matches!(
+            run_fleet_range(
+                &generator,
+                inverted,
+                &zoo,
+                &engine,
+                &ExecutorOptions::default()
+            ),
+            Err(FleetError::EmptyFleet)
+        ));
+    }
+
+    #[test]
+    fn chunk_claims_tile_the_supply_without_overflow() {
+        let cursor = AtomicU64::new(0);
+        let mut seen = Vec::new();
+        while let Some(range) = claim_chunk(&cursor, 10, 4) {
+            seen.push(range);
+        }
+        assert_eq!(seen, vec![0..4, 4..8, 8..10]);
+        assert!(claim_chunk(&cursor, 10, 4).is_none());
+
+        // A cursor near u64::MAX saturates instead of wrapping.
+        let cursor = AtomicU64::new(u64::MAX - 3);
+        assert_eq!(
+            claim_chunk(&cursor, u64::MAX, 8),
+            Some(u64::MAX - 3..u64::MAX)
+        );
+        assert!(claim_chunk(&cursor, u64::MAX, 8).is_none());
     }
 
     #[test]

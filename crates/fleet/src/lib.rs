@@ -21,21 +21,31 @@
 //!   chunks of devices from a shared work queue (work stealing by atomic
 //!   cursor). Every device simulation is independent, and results are merged
 //!   in device-id order, so reports are **byte-identical for any thread
-//!   count**. Device windows are *streamed*, not materialized: the runtime
-//!   pulls them one at a time from [`DeviceScenario::window_stream`], so
-//!   peak per-device memory is one activity segment instead of the whole
-//!   session, and [`progress`] sinks can observe partial progress
-//!   (`--progress` on the `fleet` / `fleet-shard` CLIs),
-//! * [`report`] — the aggregation layer: MAE percentiles (p50/p90/p99),
-//!   per-device energy and projected battery-life distributions, an
-//!   offload-fraction histogram and constraint-violation counts, all
-//!   serializable via serde,
+//!   count**. Workers are *scenario-free* ([`executor::run_fleet_range`]):
+//!   each scenario is derived on demand from `(generator, device id)` inside
+//!   the claiming worker, so a shard's scenario memory is O(threads), not
+//!   O(devices). Device windows are likewise *streamed*, not materialized:
+//!   the runtime pulls them one at a time from
+//!   [`DeviceScenario::window_stream`], so peak per-device memory is one
+//!   activity segment instead of the whole session, and [`progress`] sinks
+//!   can observe partial progress (`--progress` on the `fleet` /
+//!   `fleet-shard` CLIs),
+//! * [`report`] — the aggregation layer: MAE percentiles (p50/p90/p99,
+//!   exact nearest-rank with integer-math ranks), per-device energy and
+//!   projected battery-life distributions, an offload-fraction histogram and
+//!   constraint-violation counts, all serializable via serde. Aggregation is
+//!   incremental — [`FleetAccumulator`] folds device reports one at a time,
+//!   and [`FleetReport::from_devices`] is that fold over a slice,
 //! * [`shard`] / [`merge`] — scale-out: a [`ShardSpec`] cuts the device-id
 //!   range into contiguous shards that can run on any process or host, each
 //!   producing a serializable [`ShardReport`] artifact; [`merge::merge`]
 //!   validates the artifacts and folds them into a [`FleetReport`]
-//!   **byte-identical** to a single-process run. The single-process path
-//!   itself is "run one shard, then merge", so the two can never drift.
+//!   **byte-identical** to a single-process run, and
+//!   [`merge::MergeAccumulator`] / [`merge::merge_stream`] do the same
+//!   incrementally — one artifact in memory at a time, which is how the
+//!   `fleet-merge` binary scales to arbitrarily many shards. The
+//!   single-process path itself is "run one shard, then merge", so the
+//!   paths can never drift.
 //!
 //! ## Example
 //!
@@ -62,14 +72,16 @@ pub mod shard;
 
 pub use error::{FleetError, MergeError};
 pub use executor::{
-    run_fleet, run_fleet_with_progress, simulate_device, simulate_device_with_progress,
-    ExecutorOptions,
+    run_fleet, run_fleet_range, run_fleet_range_with_progress, run_fleet_with_progress,
+    simulate_device, simulate_device_with_progress, ExecutorOptions,
 };
-pub use merge::merge;
+pub use merge::{merge, merge_stream, MergeAccumulator};
 pub use progress::{ProgressSink, ProgressSource};
-pub use report::{DeviceReport, DistributionSummary, FleetReport, OFFLOAD_HISTOGRAM_BINS};
+pub use report::{
+    DeviceReport, DistributionSummary, FleetAccumulator, FleetReport, OFFLOAD_HISTOGRAM_BINS,
+};
 pub use scenario::{DeviceScenario, ScenarioGenerator, ScenarioMix};
-pub use shard::{ShardMeta, ShardReport, ShardSpec, ENGINE_VERSION};
+pub use shard::{ShardMeta, ShardProvenance, ShardReport, ShardSpec, ENGINE_VERSION};
 
 use chris_core::{DecisionEngine, Profiler, ProfilingOptions};
 use ppg_data::DatasetBuilder;
@@ -227,15 +239,24 @@ impl FleetSimulation {
                 index,
                 shards: spec.shards(),
             })?;
-        let scenarios: Vec<DeviceScenario> = self.generator.scenarios_in(range.clone()).collect();
-        let devices = if scenarios.is_empty() {
+        // Scenario-free execution: the workers derive each device's scenario
+        // on demand from (generator, id), so no `Vec<DeviceScenario>` is
+        // materialized no matter how large the shard's range is.
+        let devices = if range.is_empty() {
             Vec::new()
         } else {
             let options = ExecutorOptions {
                 threads,
                 ..ExecutorOptions::default()
             };
-            run_fleet_with_progress(&scenarios, &self.zoo, &self.engine, &options, sink)?
+            run_fleet_range_with_progress(
+                &self.generator,
+                range.clone(),
+                &self.zoo,
+                &self.engine,
+                &options,
+                sink,
+            )?
         };
         Ok(ShardReport {
             meta: ShardMeta {

@@ -2,14 +2,22 @@
 //!
 //! [`merge`] folds K [`ShardReport`]s into the [`FleetOutcome`] a
 //! single-process run over the same fleet would have produced — not an
-//! approximation: the per-device reports are concatenated in device-id order
-//! and fed through the same fixed-order reductions
-//! ([`FleetReport::from_devices`]), so the merged report serializes
+//! approximation: the per-device reports are folded in device-id order
+//! through the same fixed-order reductions
+//! ([`crate::report::FleetAccumulator`], the engine behind
+//! [`FleetReport::from_devices`]), so the merged report serializes
 //! **byte-identically** to the single-process one. The population-level
 //! MAE/energy claims the paper's evaluation rests on therefore survive
 //! scale-out unchanged.
 //!
-//! Before touching any numbers, [`merge`] proves the artifact set is
+//! Merging is *streaming*: [`MergeAccumulator`] consumes one artifact at a
+//! time — validate, fold its devices, drop it — so a consumer reading shard
+//! artifacts off disk ([`merge_stream`], the `fleet-merge` binary) holds one
+//! artifact plus the per-device scalar samples, never the whole artifact
+//! set. [`merge`] is the batch wrapper: it validates every artifact's
+//! provenance up front, sorts by range, and feeds the same accumulator.
+//!
+//! Before any numbers are trusted, the artifact set must prove it is
 //! coherent: same engine version, master seed, scenario mix, fleet size and
 //! shard count everywhere; each shard's device list matches its declared
 //! range; and the ranges tile `0..fleet_devices` with no overlap and no gap.
@@ -17,9 +25,161 @@
 //! emitted.
 
 use crate::error::MergeError;
-use crate::report::FleetReport;
-use crate::shard::{ShardReport, ENGINE_VERSION};
+use crate::report::{FleetAccumulator, FleetReport};
+use crate::shard::{ShardMeta, ShardReport, ENGINE_VERSION};
 use crate::FleetOutcome;
+
+/// Incremental, validating merge of shard artifacts.
+///
+/// Push shards in **ascending device-range order** (the order `fleet-merge`
+/// establishes by sorting artifact metadata first); each push validates the
+/// shard against the accumulated provenance and tiling cursor, folds its
+/// devices into a [`FleetAccumulator`], and lets the caller drop the
+/// artifact. [`MergeAccumulator::finalize`] proves the pushed ranges covered
+/// the whole fleet and returns the aggregate report — byte-identical to a
+/// single-process run over the same fleet.
+#[derive(Debug, Clone, Default)]
+pub struct MergeAccumulator {
+    reference: Option<ShardMeta>,
+    cursor: u64,
+    /// Last non-empty range folded, for overlap diagnostics.
+    previous: Option<(u64, u64)>,
+    fleet: FleetAccumulator,
+}
+
+impl MergeAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Device-id coverage so far: every id below the cursor has been folded.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Number of devices folded so far.
+    pub fn devices(&self) -> usize {
+        self.fleet.devices()
+    }
+
+    /// Validates one shard against the artifact set seen so far and folds
+    /// its devices into the aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`MergeError`] naming the first incompatibility: a
+    /// provenance mismatch against the first pushed shard, an internally
+    /// inconsistent artifact ([`MergeError::CorruptShard`]), or a range that
+    /// does not extend the tiling cursor —
+    /// [`MergeError::OverlappingShards`] when it starts below it (which is
+    /// also what an out-of-order push looks like),
+    /// [`MergeError::MissingDevices`] when it leaves a gap. A failed push
+    /// leaves the accumulator unchanged.
+    pub fn push(&mut self, shard: &ShardReport) -> Result<(), MergeError> {
+        let meta = &shard.meta;
+        if meta.engine_version != ENGINE_VERSION {
+            return Err(MergeError::VersionMismatch {
+                expected: ENGINE_VERSION.to_string(),
+                found: meta.engine_version.clone(),
+            });
+        }
+        if let Some(reference) = &self.reference {
+            if meta.master_seed != reference.master_seed {
+                return Err(MergeError::SeedMismatch {
+                    expected: reference.master_seed,
+                    found: meta.master_seed,
+                });
+            }
+            if meta.mix != reference.mix {
+                return Err(MergeError::MixMismatch);
+            }
+            if meta.fleet_devices != reference.fleet_devices {
+                return Err(MergeError::FleetSizeMismatch {
+                    expected: reference.fleet_devices,
+                    found: meta.fleet_devices,
+                });
+            }
+            if meta.shard_count != reference.shard_count {
+                return Err(MergeError::ShardCountMismatch {
+                    expected: reference.shard_count,
+                    found: meta.shard_count,
+                });
+            }
+        }
+        validate_shard_devices(shard)?;
+        if meta.start < self.cursor {
+            return Err(MergeError::OverlappingShards {
+                left: self
+                    .previous
+                    .expect("the cursor only advances past pushed ranges"),
+                right: (meta.start, meta.end),
+            });
+        }
+        if meta.start > self.cursor {
+            return Err(MergeError::MissingDevices {
+                start: self.cursor,
+                end: meta.start,
+            });
+        }
+
+        for device in &shard.devices {
+            self.fleet.push(device);
+        }
+        self.cursor = meta.end;
+        if meta.end > meta.start {
+            self.previous = Some((meta.start, meta.end));
+        }
+        if self.reference.is_none() {
+            self.reference = Some(meta.clone());
+        }
+        Ok(())
+    }
+
+    /// Proves the pushed shards covered the whole fleet and returns the
+    /// aggregate report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError::NoShards`] when nothing was pushed, or
+    /// [`MergeError::MissingDevices`] when the tail of the device-id range
+    /// is uncovered.
+    pub fn finalize(self) -> Result<FleetReport, MergeError> {
+        let Some(reference) = &self.reference else {
+            return Err(MergeError::NoShards);
+        };
+        if self.cursor < reference.fleet_devices {
+            return Err(MergeError::MissingDevices {
+                start: self.cursor,
+                end: reference.fleet_devices,
+            });
+        }
+        Ok(self.fleet.finalize())
+    }
+}
+
+/// Merges an ordered stream of shard artifacts into the aggregate report,
+/// holding only one artifact at a time.
+///
+/// The streaming counterpart of [`merge`]: artifacts must arrive in
+/// ascending device-range order (sort by [`ShardMeta`] first, as
+/// `fleet-merge` does), and only the aggregate [`FleetReport`] is produced —
+/// per-device reports are folded and dropped, not retained.
+///
+/// # Errors
+///
+/// Same conditions as [`MergeAccumulator::push`] and
+/// [`MergeAccumulator::finalize`].
+pub fn merge_stream<I>(shards: I) -> Result<FleetReport, MergeError>
+where
+    I: IntoIterator<Item = ShardReport>,
+{
+    let mut accumulator = MergeAccumulator::new();
+    for shard in shards {
+        accumulator.push(&shard)?;
+    }
+    accumulator.finalize()
+}
 
 /// Merges shard reports into the exact single-process [`FleetOutcome`].
 ///
@@ -42,6 +202,10 @@ pub fn merge(mut shards: Vec<ShardReport>) -> Result<FleetOutcome, MergeError> {
     };
     let reference = first.meta.clone();
 
+    // Validate every artifact's provenance before any reordering or folding,
+    // so a mismatch anywhere in the set is reported ahead of coverage
+    // problems elsewhere (the accumulator re-checks incrementally, but only
+    // sees shards up to the first tiling error).
     for shard in &shards {
         let meta = &shard.meta;
         if meta.engine_version != ENGINE_VERSION {
@@ -76,39 +240,21 @@ pub fn merge(mut shards: Vec<ShardReport>) -> Result<FleetOutcome, MergeError> {
 
     shards.sort_by_key(|s| (s.meta.start, s.meta.end));
 
-    // The sorted ranges must tile 0..fleet_devices exactly.
-    let mut cursor = 0u64;
-    let mut previous = None;
-    for shard in &shards {
-        let meta = &shard.meta;
-        if meta.start < cursor {
-            return Err(MergeError::OverlappingShards {
-                left: previous.expect("a shard has been seen before any overlap"),
-                right: (meta.start, meta.end),
-            });
-        }
-        if meta.start > cursor {
-            return Err(MergeError::MissingDevices {
-                start: cursor,
-                end: meta.start,
-            });
-        }
-        cursor = meta.end;
-        if meta.end > meta.start {
-            previous = Some((meta.start, meta.end));
-        }
+    // Range-sorted shards feed the accumulator in device-id order — the
+    // exact fold a single-process run performs in
+    // `FleetReport::from_devices`.
+    let mut accumulator = MergeAccumulator::new();
+    let mut devices = Vec::with_capacity(
+        shards
+            .iter()
+            .map(|shard| shard.devices.len())
+            .sum::<usize>(),
+    );
+    for shard in shards {
+        accumulator.push(&shard)?;
+        devices.extend(shard.devices);
     }
-    if cursor < reference.fleet_devices {
-        return Err(MergeError::MissingDevices {
-            start: cursor,
-            end: reference.fleet_devices,
-        });
-    }
-
-    // Concatenating range-sorted shards yields the devices in id order — the
-    // exact input a single-process run hands to `FleetReport::from_devices`.
-    let devices: Vec<_> = shards.into_iter().flat_map(|s| s.devices).collect();
-    let report = FleetReport::from_devices(&devices);
+    let report = accumulator.finalize()?;
     Ok(FleetOutcome { report, devices })
 }
 
@@ -227,6 +373,87 @@ mod tests {
     #[test]
     fn no_shards_is_rejected() {
         assert_eq!(merge(Vec::new()).unwrap_err(), MergeError::NoShards);
+        assert_eq!(merge_stream(Vec::new()).unwrap_err(), MergeError::NoShards);
+    }
+
+    #[test]
+    fn streaming_merge_matches_batch_merge() {
+        let shards = vec![
+            shard(8, 3, 0, 0, 3),
+            shard(8, 3, 1, 3, 6),
+            shard(8, 3, 2, 6, 8),
+        ];
+        let batch = merge(shards.clone()).unwrap();
+        let streamed = merge_stream(shards).unwrap();
+        assert_eq!(streamed, batch.report);
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&batch.report).unwrap()
+        );
+    }
+
+    #[test]
+    fn accumulator_folds_one_artifact_at_a_time() {
+        let mut accumulator = MergeAccumulator::new();
+        for piece in [shard(8, 2, 0, 0, 4), shard(8, 2, 1, 4, 8)] {
+            accumulator.push(&piece).unwrap();
+            // The artifact is dropped here; only the fold survives.
+        }
+        assert_eq!(accumulator.cursor(), 8);
+        assert_eq!(accumulator.devices(), 8);
+        let direct: Vec<_> = (0..8).map(device).collect();
+        assert_eq!(
+            accumulator.finalize().unwrap(),
+            FleetReport::from_devices(&direct)
+        );
+    }
+
+    #[test]
+    fn streaming_push_rejects_gaps_and_out_of_order_ranges() {
+        // A gap surfaces immediately, not at finalize.
+        let mut accumulator = MergeAccumulator::new();
+        accumulator.push(&shard(8, 2, 0, 0, 4)).unwrap();
+        assert_eq!(
+            accumulator.push(&shard(8, 2, 1, 6, 8)).unwrap_err(),
+            MergeError::MissingDevices { start: 4, end: 6 }
+        );
+
+        // Out-of-order (or duplicate) ranges look like overlap against the
+        // cursor; `merge_stream` requires ascending range order.
+        let mut accumulator = MergeAccumulator::new();
+        accumulator.push(&shard(8, 2, 1, 4, 8)).unwrap_err();
+        // First-push gap: [4, 8) cannot open the fleet.
+        assert_eq!(accumulator.cursor(), 0);
+        let mut accumulator = MergeAccumulator::new();
+        accumulator.push(&shard(8, 2, 0, 0, 4)).unwrap();
+        assert_eq!(
+            accumulator.push(&shard(8, 2, 0, 0, 4)).unwrap_err(),
+            MergeError::OverlappingShards {
+                left: (0, 4),
+                right: (0, 4),
+            }
+        );
+
+        // An uncovered tail is caught at finalize.
+        let mut accumulator = MergeAccumulator::new();
+        accumulator.push(&shard(8, 2, 0, 0, 4)).unwrap();
+        assert_eq!(
+            accumulator.finalize().unwrap_err(),
+            MergeError::MissingDevices { start: 4, end: 8 }
+        );
+    }
+
+    #[test]
+    fn failed_push_leaves_the_accumulator_unchanged() {
+        let mut accumulator = MergeAccumulator::new();
+        accumulator.push(&shard(8, 2, 0, 0, 4)).unwrap();
+        let mut corrupt = shard(8, 2, 1, 4, 8);
+        corrupt.devices[1].device_id = 99;
+        accumulator.push(&corrupt).unwrap_err();
+        assert_eq!(accumulator.cursor(), 4);
+        assert_eq!(accumulator.devices(), 4);
+        accumulator.push(&shard(8, 2, 1, 4, 8)).unwrap();
+        assert_eq!(accumulator.finalize().unwrap().devices, 8);
     }
 
     #[test]

@@ -46,11 +46,25 @@ impl<'a, S: WindowSource> ProgressSource<'a, S> {
     }
 }
 
+/// The one place a window is counted, shared by both consumption paths.
+///
+/// Counting contract: a window is reported to the sink exactly when the
+/// source successfully *yields* it — error items are never counted, and a
+/// consumer that fails while processing an already-yielded window does not
+/// un-count it (the pull path could not know about that failure anyway).
+/// Keeping `next_window` and `try_for_each_window` on this single helper is
+/// what guarantees the two paths report identical totals, including when a
+/// callback errors mid-stream (locked in by the
+/// `callback_error_leaves_identical_totals_on_both_paths` test).
+fn report_yielded(sink: &dyn ProgressSink, device_id: u64) {
+    sink.windows_processed(device_id, 1);
+}
+
 impl<S: WindowSource> WindowSource for ProgressSource<'_, S> {
     fn next_window(&mut self) -> Option<Result<LabeledWindow, DataError>> {
         let item = self.inner.next_window();
         if let Some(Ok(_)) = &item {
-            self.sink.windows_processed(self.device_id, 1);
+            report_yielded(self.sink, self.device_id);
         }
         item
     }
@@ -60,7 +74,10 @@ impl<S: WindowSource> WindowSource for ProgressSource<'_, S> {
     }
 
     /// Delegates to the inner source's visitor (preserving its zero-copy
-    /// overrides), reporting each pulled window to the sink.
+    /// overrides). Each window is reported at yield time — before the
+    /// visitor consumes it, mirroring `next_window`'s yield-time counting —
+    /// so the sink's totals are identical on both paths even when the
+    /// visitor fails mid-stream.
     fn try_for_each_window<E: From<DataError>>(
         &mut self,
         mut f: impl FnMut(&LabeledWindow) -> Result<(), E>,
@@ -68,7 +85,7 @@ impl<S: WindowSource> WindowSource for ProgressSource<'_, S> {
         let sink = self.sink;
         let device_id = self.device_id;
         self.inner.try_for_each_window(|window| {
-            sink.windows_processed(device_id, 1);
+            report_yielded(sink, device_id);
             f(window)
         })
     }
@@ -101,6 +118,119 @@ mod tests {
         fn device_completed(&self, _device_id: u64, _windows: usize) {
             self.devices.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Test source yielding a scripted sequence of windows and in-band
+    /// errors.
+    struct ScriptedSource {
+        items: std::vec::IntoIter<Result<LabeledWindow, DataError>>,
+    }
+
+    impl ScriptedSource {
+        fn new(items: Vec<Result<LabeledWindow, DataError>>) -> Self {
+            Self {
+                items: items.into_iter(),
+            }
+        }
+    }
+
+    impl WindowSource for ScriptedSource {
+        fn next_window(&mut self) -> Option<Result<LabeledWindow, DataError>> {
+            self.items.next()
+        }
+    }
+
+    fn sample_windows(count: usize) -> Vec<LabeledWindow> {
+        ppg_data::DatasetBuilder::new()
+            .subjects(1)
+            .seconds_per_activity(24.0)
+            .seed(5)
+            .window_stream()
+            .unwrap()
+            .iter()
+            .take(count)
+            .map(Result::unwrap)
+            .collect()
+    }
+
+    #[test]
+    fn callback_error_leaves_identical_totals_on_both_paths() {
+        let windows = sample_windows(6);
+        assert_eq!(windows.len(), 6);
+        let fail_at = 3usize; // error on the 4th window, mid-stream
+
+        // Path 1: the visitor (`try_for_each_window`, the runtime's path).
+        let visitor_sink = CountingSink::default();
+        let mut source =
+            ProgressSource::new(ppg_data::SliceSource::new(&windows), &visitor_sink, 7);
+        let mut seen = 0usize;
+        let result: Result<usize, DataError> = source.try_for_each_window(|_| {
+            if seen == fail_at {
+                return Err(DataError::RecordingTooShort {
+                    samples: 0,
+                    required: 1,
+                });
+            }
+            seen += 1;
+            Ok(())
+        });
+        assert!(result.is_err());
+
+        // Path 2: a manual `next_window` pull loop applying the same
+        // failing consumer.
+        let pull_sink = CountingSink::default();
+        let mut source = ProgressSource::new(ppg_data::SliceSource::new(&windows), &pull_sink, 7);
+        let mut seen = 0usize;
+        while let Some(item) = source.next_window() {
+            item.unwrap();
+            if seen == fail_at {
+                break; // the consumer fails on this window
+            }
+            seen += 1;
+        }
+
+        assert_eq!(
+            visitor_sink.windows.load(Ordering::Relaxed),
+            pull_sink.windows.load(Ordering::Relaxed),
+            "the visitor and pull paths must report identical progress totals"
+        );
+        // Both count the yielded-but-failed window: yield-time counting.
+        assert_eq!(pull_sink.windows.load(Ordering::Relaxed), fail_at + 1);
+    }
+
+    #[test]
+    fn source_errors_are_not_counted_on_either_path() {
+        let windows = sample_windows(3);
+        let script = || {
+            vec![
+                Ok(windows[0].clone()),
+                Ok(windows[1].clone()),
+                Err(DataError::RecordingTooShort {
+                    samples: 0,
+                    required: 1,
+                }),
+                Ok(windows[2].clone()),
+            ]
+        };
+
+        let visitor_sink = CountingSink::default();
+        let mut source = ProgressSource::new(ScriptedSource::new(script()), &visitor_sink, 1);
+        let result: Result<usize, DataError> = source.try_for_each_window(|_| Ok(()));
+        assert!(result.is_err());
+
+        let pull_sink = CountingSink::default();
+        let mut source = ProgressSource::new(ScriptedSource::new(script()), &pull_sink, 1);
+        let mut failed = false;
+        while let Some(item) = source.next_window() {
+            if item.is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed);
+
+        assert_eq!(visitor_sink.windows.load(Ordering::Relaxed), 2);
+        assert_eq!(pull_sink.windows.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -4,12 +4,16 @@
 //! [`FleetReport`] folds a fleet of them into the population statistics an
 //! operator watches: MAE percentiles, energy and projected battery-life
 //! distributions, the offload-fraction histogram (how much work the phones
-//! absorb) and constraint-violation counts. Aggregation iterates devices in
-//! id order with fixed-order floating-point reductions, so a fleet's report
-//! is byte-identical no matter how many threads produced the device reports —
-//! and, because [`crate::merge::merge`] feeds the same id-ordered device
-//! slice through this same function, no matter how many *processes or hosts*
-//! produced them either.
+//! absorb) and constraint-violation counts. Aggregation is *incremental*:
+//! [`FleetAccumulator`] folds device reports one at a time (in id order, with
+//! fixed-order floating-point reductions) and
+//! [`FleetReport::from_devices`] is just that fold over a slice — so a
+//! fleet's report is byte-identical no matter how many threads produced the
+//! device reports, and, because [`crate::merge`] feeds id-ordered shard
+//! artifacts through the same accumulator, no matter how many *processes or
+//! hosts* produced them either. Percentiles are exact nearest-rank order
+//! statistics with the rank computed in integer arithmetic
+//! ([`DistributionSummary::nearest_rank_index`]).
 
 use std::collections::BTreeMap;
 
@@ -69,6 +73,38 @@ pub struct DistributionSummary {
 }
 
 impl DistributionSummary {
+    /// Zero-based index of the nearest-rank `p`th percentile in a sorted
+    /// sample of `n` values, computed exactly: `ceil(p * n / 100) - 1`.
+    ///
+    /// The arithmetic is pure integer math (`div_ceil`), never floating
+    /// point. The previous `(p / 100.0 * n as f64).ceil()` formulation is an
+    /// off-by-one trap: whenever the inexact double `p / 100.0` rounds *up*
+    /// (e.g. `7.0 / 100.0`), the product for an exact-rank sample size lands
+    /// epsilon above the true integer (`0.07 * 100 == 7.000000000000001`)
+    /// and `ceil` overshoots the rank by one whole sample.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `1 <= p <= 100` and `n > 0`; in release builds the
+    /// result is clamped into `0..n`.
+    pub fn nearest_rank_index(p: u32, n: usize) -> usize {
+        debug_assert!((1..=100).contains(&p), "percentile {p} outside 1..=100");
+        debug_assert!(n > 0, "nearest rank of an empty sample");
+        let rank = (u128::from(p) * n as u128).div_ceil(100).max(1);
+        usize::try_from(rank - 1)
+            .unwrap_or(usize::MAX)
+            .min(n.saturating_sub(1))
+    }
+
+    /// Nearest-rank `p`th percentile of a sample **sorted** with
+    /// [`f64::total_cmp`]; `None` for an empty sample.
+    pub fn percentile_sorted(sorted: &[f64], p: u32) -> Option<f64> {
+        if sorted.is_empty() {
+            return None;
+        }
+        Some(sorted[Self::nearest_rank_index(p, sorted.len())])
+    }
+
     /// Summarizes a non-empty sample; `None` for an empty one.
     pub fn from_values(values: &[f64]) -> Option<Self> {
         if values.is_empty() {
@@ -76,19 +112,175 @@ impl DistributionSummary {
         }
         let mut sorted = values.to_vec();
         sorted.sort_by(f64::total_cmp);
-        let rank = |p: f64| -> f64 {
-            // Nearest-rank percentile on the sorted sample.
-            let index = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1) - 1;
-            sorted[index.min(sorted.len() - 1)]
-        };
+        let rank = |p: u32| sorted[Self::nearest_rank_index(p, sorted.len())];
         Some(Self {
             min: sorted[0],
             mean: values.iter().sum::<f64>() / values.len() as f64,
-            p50: rank(50.0),
-            p90: rank(90.0),
-            p99: rank(99.0),
+            p50: rank(50),
+            p90: rank(90),
+            p99: rank(99),
             max: sorted[sorted.len() - 1],
         })
+    }
+}
+
+/// The all-zero summary reported for quantities of an empty fleet.
+const EMPTY_SUMMARY: DistributionSummary = DistributionSummary {
+    min: 0.0,
+    mean: 0.0,
+    p50: 0.0,
+    p90: 0.0,
+    p99: 0.0,
+    max: 0.0,
+};
+
+/// Offload-histogram bin of one device's offload fraction.
+///
+/// NaN is handled explicitly instead of relying on the silent `as usize`
+/// saturation: a NaN fraction (impossible for reports produced by the
+/// executor, whose fractions are ratios of window counts) trips a debug
+/// assertion, and in release builds is deterministically clamped into bin 0 —
+/// the same "make NaN a loud, deterministic policy" treatment the decision
+/// engine applies with `total_cmp`.
+fn offload_bin(fraction: f32) -> usize {
+    debug_assert!(
+        !fraction.is_nan(),
+        "device offload_fraction is NaN; upstream fraction accounting is broken"
+    );
+    if fraction.is_nan() {
+        return 0;
+    }
+    ((f64::from(fraction) * OFFLOAD_HISTOGRAM_BINS as f64) as usize).min(OFFLOAD_HISTOGRAM_BINS - 1)
+}
+
+/// Streaming fleet aggregation: folds [`DeviceReport`]s one at a time — in
+/// device-id order — and finalizes into a [`FleetReport`] **byte-identical**
+/// to [`FleetReport::from_devices`] over the same sequence (which is itself
+/// implemented as a fold through this type, so the two can never drift).
+///
+/// The accumulator keeps only what the final report needs: three `f64`
+/// order-statistic samples per device (MAE, watch energy, battery life) plus
+/// fixed-size running reductions — not the `DeviceReport`s themselves. That
+/// is what lets [`crate::merge`] consume shard artifacts incrementally: each
+/// artifact is folded and dropped, and peak memory is one artifact plus the
+/// per-device scalars instead of every artifact at once.
+///
+/// All floating-point reductions happen in push order, so feeding devices in
+/// id order reproduces the fixed reduction order the byte-identity guarantee
+/// of sharded execution rests on.
+#[derive(Debug, Clone)]
+pub struct FleetAccumulator {
+    maes: Vec<f64>,
+    watch_energies: Vec<f64>,
+    battery_lives: Vec<f64>,
+    total_windows: usize,
+    offloaded_windows: f64,
+    disconnected_windows: f64,
+    phone_energy_sum: f64,
+    offloading_devices: usize,
+    offload_histogram: Vec<usize>,
+    constraint_violations: usize,
+    constraint_mix: BTreeMap<String, usize>,
+    accounting_mix: BTreeMap<String, usize>,
+}
+
+impl FleetAccumulator {
+    /// Creates an empty accumulator; finalizing it immediately yields the
+    /// same all-zero report as `FleetReport::from_devices(&[])`.
+    pub fn new() -> Self {
+        Self {
+            maes: Vec::new(),
+            watch_energies: Vec::new(),
+            battery_lives: Vec::new(),
+            total_windows: 0,
+            offloaded_windows: 0.0,
+            disconnected_windows: 0.0,
+            phone_energy_sum: 0.0,
+            offloading_devices: 0,
+            offload_histogram: vec![0; OFFLOAD_HISTOGRAM_BINS],
+            constraint_violations: 0,
+            constraint_mix: BTreeMap::new(),
+            accounting_mix: BTreeMap::new(),
+        }
+    }
+
+    /// Number of devices folded so far.
+    pub fn devices(&self) -> usize {
+        self.maes.len()
+    }
+
+    /// Total windows across the devices folded so far.
+    pub fn total_windows(&self) -> usize {
+        self.total_windows
+    }
+
+    /// Folds one device into the aggregate. Callers must push devices in
+    /// id order to preserve the byte-identity of the finalized report.
+    pub fn push(&mut self, device: &DeviceReport) {
+        self.maes.push(f64::from(device.mae_bpm));
+        self.watch_energies
+            .push(device.avg_watch_energy.as_microjoules());
+        self.battery_lives.push(device.battery_life_hours);
+        self.total_windows += device.windows;
+        self.offloaded_windows += f64::from(device.offload_fraction) * device.windows as f64;
+        self.disconnected_windows +=
+            f64::from(device.disconnected_fraction) * device.windows as f64;
+        if device.offload_fraction > 0.0 {
+            self.offloading_devices += 1;
+            self.phone_energy_sum += device.avg_phone_energy.as_microjoules();
+        }
+        self.offload_histogram[offload_bin(device.offload_fraction)] += 1;
+        if device.constraint_violated {
+            self.constraint_violations += 1;
+        }
+        let constraint_key = match device.constraint {
+            UserConstraint::MaxMae(_) => "max_mae",
+            UserConstraint::MaxEnergy(_) => "max_energy",
+        };
+        *self
+            .constraint_mix
+            .entry(constraint_key.to_string())
+            .or_insert(0) += 1;
+        *self
+            .accounting_mix
+            .entry(format!("{:?}", device.accounting))
+            .or_insert(0) += 1;
+    }
+
+    /// Finalizes the aggregate into the population report.
+    pub fn finalize(self) -> FleetReport {
+        let devices = self.maes.len();
+        let mut report = FleetReport {
+            devices,
+            total_windows: self.total_windows,
+            mae_bpm: DistributionSummary::from_values(&self.maes).unwrap_or(EMPTY_SUMMARY),
+            watch_energy_uj: DistributionSummary::from_values(&self.watch_energies)
+                .unwrap_or(EMPTY_SUMMARY),
+            battery_life_hours: DistributionSummary::from_values(&self.battery_lives)
+                .unwrap_or(EMPTY_SUMMARY),
+            offload_histogram: self.offload_histogram,
+            offloaded_window_share: 0.0,
+            disconnected_window_share: 0.0,
+            avg_phone_energy_uj: 0.0,
+            constraint_violations: self.constraint_violations,
+            constraint_mix: self.constraint_mix,
+            accounting_mix: self.accounting_mix,
+        };
+        if report.total_windows > 0 {
+            report.offloaded_window_share = self.offloaded_windows / report.total_windows as f64;
+            report.disconnected_window_share =
+                self.disconnected_windows / report.total_windows as f64;
+        }
+        if self.offloading_devices > 0 {
+            report.avg_phone_energy_uj = self.phone_energy_sum / self.offloading_devices as f64;
+        }
+        report
+    }
+}
+
+impl Default for FleetAccumulator {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -127,83 +319,17 @@ pub struct FleetReport {
 impl FleetReport {
     /// Aggregates device reports (assumed sorted by device id, as produced by
     /// the executor). Returns an all-zero report for an empty slice.
+    ///
+    /// Implemented as a fold through [`FleetAccumulator`]: the batch and the
+    /// streaming aggregation paths are one code path, so their reports are
+    /// byte-identical by construction (and locked in by the
+    /// `tests/accumulator.rs` property suite).
     pub fn from_devices(devices: &[DeviceReport]) -> Self {
-        let empty = DistributionSummary {
-            min: 0.0,
-            mean: 0.0,
-            p50: 0.0,
-            p90: 0.0,
-            p99: 0.0,
-            max: 0.0,
-        };
-        let mut report = Self {
-            devices: devices.len(),
-            total_windows: 0,
-            mae_bpm: empty,
-            watch_energy_uj: empty,
-            battery_life_hours: empty,
-            offload_histogram: vec![0; OFFLOAD_HISTOGRAM_BINS],
-            offloaded_window_share: 0.0,
-            disconnected_window_share: 0.0,
-            avg_phone_energy_uj: 0.0,
-            constraint_violations: 0,
-            constraint_mix: BTreeMap::new(),
-            accounting_mix: BTreeMap::new(),
-        };
-        if devices.is_empty() {
-            return report;
-        }
-
-        let maes: Vec<f64> = devices.iter().map(|d| f64::from(d.mae_bpm)).collect();
-        let energies: Vec<f64> = devices
-            .iter()
-            .map(|d| d.avg_watch_energy.as_microjoules())
-            .collect();
-        let lives: Vec<f64> = devices.iter().map(|d| d.battery_life_hours).collect();
-        report.mae_bpm = DistributionSummary::from_values(&maes).unwrap_or(empty);
-        report.watch_energy_uj = DistributionSummary::from_values(&energies).unwrap_or(empty);
-        report.battery_life_hours = DistributionSummary::from_values(&lives).unwrap_or(empty);
-
-        let mut offloaded_windows = 0.0f64;
-        let mut disconnected_windows = 0.0f64;
-        let mut phone_energy_sum = 0.0f64;
-        let mut offloading_devices = 0usize;
+        let mut accumulator = FleetAccumulator::new();
         for device in devices {
-            report.total_windows += device.windows;
-            offloaded_windows += f64::from(device.offload_fraction) * device.windows as f64;
-            disconnected_windows += f64::from(device.disconnected_fraction) * device.windows as f64;
-            if device.offload_fraction > 0.0 {
-                offloading_devices += 1;
-                phone_energy_sum += device.avg_phone_energy.as_microjoules();
-            }
-            let bin = ((f64::from(device.offload_fraction) * OFFLOAD_HISTOGRAM_BINS as f64)
-                as usize)
-                .min(OFFLOAD_HISTOGRAM_BINS - 1);
-            report.offload_histogram[bin] += 1;
-            if device.constraint_violated {
-                report.constraint_violations += 1;
-            }
-            let constraint_key = match device.constraint {
-                UserConstraint::MaxMae(_) => "max_mae",
-                UserConstraint::MaxEnergy(_) => "max_energy",
-            };
-            *report
-                .constraint_mix
-                .entry(constraint_key.to_string())
-                .or_insert(0) += 1;
-            *report
-                .accounting_mix
-                .entry(format!("{:?}", device.accounting))
-                .or_insert(0) += 1;
+            accumulator.push(device);
         }
-        if report.total_windows > 0 {
-            report.offloaded_window_share = offloaded_windows / report.total_windows as f64;
-            report.disconnected_window_share = disconnected_windows / report.total_windows as f64;
-        }
-        if offloading_devices > 0 {
-            report.avg_phone_energy_uj = phone_energy_sum / offloading_devices as f64;
-        }
-        report
+        accumulator.finalize()
     }
 }
 
@@ -277,6 +403,121 @@ mod tests {
         assert_eq!(d.p99, 99.0);
         assert!((d.mean - 50.5).abs() < 1e-12);
         assert!(DistributionSummary::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn p90_of_10_and_20_devices_is_the_nearest_rank_not_the_max() {
+        // Exact-rank regression: ceil(90 * 10 / 100) = 9 -> the 9th sorted
+        // value, never the max. A float formulation that rounds the product
+        // up by one epsilon would return 10.0 (n=10) / 20.0 (n=20) here.
+        let values: Vec<f64> = (1..=10).map(f64::from).collect();
+        let d = DistributionSummary::from_values(&values).unwrap();
+        assert_eq!(d.p90, 9.0);
+        assert_eq!(d.p50, 5.0);
+        assert_eq!(d.p99, 10.0);
+        let values: Vec<f64> = (1..=20).map(f64::from).collect();
+        let d = DistributionSummary::from_values(&values).unwrap();
+        assert_eq!(d.p90, 18.0);
+        assert_eq!(d.p50, 10.0);
+        assert_eq!(d.p99, 20.0);
+    }
+
+    #[test]
+    fn nearest_rank_never_overshoots_where_the_float_formula_does() {
+        // The old `(p / 100.0 * n as f64).ceil()` rank overshoots whenever
+        // `p / 100.0` rounds up and `p * n / 100` is an exact integer:
+        // 0.07 * 100 evaluates to 7.000000000000001, so ceil() lands on
+        // rank 8 instead of 7. The integer rank must not.
+        for (p, n, expected_index) in [(7u32, 100usize, 6usize), (7, 200, 13), (14, 50, 6)] {
+            let float_index = ((f64::from(p) / 100.0 * n as f64).ceil() as usize).max(1) - 1;
+            assert_eq!(
+                float_index,
+                expected_index + 1,
+                "case ({p}, {n}) no longer exhibits the float overshoot"
+            );
+            assert_eq!(
+                DistributionSummary::nearest_rank_index(p, n),
+                expected_index
+            );
+        }
+        // Sanity across the summary's own percentiles.
+        assert_eq!(DistributionSummary::nearest_rank_index(50, 10), 4);
+        assert_eq!(DistributionSummary::nearest_rank_index(90, 10), 8);
+        assert_eq!(DistributionSummary::nearest_rank_index(99, 10), 9);
+        assert_eq!(DistributionSummary::nearest_rank_index(100, 10), 9);
+        assert_eq!(DistributionSummary::nearest_rank_index(1, 1), 0);
+    }
+
+    #[test]
+    fn percentile_sorted_matches_from_values() {
+        let values: Vec<f64> = (1..=64).map(f64::from).collect();
+        let d = DistributionSummary::from_values(&values).unwrap();
+        assert_eq!(
+            DistributionSummary::percentile_sorted(&values, 50),
+            Some(d.p50)
+        );
+        assert_eq!(
+            DistributionSummary::percentile_sorted(&values, 90),
+            Some(d.p90)
+        );
+        assert_eq!(
+            DistributionSummary::percentile_sorted(&values, 99),
+            Some(d.p99)
+        );
+        assert_eq!(DistributionSummary::percentile_sorted(&[], 50), None);
+    }
+
+    #[test]
+    fn nan_offload_fraction_is_handled_explicitly() {
+        // Real fractions bin as before.
+        assert_eq!(offload_bin(0.0), 0);
+        assert_eq!(offload_bin(0.05), 0);
+        assert_eq!(offload_bin(0.95), 9);
+        assert_eq!(offload_bin(1.0), OFFLOAD_HISTOGRAM_BINS - 1);
+        // NaN is a loud debug assertion; the release-mode policy clamps it
+        // deterministically into bin 0 instead of the silent `as usize` cast.
+        let nan_bin = std::panic::catch_unwind(|| offload_bin(f32::NAN));
+        if cfg!(debug_assertions) {
+            assert!(nan_bin.is_err(), "NaN must trip the debug assertion");
+        } else {
+            assert_eq!(nan_bin.unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn accumulator_matches_from_devices_byte_for_byte() {
+        let devices: Vec<DeviceReport> = (0..23)
+            .map(|i| {
+                device(
+                    i,
+                    3.0 + i as f32,
+                    250.0 + i as f64,
+                    i as f32 / 23.0,
+                    i % 5 == 0,
+                )
+            })
+            .collect();
+        let batch = FleetReport::from_devices(&devices);
+        let mut accumulator = FleetAccumulator::new();
+        for d in &devices {
+            accumulator.push(d);
+        }
+        assert_eq!(accumulator.devices(), devices.len());
+        assert_eq!(accumulator.total_windows(), batch.total_windows);
+        let streamed = accumulator.finalize();
+        assert_eq!(streamed, batch);
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&batch).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_accumulator_finalizes_to_the_all_zero_report() {
+        let report = FleetAccumulator::default().finalize();
+        assert_eq!(report, FleetReport::from_devices(&[]));
+        assert_eq!(report.devices, 0);
+        assert_eq!(report.offload_histogram, vec![0; OFFLOAD_HISTOGRAM_BINS]);
     }
 
     #[test]

@@ -332,6 +332,12 @@ impl ScenarioGenerator {
     /// work of one fleet shard — lazily. Because scenarios depend only on
     /// `(master seed, device id)`, a range's scenarios are the same whether
     /// it is generated in one process or split across many.
+    ///
+    /// The executor does not even collect this iterator: its scenario-free
+    /// path ([`crate::executor::run_fleet_range`]) hands workers the
+    /// generator itself and lets each worker call
+    /// [`ScenarioGenerator::scenario`] for the ids it claims, so per-shard
+    /// scenario memory stays O(worker threads) for any range size.
     pub fn scenarios_in(
         &self,
         range: std::ops::Range<u64>,

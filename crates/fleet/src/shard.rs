@@ -131,6 +131,18 @@ pub struct ShardReport {
     pub devices: Vec<DeviceReport>,
 }
 
+/// Meta-only view of a serialized shard artifact.
+///
+/// Deserializing a [`ShardReport`]'s JSON into this type reads just the
+/// provenance and skips materializing the device payload — what the
+/// streaming `fleet-merge` pipeline's first pass uses to order and size an
+/// artifact set without paying for its device reports twice.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
+pub struct ShardProvenance {
+    /// The artifact's provenance.
+    pub meta: ShardMeta,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +202,25 @@ mod tests {
         let json = serde_json::to_string(&spec).unwrap();
         let back: ShardSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn provenance_reads_a_shard_artifact_without_its_devices() {
+        let report = ShardReport {
+            meta: ShardMeta {
+                engine_version: ENGINE_VERSION.to_string(),
+                master_seed: 42,
+                mix: ScenarioMix::balanced(),
+                fleet_devices: 4,
+                shard_count: 2,
+                shard_index: 1,
+                start: 2,
+                end: 4,
+            },
+            devices: Vec::new(),
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let provenance: ShardProvenance = serde_json::from_str(&json).unwrap();
+        assert_eq!(provenance.meta, report.meta);
     }
 }

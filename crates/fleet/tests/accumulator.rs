@@ -1,0 +1,151 @@
+//! Property suite for streaming fleet aggregation: feeding random device
+//! reports one at a time through `FleetAccumulator` must serialize
+//! byte-identically to the batch `FleetReport::from_devices` over the same
+//! slice — including empty and single-device fleets. This is the lock that
+//! keeps incremental aggregation (and therefore streaming shard merges)
+//! exact rather than approximate.
+
+use chris_core::config::EnergyAccounting;
+use chris_core::decision::UserConstraint;
+use fleet::{FleetAccumulator, FleetReport};
+use hw_sim::units::Energy;
+use proptest::prelude::*;
+
+/// Builds one synthetic device report from sampled scalars.
+#[allow(clippy::too_many_arguments)]
+fn device(
+    id: u64,
+    windows: usize,
+    mae: f32,
+    watch_uj: f64,
+    phone_uj: f64,
+    offload: f32,
+    battery_hours: f64,
+    max_mae_constraint: bool,
+    accounting_index: usize,
+    violated: bool,
+) -> fleet::DeviceReport {
+    fleet::DeviceReport {
+        device_id: id,
+        windows,
+        mae_bpm: mae,
+        avg_watch_energy: Energy::from_microjoules(watch_uj),
+        avg_phone_energy: Energy::from_microjoules(phone_uj),
+        offload_fraction: offload,
+        simple_fraction: 0.4,
+        disconnected_fraction: 1.0 - offload,
+        battery_life_hours: battery_hours,
+        constraint: if max_mae_constraint {
+            UserConstraint::MaxMae(6.0)
+        } else {
+            UserConstraint::MaxEnergy(Energy::from_millijoules(0.5))
+        },
+        accounting: EnergyAccounting::ALL[accounting_index % EnergyAccounting::ALL.len()],
+        constraint_violated: violated,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// One-at-a-time accumulation equals batch aggregation, byte for byte.
+    #[test]
+    fn accumulator_equals_from_devices_byte_for_byte(
+        seeds in prop::collection::vec(
+            (
+                1usize..400,          // windows
+                0.1f32..40.0,         // MAE
+                (1.0f64..2000.0, 0.0f64..500.0),  // watch / phone energy
+                0.0f32..=1.0,         // offload fraction
+                1.0f64..5000.0,       // battery life
+            ),
+            0..40,
+        ),
+        constraint_bits in prop::collection::vec(prop::bool::ANY, 40),
+        accounting_indices in prop::collection::vec(0usize..8, 40),
+    ) {
+        let devices: Vec<fleet::DeviceReport> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, (windows, mae, (watch, phone), offload, battery))| {
+                device(
+                    i as u64,
+                    *windows,
+                    *mae,
+                    *watch,
+                    *phone,
+                    *offload,
+                    *battery,
+                    constraint_bits[i],
+                    accounting_indices[i],
+                    i % 7 == 0,
+                )
+            })
+            .collect();
+
+        let batch = FleetReport::from_devices(&devices);
+        let mut accumulator = FleetAccumulator::new();
+        for d in &devices {
+            accumulator.push(d);
+        }
+        let streamed = accumulator.finalize();
+
+        prop_assert_eq!(&streamed, &batch);
+        // Byte-for-byte: the serialized artifacts are indistinguishable.
+        prop_assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&batch).unwrap()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The integer-math percentile index is exactly the nearest rank: the
+    /// *smallest* 1-based rank covering `p` percent of the sample — never
+    /// one past it, which is what the old float `ceil` formulation produced
+    /// whenever `p / 100.0` rounded up against an exact-integer rank.
+    #[test]
+    fn nearest_rank_index_is_the_smallest_covering_rank(
+        p in 1u32..=100,
+        n in 1usize..100_000,
+    ) {
+        let index = fleet::DistributionSummary::nearest_rank_index(p, n);
+        prop_assert!(index < n);
+        let rank = (index + 1) as u128;
+        let target = u128::from(p) * n as u128;
+        // `rank` samples cover p percent of the population...
+        prop_assert!(rank * 100 >= target, "rank {rank} misses p{p} of {n}");
+        // ...and no smaller rank does (the overshoot the fix removes).
+        prop_assert!(
+            (rank - 1) * 100 < target,
+            "rank {rank} exceeds the true nearest rank for p{p} of {n}"
+        );
+    }
+}
+
+#[test]
+fn empty_fleet_accumulates_to_the_batch_report() {
+    let streamed = FleetAccumulator::new().finalize();
+    let batch = FleetReport::from_devices(&[]);
+    assert_eq!(streamed, batch);
+    assert_eq!(
+        serde_json::to_string(&streamed).unwrap(),
+        serde_json::to_string(&batch).unwrap()
+    );
+}
+
+#[test]
+fn single_device_fleet_accumulates_to_the_batch_report() {
+    let only = device(0, 120, 5.5, 420.0, 60.0, 0.35, 900.0, true, 0, false);
+    let batch = FleetReport::from_devices(std::slice::from_ref(&only));
+    let mut accumulator = FleetAccumulator::new();
+    accumulator.push(&only);
+    let streamed = accumulator.finalize();
+    assert_eq!(streamed, batch);
+    assert_eq!(
+        serde_json::to_string(&streamed).unwrap(),
+        serde_json::to_string(&batch).unwrap()
+    );
+}

@@ -1,8 +1,13 @@
-//! Negative-path coverage for `merge` — the validation layer behind the
-//! `fleet-merge` binary. Every bad artifact set must be rejected with the
-//! specific typed [`MergeError`], never folded into a corrupted report.
+//! Negative-path coverage for `merge` and its streaming counterpart — the
+//! validation layer behind the `fleet-merge` binary. Every bad artifact set
+//! must be rejected with the specific typed [`MergeError`], never folded
+//! into a corrupted report, whether the artifacts arrive as one batch or
+//! one at a time.
 
-use fleet::{merge, FleetSimulation, MergeError, ScenarioMix, ShardReport, ShardSpec};
+use fleet::{
+    merge, merge_stream, FleetSimulation, MergeAccumulator, MergeError, ScenarioMix, ShardReport,
+    ShardSpec,
+};
 
 const DEVICES: u64 = 8;
 const SHARDS: u32 = 4;
@@ -146,4 +151,62 @@ fn validation_never_yields_a_partial_report() {
     let outcome = merge(artifacts()).unwrap();
     assert_eq!(outcome.report.devices, DEVICES as usize);
     assert_eq!(outcome.devices.len(), DEVICES as usize);
+}
+
+#[test]
+fn streaming_merge_matches_batch_merge_on_real_artifacts() {
+    let shards = artifacts();
+    let batch = merge(shards.clone()).unwrap();
+    let streamed = merge_stream(shards).unwrap();
+    assert_eq!(streamed, batch.report);
+    assert_eq!(
+        serde_json::to_string_pretty(&streamed).unwrap(),
+        serde_json::to_string_pretty(&batch.report).unwrap()
+    );
+}
+
+#[test]
+fn streaming_merge_rejects_a_mid_stream_seed_mismatch() {
+    let mut shards = artifacts();
+    shards[2].meta.master_seed = 43;
+    assert_eq!(
+        merge_stream(shards).unwrap_err(),
+        MergeError::SeedMismatch {
+            expected: 42,
+            found: 43,
+        }
+    );
+}
+
+#[test]
+fn streaming_merge_rejects_gaps_where_batch_merge_does() {
+    let mut shards = artifacts();
+    shards.remove(1); // devices [2, 4) uncovered
+    let batch_err = merge(shards.clone()).unwrap_err();
+    let stream_err = merge_stream(shards).unwrap_err();
+    assert_eq!(batch_err, MergeError::MissingDevices { start: 2, end: 4 });
+    assert_eq!(stream_err, batch_err);
+}
+
+#[test]
+fn incremental_pushes_reject_a_tampered_artifact_and_resume() {
+    let shards = artifacts();
+    let mut accumulator = MergeAccumulator::new();
+    accumulator.push(&shards[0]).unwrap();
+    let mut tampered = shards[1].clone();
+    tampered.devices.swap(0, 1);
+    assert!(matches!(
+        accumulator.push(&tampered).unwrap_err(),
+        MergeError::CorruptShard {
+            start: 2,
+            end: 4,
+            ..
+        }
+    ));
+    // The failed push left the fold untouched; the intact artifact lands.
+    for shard in &shards[1..] {
+        accumulator.push(shard).unwrap();
+    }
+    let report = accumulator.finalize().unwrap();
+    assert_eq!(report, merge(shards).unwrap().report);
 }
