@@ -45,6 +45,7 @@ fn bench_fleet(c: &mut Criterion) {
                 &ExecutorOptions {
                     threads: 1,
                     chunk_size: 8,
+                    ..ExecutorOptions::default()
                 },
             )
             .unwrap()
@@ -59,6 +60,7 @@ fn bench_fleet(c: &mut Criterion) {
                 &ExecutorOptions {
                     threads: 0,
                     chunk_size: 8,
+                    ..ExecutorOptions::default()
                 },
             )
             .unwrap()
@@ -77,6 +79,7 @@ fn bench_fleet(c: &mut Criterion) {
                 &ExecutorOptions {
                     threads: 0,
                     chunk_size: 8,
+                    ..ExecutorOptions::default()
                 },
             )
             .unwrap()

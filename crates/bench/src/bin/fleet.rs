@@ -25,8 +25,8 @@ struct Args {
     progress: bool,
 }
 
-const USAGE: &str = "usage: fleet [--devices N] [--threads N] [--seed N] [--mix NAME] [--json] \
-     [--per-device] [--progress]\n\
+const USAGE: &str = "usage: fleet [--devices N] [--threads N] [--seed N] [--mix NAME] \
+     [--profile-cache] [--json] [--per-device] [--progress]\n\
      {COMMON}\n\
        --json          print the aggregate report as JSON instead of text\n\
        --per-device    also print one line per device\n\
@@ -82,12 +82,15 @@ fn main() -> ExitCode {
     let setup_time = setup_start.elapsed();
 
     let run_start = Instant::now();
+    if let Some(warning) = args.common.profile_cache_warning() {
+        eprintln!("{warning}");
+    }
     let sink = args
         .progress
         .then(|| StderrProgress::new(args.common.devices));
-    let outcome = match simulation.run_with_progress(
+    let outcome = match simulation.run_with_options(
         args.common.devices,
-        args.common.threads,
+        &args.common.executor_options(),
         sink.as_ref().map(|s| s as &dyn fleet::ProgressSink),
     ) {
         Ok(outcome) => outcome,

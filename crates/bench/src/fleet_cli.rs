@@ -27,6 +27,10 @@ pub struct FleetArgs {
     pub mix: ScenarioMix,
     /// Preset name of the mix (for display and shard provenance).
     pub mix_name: String,
+    /// Whether the per-worker profiling-window cache is enabled
+    /// (`--profile-cache`). Purely a performance knob: reports are
+    /// byte-identical with the cache on or off.
+    pub profile_cache: bool,
 }
 
 impl Default for FleetArgs {
@@ -37,7 +41,45 @@ impl Default for FleetArgs {
             seed: 42,
             mix: ScenarioMix::balanced(),
             mix_name: "balanced".to_string(),
+            profile_cache: false,
         }
+    }
+}
+
+impl FleetArgs {
+    /// The executor options these flags describe: worker threads plus the
+    /// profiling-window cache (at its default capacity) when
+    /// `--profile-cache` was given.
+    pub fn executor_options(&self) -> fleet::ExecutorOptions {
+        // A pool of k distinct synthesis profiles never needs more than k
+        // cache entries; without a pool every key is distinct, so the
+        // default capacity only bounds wasted retention (see
+        // `profile_cache_warning`).
+        let capacity = match self.mix.subject_pool {
+            0 => fleet::DEFAULT_PROFILE_CACHE_CAPACITY,
+            pool => usize::try_from(pool)
+                .unwrap_or(usize::MAX)
+                .min(fleet::DEFAULT_PROFILE_CACHE_CAPACITY),
+        };
+        fleet::ExecutorOptions {
+            threads: self.threads,
+            profile_cache: self.profile_cache.then_some(capacity),
+            ..fleet::ExecutorOptions::default()
+        }
+    }
+
+    /// A stderr-worthy warning when `--profile-cache` cannot pay off: on a
+    /// mix without a subject pool every device's synthesis inputs are
+    /// distinct, so the cache misses on every device and only adds retained
+    /// sessions. The output is still byte-identical either way.
+    pub fn profile_cache_warning(&self) -> Option<String> {
+        (self.profile_cache && self.mix.subject_pool == 0).then(|| {
+            format!(
+                "note: --profile-cache with mix `{}` (no subject pool) will never hit; \
+                 try --mix cohort or a subject_pool > 0",
+                self.mix_name
+            )
+        })
     }
 }
 
@@ -46,7 +88,9 @@ impl Default for FleetArgs {
 pub const COMMON_USAGE: &str = "--devices N     number of simulated devices (default 1000)\n\
        --threads N     worker threads, 0 = one per core (default 0)\n\
        --seed N        master seed; fixes every device's scenario (default 42)\n\
-       --mix NAME      scenario mix: balanced | harsh | connected (default balanced)";
+       --mix NAME      scenario mix: balanced | harsh | connected | cohort (default balanced)\n\
+       --profile-cache memoize synthesized window streams per worker (identical output,\n\
+                       faster on fleets with repeated subject/activity profiles, e.g. --mix cohort)";
 
 /// Pulls the next raw argument as the value of `flag`.
 ///
@@ -86,6 +130,9 @@ pub struct StderrProgress {
     step: u64,
     devices_done: AtomicU64,
     windows_done: AtomicU64,
+    cache_reported: std::sync::atomic::AtomicBool,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
     /// Serializes printing; counters are re-read under it so the printed
     /// device counts never go backwards across interleaved workers.
     print_lock: std::sync::Mutex<()>,
@@ -99,6 +146,9 @@ impl StderrProgress {
             step: (total_devices / 32).max(1),
             devices_done: AtomicU64::new(0),
             windows_done: AtomicU64::new(0),
+            cache_reported: std::sync::atomic::AtomicBool::new(false),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
             print_lock: std::sync::Mutex::new(()),
         }
     }
@@ -112,11 +162,33 @@ impl StderrProgress {
     pub fn windows_done(&self) -> u64 {
         self.windows_done.load(Ordering::Relaxed)
     }
+
+    /// Profiling-window cache totals of the finished run, when the executor
+    /// reported them (`--profile-cache` runs only): `(hits, misses)`.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.cache_reported.load(Ordering::Relaxed).then(|| {
+            (
+                self.cache_hits.load(Ordering::Relaxed),
+                self.cache_misses.load(Ordering::Relaxed),
+            )
+        })
+    }
 }
 
 impl ProgressSink for StderrProgress {
     fn windows_processed(&self, _device_id: u64, count: usize) {
         self.windows_done.fetch_add(count as u64, Ordering::Relaxed);
+    }
+
+    fn profile_cache(&self, hits: u64, misses: u64) {
+        self.cache_hits.store(hits, Ordering::Relaxed);
+        self.cache_misses.store(misses, Ordering::Relaxed);
+        self.cache_reported.store(true, Ordering::Relaxed);
+        let _guard = self
+            .print_lock
+            .lock()
+            .expect("progress printing never panics");
+        eprintln!("progress: profile-cache hits {hits} misses {misses}");
     }
 
     fn device_completed(&self, _device_id: u64, _windows: usize) {
@@ -221,6 +293,7 @@ pub fn parse_common(
             })?;
             args.mix_name = name;
         }
+        "--profile-cache" => args.profile_cache = true,
         _ => return Ok(false),
     }
     Ok(true)
@@ -270,6 +343,41 @@ mod tests {
         sink.device_completed(3, 15);
         assert_eq!(sink.devices_done(), 1);
         assert_eq!(sink.windows_done(), 15);
+    }
+
+    #[test]
+    fn profile_cache_flag_maps_to_executor_options() {
+        let off = parse_all(&[]).unwrap();
+        assert!(!off.profile_cache);
+        assert_eq!(off.executor_options().profile_cache, None);
+
+        let on = parse_all(&["--profile-cache", "--threads", "2"]).unwrap();
+        assert!(on.profile_cache);
+        let options = on.executor_options();
+        assert_eq!(
+            options.profile_cache,
+            Some(fleet::DEFAULT_PROFILE_CACHE_CAPACITY)
+        );
+        assert_eq!(options.threads, 2);
+        // Distinct-profile mix: the cache cannot hit, so the CLI warns.
+        assert!(on.profile_cache_warning().unwrap().contains("never hit"));
+        assert!(parse_all(&[]).unwrap().profile_cache_warning().is_none());
+
+        // Pooled mixes bound the capacity by the pool size and warn nothing.
+        let cohort = parse_all(&["--profile-cache", "--mix", "cohort"]).unwrap();
+        assert_eq!(
+            cohort.executor_options().profile_cache,
+            Some(ScenarioMix::cohort().subject_pool as usize)
+        );
+        assert!(cohort.profile_cache_warning().is_none());
+    }
+
+    #[test]
+    fn stderr_progress_records_cache_stats() {
+        let sink = StderrProgress::new(8);
+        assert_eq!(sink.cache_stats(), None);
+        fleet::ProgressSink::profile_cache(&sink, 5, 3);
+        assert_eq!(sink.cache_stats(), Some((5, 3)));
     }
 
     #[test]

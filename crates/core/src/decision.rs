@@ -53,6 +53,73 @@ pub enum UserConstraint {
     MaxEnergy(Energy),
 }
 
+impl UserConstraint {
+    /// Builds a validated `MaxMae` constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChrisError::InvalidConstraint`] for a NaN, infinite or
+    /// negative MAE target.
+    pub fn max_mae(target_bpm: f32) -> Result<Self, ChrisError> {
+        let constraint = UserConstraint::MaxMae(target_bpm);
+        constraint.validate()?;
+        Ok(constraint)
+    }
+
+    /// Builds a validated `MaxEnergy` constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChrisError::InvalidConstraint`] for a NaN, infinite or
+    /// negative energy budget.
+    pub fn max_energy(budget: Energy) -> Result<Self, ChrisError> {
+        let constraint = UserConstraint::MaxEnergy(budget);
+        constraint.validate()?;
+        Ok(constraint)
+    }
+
+    /// Checks the constraint's bound for NaN, infinity and negativity.
+    ///
+    /// A NaN bound is the nastiest case: every `<=` comparison against the
+    /// profiled table is `false`, so selection silently degrades to "nothing
+    /// feasible" and the soft-constraint fallback picks an extreme
+    /// configuration with no diagnostic. Selection entry points call this so
+    /// that such constraints fail loudly instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChrisError::InvalidConstraint`] describing the offending
+    /// bound.
+    pub fn validate(&self) -> Result<(), ChrisError> {
+        let invalid = |requirement| {
+            Err(ChrisError::InvalidConstraint {
+                constraint: self.to_string(),
+                requirement,
+            })
+        };
+        match *self {
+            UserConstraint::MaxMae(target) => {
+                if target.is_nan() {
+                    return invalid("MAE target must not be NaN");
+                }
+                if !target.is_finite() || target < 0.0 {
+                    return invalid("MAE target must be finite and non-negative");
+                }
+            }
+            UserConstraint::MaxEnergy(budget) => {
+                let microjoules = budget.as_microjoules();
+                if microjoules.is_nan() {
+                    return invalid("energy budget must not be NaN");
+                }
+                if !microjoules.is_finite() || microjoules < 0.0 {
+                    return invalid("energy budget must be finite and non-negative");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 impl std::fmt::Display for UserConstraint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -114,6 +181,15 @@ impl DecisionEngine {
 
     /// Selects the configuration satisfying the constraint, or `None` when no
     /// feasible configuration satisfies it.
+    ///
+    /// This low-level lookup has no error channel and does **not** validate
+    /// the constraint: a NaN bound fails every comparison and yields `None`
+    /// indistinguishably from a genuinely unsatisfiable constraint. Build
+    /// constraints through [`UserConstraint::max_mae`] /
+    /// [`UserConstraint::max_energy`] (or call
+    /// [`UserConstraint::validate`]), or use
+    /// [`DecisionEngine::select_or_closest`], which rejects such bounds with
+    /// a typed [`ChrisError::InvalidConstraint`].
     pub fn select(
         &self,
         constraint: &UserConstraint,
@@ -143,7 +219,10 @@ impl DecisionEngine {
     ///
     /// # Errors
     ///
-    /// Returns [`ChrisError::EmptyProfileTable`] when the table is empty and
+    /// Returns [`ChrisError::InvalidConstraint`] for a NaN or negative
+    /// constraint bound (which would otherwise silently fail every
+    /// comparison and mis-select via the fallback),
+    /// [`ChrisError::EmptyProfileTable`] when the table is empty and
     /// [`ChrisError::NoFeasibleConfiguration`] when connectivity leaves no
     /// feasible configuration at all.
     pub fn select_or_closest(
@@ -151,6 +230,7 @@ impl DecisionEngine {
         constraint: &UserConstraint,
         status: ConnectionStatus,
     ) -> Result<&ConfigurationProfile, ChrisError> {
+        constraint.validate()?;
         if self.profiles.is_empty() {
             return Err(ChrisError::EmptyProfileTable);
         }
@@ -411,6 +491,75 @@ mod tests {
             )
             .unwrap();
         assert!(selected.mae_bpm.is_finite());
+    }
+
+    #[test]
+    fn nan_constraint_errors_instead_of_silently_mis_selecting() {
+        let engine = DecisionEngine::new(sample_table());
+        // The pre-fix failure mode, kept as documentation: a NaN bound fails
+        // every table comparison, so `select` finds "nothing feasible" even
+        // though the table is fully populated...
+        assert!(engine
+            .select(
+                &UserConstraint::MaxMae(f32::NAN),
+                ConnectionStatus::Connected
+            )
+            .is_none());
+        assert!(engine
+            .select(
+                &UserConstraint::MaxEnergy(Energy::from_millijoules(f64::NAN)),
+                ConnectionStatus::Connected
+            )
+            .is_none());
+        // ...and `select_or_closest` would then silently mis-select the
+        // soft-constraint fallback (the most accurate / cheapest row) with no
+        // diagnostic. It now reports a typed error instead.
+        assert!(matches!(
+            engine.select_or_closest(
+                &UserConstraint::MaxMae(f32::NAN),
+                ConnectionStatus::Connected
+            ),
+            Err(ChrisError::InvalidConstraint { .. })
+        ));
+        assert!(matches!(
+            engine.select_or_closest(
+                &UserConstraint::MaxEnergy(Energy::from_millijoules(f64::NAN)),
+                ConnectionStatus::Connected
+            ),
+            Err(ChrisError::InvalidConstraint { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_and_infinite_constraints_are_rejected_at_construction() {
+        assert!(matches!(
+            UserConstraint::max_mae(-1.0),
+            Err(ChrisError::InvalidConstraint { .. })
+        ));
+        assert!(matches!(
+            UserConstraint::max_mae(f32::INFINITY),
+            Err(ChrisError::InvalidConstraint { .. })
+        ));
+        assert!(matches!(
+            UserConstraint::max_energy(Energy::from_millijoules(-0.5)),
+            Err(ChrisError::InvalidConstraint { .. })
+        ));
+        assert!(matches!(
+            UserConstraint::max_energy(Energy::from_millijoules(f64::INFINITY)),
+            Err(ChrisError::InvalidConstraint { .. })
+        ));
+        // Valid bounds construct and validate cleanly, zero included.
+        assert_eq!(
+            UserConstraint::max_mae(5.6).unwrap(),
+            UserConstraint::MaxMae(5.6)
+        );
+        assert!(UserConstraint::max_mae(0.0).is_ok());
+        let budget = Energy::from_millijoules(0.4);
+        assert_eq!(
+            UserConstraint::max_energy(budget).unwrap(),
+            UserConstraint::MaxEnergy(budget)
+        );
+        assert!(UserConstraint::MaxMae(7.0).validate().is_ok());
     }
 
     #[test]

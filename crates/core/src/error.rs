@@ -12,6 +12,16 @@ pub enum ChrisError {
         /// Human-readable description of the requirement.
         requirement: &'static str,
     },
+    /// A user constraint carried a NaN or negative bound. Left unchecked,
+    /// such a constraint fails every table comparison and silently degrades
+    /// selection to "nothing feasible"; rejecting it keeps the failure
+    /// diagnosable.
+    InvalidConstraint {
+        /// Display rendering of the offending constraint.
+        constraint: String,
+        /// Human-readable description of the requirement.
+        requirement: &'static str,
+    },
     /// No configuration satisfies the requested constraint and connectivity.
     NoFeasibleConfiguration {
         /// Human-readable description of the request.
@@ -36,6 +46,12 @@ impl fmt::Display for ChrisError {
         match self {
             ChrisError::InvalidParameter { name, requirement } => {
                 write!(f, "invalid parameter `{name}` ({requirement})")
+            }
+            ChrisError::InvalidConstraint {
+                constraint,
+                requirement,
+            } => {
+                write!(f, "invalid user constraint `{constraint}` ({requirement})")
             }
             ChrisError::NoFeasibleConfiguration { request } => {
                 write!(f, "no feasible configuration for {request}")

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use hw_sim::units::Energy;
-use ppg_data::{IntoWindowSource, LabeledWindow, WindowSource};
+use ppg_data::{DatasetBuilder, IntoWindowSource, LabeledWindow, WindowCache, WindowSource};
 use ppg_dsp::stats::ErrorAccumulator;
 use ppg_models::traits::{ActivityClassifier, HrEstimator, OracleActivityClassifier};
 use ppg_models::zoo::{ModelKind, ModelZoo};
@@ -201,6 +201,47 @@ impl<'a> Profiler<'a> {
             simple_fraction: simple_count as f32 / n as f32,
             windows: n,
         })
+    }
+
+    /// Profiles one configuration on a **memoized** profiling stream: the
+    /// windows described by `builder` are synthesized at most once per
+    /// [`WindowCache`] key and replayed from the shared buffer on every
+    /// later call — the CHRIS pattern of re-profiling the same table over
+    /// identical calibration windows stops paying for repeated synthesis.
+    ///
+    /// The resulting profile is identical to
+    /// `self.profile(configuration, builder.window_stream()?, options)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Profiler::profile`], plus [`ChrisError::Data`]
+    /// when the builder parameters are invalid or synthesis fails.
+    pub fn profile_cached(
+        &self,
+        configuration: Configuration,
+        cache: &mut WindowCache,
+        builder: DatasetBuilder,
+        options: ProfilingOptions,
+    ) -> Result<ConfigurationProfile, ChrisError> {
+        let windows = builder.cached_window_stream(cache)?;
+        self.profile(configuration, windows, options)
+    }
+
+    /// Profiles every configuration on a **memoized** profiling stream (see
+    /// [`Profiler::profile_cached`]); the multi-pass table build profiles the
+    /// shared cached buffer in place, with no second materialization.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Profiler::profile_all`].
+    pub fn profile_all_cached(
+        &self,
+        cache: &mut WindowCache,
+        builder: DatasetBuilder,
+        options: ProfilingOptions,
+    ) -> Result<Vec<ConfigurationProfile>, ChrisError> {
+        let windows = builder.cached_window_stream(cache)?;
+        self.profile_all(windows, options)
     }
 
     /// Profiles every one of the 60 configurations with the oracle classifier,
@@ -491,6 +532,50 @@ mod tests {
         let last = table.last().unwrap();
         assert_eq!(last.configuration.complex, ModelKind::TimePpgBig);
         assert_eq!(last.configuration.target, ExecutionTarget::Local);
+    }
+
+    #[test]
+    fn cached_profiling_matches_uncached_and_reuses_the_stream() {
+        let zoo = ModelZoo::paper_setup();
+        let profiler = Profiler::new(&zoo);
+        let builder = || {
+            DatasetBuilder::new()
+                .subjects(2)
+                .seconds_per_activity(24.0)
+                .seed(21)
+        };
+        let uncached = profiler
+            .profile_all(
+                builder().window_stream().unwrap(),
+                ProfilingOptions::default(),
+            )
+            .unwrap();
+        let mut cache = WindowCache::new(4);
+        let first = profiler
+            .profile_all_cached(&mut cache, builder(), ProfilingOptions::default())
+            .unwrap();
+        let second = profiler
+            .profile_all_cached(&mut cache, builder(), ProfilingOptions::default())
+            .unwrap();
+        assert_eq!(first, uncached);
+        assert_eq!(second, uncached);
+        // One synthesis, one replay.
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        let c = config(
+            ModelKind::AdaptiveThreshold,
+            ModelKind::TimePpgSmall,
+            5,
+            ExecutionTarget::Hybrid,
+        );
+        let cached_one = profiler
+            .profile_cached(c, &mut cache, builder(), ProfilingOptions::default())
+            .unwrap();
+        let eager_one = profiler
+            .profile(c, windows(), ProfilingOptions::default())
+            .unwrap();
+        assert_eq!(cached_one, eager_one);
+        assert_eq!(cache.hits(), 2);
     }
 
     #[test]

@@ -145,7 +145,9 @@ impl ChrisRuntime {
     ///
     /// # Errors
     ///
-    /// Returns [`ChrisError::EmptyWorkload`] when `windows` yields nothing,
+    /// Returns [`ChrisError::InvalidConstraint`] for a NaN or negative
+    /// constraint bound (rejected before any window is pulled),
+    /// [`ChrisError::EmptyWorkload`] when `windows` yields nothing,
     /// [`ChrisError::EmptyProfileTable`] when the decision engine has no
     /// configurations, [`ChrisError::Data`] when a streaming source fails
     /// mid-synthesis, and propagates model errors.
@@ -155,6 +157,7 @@ impl ChrisRuntime {
         constraint: &UserConstraint,
         schedule: &ConnectionSchedule,
     ) -> Result<RunReport, ChrisError> {
+        constraint.validate()?;
         let mut source = windows.into_window_source();
         let profiler = Profiler::new(&self.zoo);
         let period = TimeSpan::from_seconds(hw_sim::PREDICTION_PERIOD_S);

@@ -29,8 +29,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use chris_core::runtime::{ChrisRuntime, RuntimeOptions};
-use chris_core::DecisionEngine;
+use chris_core::{ChrisError, DecisionEngine, RunReport};
 use hw_sim::battery::{Battery, HWATCH_BATTERY_VOLTAGE, HWATCH_CONVERTER_EFFICIENCY};
+use ppg_data::{IntoWindowSource, WindowCache, WindowSource};
 use ppg_models::zoo::ModelZoo;
 
 use crate::error::FleetError;
@@ -122,6 +123,10 @@ impl ScenarioSupply<'_> {
 /// the distribution finite for pathological near-zero average power.
 pub const BATTERY_LIFE_CAP_HOURS: f64 = 100_000.0;
 
+/// Default per-worker capacity of the profiling-window cache when it is
+/// enabled without an explicit size (the `--profile-cache` CLI flag).
+pub const DEFAULT_PROFILE_CACHE_CAPACITY: usize = 256;
+
 /// Knobs of the parallel executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecutorOptions {
@@ -130,6 +135,14 @@ pub struct ExecutorOptions {
     /// Devices claimed per queue pop. Larger chunks amortize contention,
     /// smaller chunks balance better when device workloads differ.
     pub chunk_size: usize,
+    /// Per-worker profiling-window cache: `None` disables memoization
+    /// entirely, `Some(capacity)` gives every worker thread its own
+    /// lock-free [`WindowCache`] of that capacity (0 = always miss,
+    /// `usize::MAX` = unbounded), so devices whose scenarios share a
+    /// [`DeviceScenario::window_cache_key`] replay one synthesized stream.
+    /// Reports are byte-identical for every setting; the merged hit/miss
+    /// counters surface through [`ProgressSink::profile_cache`].
+    pub profile_cache: Option<usize>,
 }
 
 impl Default for ExecutorOptions {
@@ -137,6 +150,7 @@ impl Default for ExecutorOptions {
         Self {
             threads: 0,
             chunk_size: 8,
+            profile_cache: None,
         }
     }
 }
@@ -189,21 +203,80 @@ pub fn simulate_device_with_progress(
     engine: &DecisionEngine,
     sink: Option<&dyn ProgressSink>,
 ) -> Result<DeviceReport, FleetError> {
-    let for_device = |e: FleetError| FleetError::for_device(scenario.device_id, e);
-    let stream = scenario.window_stream().map_err(|e| for_device(e.into()))?;
-    let options = RuntimeOptions {
-        accounting: scenario.accounting,
-        seed: scenario.dataset_seed,
-        ..RuntimeOptions::default()
-    };
-    let mut runtime = ChrisRuntime::new(zoo.clone(), engine.clone(), options);
-    let run = match sink {
+    simulate_device_inner(scenario, zoo, engine, sink, None)
+}
+
+/// [`simulate_device`] with a [`WindowCache`]: the device's windows come
+/// through [`DeviceScenario::cached_window_stream`], so a cache hit replays
+/// an earlier device's synthesized session instead of re-running the
+/// synthesizers. The report is byte-identical to the uncached path.
+///
+/// The cache is `&mut` by design — the executor keeps one per worker thread
+/// (lock-free) and merges the counters afterwards.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_device`].
+pub fn simulate_device_cached(
+    scenario: &DeviceScenario,
+    zoo: &ModelZoo,
+    engine: &DecisionEngine,
+    cache: &mut WindowCache,
+    sink: Option<&dyn ProgressSink>,
+) -> Result<DeviceReport, FleetError> {
+    simulate_device_inner(scenario, zoo, engine, sink, Some(cache))
+}
+
+/// Drives one device's runtime over any window source, wrapping it in a
+/// [`ProgressSource`] when a sink observes the run. Shared by the fresh
+/// ([`ppg_data::SynthWindows`]) and memoized ([`ppg_data::CachedWindows`])
+/// streaming paths so they cannot drift.
+fn run_windows<S>(
+    runtime: &mut ChrisRuntime,
+    stream: S,
+    scenario: &DeviceScenario,
+    sink: Option<&dyn ProgressSink>,
+) -> Result<RunReport, ChrisError>
+where
+    S: WindowSource + IntoWindowSource,
+{
+    match sink {
         Some(sink) => runtime.run(
             ProgressSource::new(stream, sink, scenario.device_id),
             &scenario.constraint,
             &scenario.schedule,
         ),
         None => runtime.run(stream, &scenario.constraint, &scenario.schedule),
+    }
+}
+
+/// The shared device-simulation core behind the public `simulate_device*`
+/// entry points.
+fn simulate_device_inner(
+    scenario: &DeviceScenario,
+    zoo: &ModelZoo,
+    engine: &DecisionEngine,
+    sink: Option<&dyn ProgressSink>,
+    cache: Option<&mut WindowCache>,
+) -> Result<DeviceReport, FleetError> {
+    let for_device = |e: FleetError| FleetError::for_device(scenario.device_id, e);
+    let options = RuntimeOptions {
+        accounting: scenario.accounting,
+        seed: scenario.dataset_seed,
+        ..RuntimeOptions::default()
+    };
+    let mut runtime = ChrisRuntime::new(zoo.clone(), engine.clone(), options);
+    let run = match cache {
+        Some(cache) => {
+            let stream = scenario
+                .cached_window_stream(cache)
+                .map_err(|e| for_device(e.into()))?;
+            run_windows(&mut runtime, stream, scenario, sink)
+        }
+        None => {
+            let stream = scenario.window_stream().map_err(|e| for_device(e.into()))?;
+            run_windows(&mut runtime, stream, scenario, sink)
+        }
     }
     .map_err(|e| for_device(e.into()))?;
     if let Some(sink) = sink {
@@ -340,13 +413,39 @@ fn simulate_index(
     zoo: &ModelZoo,
     engine: &DecisionEngine,
     sink: Option<&dyn ProgressSink>,
+    cache: Option<&mut WindowCache>,
 ) -> Result<DeviceReport, FleetError> {
     let scenario = supply.scenario(index);
     let _live = match &scenario {
         Cow::Owned(_) => Some(metrics::GeneratedScenario::track()),
         Cow::Borrowed(_) => None,
     };
-    simulate_device_with_progress(scenario.as_ref(), zoo, engine, sink)
+    simulate_device_inner(scenario.as_ref(), zoo, engine, sink, cache)
+}
+
+/// Lock-free merge target for the per-worker [`WindowCache`] counters: each
+/// worker owns its cache outright and folds its totals in exactly once, when
+/// it finishes.
+#[derive(Default)]
+struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheStats {
+    fn absorb(&self, cache: &WindowCache) {
+        self.hits.fetch_add(cache.hits(), Ordering::Relaxed);
+        self.misses.fetch_add(cache.misses(), Ordering::Relaxed);
+    }
+
+    fn report(&self, sink: Option<&dyn ProgressSink>) {
+        if let Some(sink) = sink {
+            sink.profile_cache(
+                self.hits.load(Ordering::Relaxed),
+                self.misses.load(Ordering::Relaxed),
+            );
+        }
+    }
 }
 
 /// The shared executor core: claims work items from an atomic cursor over
@@ -364,11 +463,18 @@ fn run_supply(
     }
     let threads = options.effective_threads(usize::try_from(count).unwrap_or(usize::MAX));
     let chunk = options.chunk_size.max(1) as u64;
+    let stats = CacheStats::default();
 
     if threads == 1 {
-        return (0..count)
-            .map(|index| simulate_index(supply, index, zoo, engine, sink))
+        let mut cache = options.profile_cache.map(WindowCache::new);
+        let reports = (0..count)
+            .map(|index| simulate_index(supply, index, zoo, engine, sink, cache.as_mut()))
             .collect();
+        if let Some(cache) = &cache {
+            stats.absorb(cache);
+            stats.report(sink);
+        }
+        return reports;
     }
 
     let cursor = AtomicU64::new(0);
@@ -379,14 +485,23 @@ fn run_supply(
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
+                // One cache per worker: no synchronization on the hot path,
+                // and counters merge once at worker exit.
+                let mut cache = options.profile_cache.map(WindowCache::new);
                 let mut local = Vec::new();
                 // Compare-exchange claims instead of `fetch_add`: the cursor
                 // never moves past `count`, so id ranges near `u64::MAX`
                 // cannot overflow it.
                 while let Some(claimed) = claim_chunk(&cursor, count, chunk) {
                     for index in claimed {
-                        local.push((index, simulate_index(supply, index, zoo, engine, sink)));
+                        local.push((
+                            index,
+                            simulate_index(supply, index, zoo, engine, sink, cache.as_mut()),
+                        ));
                     }
+                }
+                if let Some(cache) = &cache {
+                    stats.absorb(cache);
                 }
                 collected
                     .lock()
@@ -395,6 +510,9 @@ fn run_supply(
             });
         }
     });
+    if options.profile_cache.is_some() {
+        stats.report(sink);
+    }
 
     let mut merged = collected
         .into_inner()
@@ -467,6 +585,7 @@ mod tests {
             &ExecutorOptions {
                 threads: 1,
                 chunk_size: 8,
+                ..ExecutorOptions::default()
             },
         )
         .unwrap();
@@ -477,6 +596,7 @@ mod tests {
             &ExecutorOptions {
                 threads: 4,
                 chunk_size: 2,
+                ..ExecutorOptions::default()
             },
         )
         .unwrap();
@@ -497,6 +617,7 @@ mod tests {
         let options = ExecutorOptions {
             threads: 3,
             chunk_size: 2,
+            ..ExecutorOptions::default()
         };
         let eager = run_fleet(&scenarios, &zoo, &engine, &options).unwrap();
         let scenario_free = run_fleet_range(&generator, 3..11, &zoo, &engine, &options).unwrap();

@@ -29,7 +29,12 @@
 //!   [`DeviceScenario::window_stream`], so peak per-device memory is one
 //!   activity segment instead of the whole session, and [`progress`] sinks
 //!   can observe partial progress (`--progress` on the `fleet` /
-//!   `fleet-shard` CLIs),
+//!   `fleet-shard` CLIs). With [`ExecutorOptions::profile_cache`]
+//!   (`--profile-cache`), each worker additionally memoizes synthesized
+//!   streams in a lock-free per-thread [`ppg_data::WindowCache`], so devices
+//!   sharing a subject/activity profile replay one session instead of
+//!   re-synthesizing it — byte-identical output, merged hit/miss counters
+//!   via [`ProgressSink::profile_cache`],
 //! * [`report`] — the aggregation layer: MAE percentiles (p50/p90/p99,
 //!   exact nearest-rank with integer-math ranks), per-device energy and
 //!   projected battery-life distributions, an offload-fraction histogram and
@@ -73,7 +78,8 @@ pub mod shard;
 pub use error::{FleetError, MergeError};
 pub use executor::{
     run_fleet, run_fleet_range, run_fleet_range_with_progress, run_fleet_with_progress,
-    simulate_device, simulate_device_with_progress, ExecutorOptions,
+    simulate_device, simulate_device_cached, simulate_device_with_progress, ExecutorOptions,
+    DEFAULT_PROFILE_CACHE_CAPACITY,
 };
 pub use merge::{merge, merge_stream, MergeAccumulator};
 pub use progress::{ProgressSink, ProgressSource};
@@ -186,11 +192,32 @@ impl FleetSimulation {
         threads: usize,
         sink: Option<&dyn ProgressSink>,
     ) -> Result<FleetOutcome, FleetError> {
+        let options = ExecutorOptions {
+            threads,
+            ..ExecutorOptions::default()
+        };
+        self.run_with_options(devices, &options, sink)
+    }
+
+    /// [`FleetSimulation::run`] with full [`ExecutorOptions`] — how callers
+    /// enable the per-worker profiling-window cache
+    /// ([`ExecutorOptions::profile_cache`], the CLI's `--profile-cache`
+    /// flag). The outcome is byte-identical for every option combination.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FleetSimulation::run`].
+    pub fn run_with_options(
+        &self,
+        devices: u64,
+        options: &ExecutorOptions,
+        sink: Option<&dyn ProgressSink>,
+    ) -> Result<FleetOutcome, FleetError> {
         if devices == 0 {
             return Err(FleetError::EmptyFleet);
         }
         let spec = ShardSpec::single(devices);
-        let shard = self.run_shard_with_progress(&spec, 0, threads, sink)?;
+        let shard = self.run_shard_with_options(&spec, 0, options, sink)?;
         merge::merge(vec![shard]).map_err(FleetError::from)
     }
 
@@ -233,6 +260,27 @@ impl FleetSimulation {
         threads: usize,
         sink: Option<&dyn ProgressSink>,
     ) -> Result<ShardReport, FleetError> {
+        let options = ExecutorOptions {
+            threads,
+            ..ExecutorOptions::default()
+        };
+        self.run_shard_with_options(spec, index, &options, sink)
+    }
+
+    /// [`FleetSimulation::run_shard`] with full [`ExecutorOptions`] (see
+    /// [`FleetSimulation::run_with_options`]); shard artifacts are
+    /// byte-identical for every option combination.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FleetSimulation::run_shard`].
+    pub fn run_shard_with_options(
+        &self,
+        spec: &ShardSpec,
+        index: u32,
+        options: &ExecutorOptions,
+        sink: Option<&dyn ProgressSink>,
+    ) -> Result<ShardReport, FleetError> {
         let range = spec
             .range(index)
             .ok_or_else(|| FleetError::ShardIndexOutOfRange {
@@ -245,16 +293,12 @@ impl FleetSimulation {
         let devices = if range.is_empty() {
             Vec::new()
         } else {
-            let options = ExecutorOptions {
-                threads,
-                ..ExecutorOptions::default()
-            };
             run_fleet_range_with_progress(
                 &self.generator,
                 range.clone(),
                 &self.zoo,
                 &self.engine,
-                &options,
+                options,
                 sink,
             )?
         };

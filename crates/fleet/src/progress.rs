@@ -22,6 +22,16 @@ pub trait ProgressSink: Sync {
 
     /// The device finished simulating; `windows` is its total window count.
     fn device_completed(&self, device_id: u64, windows: usize);
+
+    /// Merged profiling-window cache counters of a finished run, summed over
+    /// the executor's per-worker caches. Called once per run, after the last
+    /// device, and only when the cache is enabled
+    /// (`ExecutorOptions::profile_cache`). The split between hits and misses
+    /// can vary with scheduling (each worker owns its cache), but the
+    /// simulation's reports never do. Default: ignored.
+    fn profile_cache(&self, hits: u64, misses: u64) {
+        let _ = (hits, misses);
+    }
 }
 
 /// [`WindowSource`] adapter that reports every pulled window to a

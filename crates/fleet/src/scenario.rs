@@ -13,7 +13,10 @@ use chris_core::config::EnergyAccounting;
 use chris_core::decision::UserConstraint;
 use hw_sim::ble::ConnectionSchedule;
 use hw_sim::units::Energy;
-use ppg_data::{Activity, DatasetBuilder, LabeledWindow, SynthWindows};
+use ppg_data::{
+    Activity, DatasetBuilder, LabeledWindow, MaybeCachedWindows, SynthWindows, WindowCache,
+    WindowCacheKey,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -47,6 +50,16 @@ pub struct ScenarioMix {
     /// When true, the energy-accounting mode is sampled uniformly from
     /// [`EnergyAccounting::ALL`]; otherwise every device uses the default.
     pub accounting_sweep: bool,
+    /// Number of distinct *synthesis profiles* (dataset seed, activity
+    /// schedule, recording length) in the population, `0` for "every device
+    /// distinct". When positive, device `id` draws its synthesis profile
+    /// from pool slot `id % subject_pool` — the cohort shape real fleets
+    /// have (many devices per calibration profile), and the one that lets
+    /// the profiling-window cache ([`crate::ExecutorOptions::profile_cache`])
+    /// actually hit: devices in one slot share a
+    /// [`DeviceScenario::window_cache_key`]. Constraints, links, batteries
+    /// and accounting stay per-device in either case.
+    pub subject_pool: u64,
 }
 
 impl ScenarioMix {
@@ -64,6 +77,7 @@ impl ScenarioMix {
             seconds_per_activity: (16.0, 32.0),
             activity_count: (4, 9),
             accounting_sweep: false,
+            subject_pool: 0,
         }
     }
 
@@ -81,6 +95,7 @@ impl ScenarioMix {
             seconds_per_activity: (16.0, 32.0),
             activity_count: (6, 9),
             accounting_sweep: true,
+            subject_pool: 0,
         }
     }
 
@@ -98,21 +113,35 @@ impl ScenarioMix {
             seconds_per_activity: (16.0, 32.0),
             activity_count: (2, 5),
             accounting_sweep: false,
+            subject_pool: 0,
         }
     }
 
-    /// Looks a preset mix up by name (`balanced`, `harsh`, `connected`).
+    /// The [`ScenarioMix::balanced`] population with a 16-profile
+    /// [`subject_pool`](ScenarioMix::subject_pool): devices cluster into
+    /// cohorts sharing calibration data and activity schedules, the shape
+    /// that makes the `--profile-cache` memoization pay off.
+    pub fn cohort() -> Self {
+        Self {
+            subject_pool: 16,
+            ..Self::balanced()
+        }
+    }
+
+    /// Looks a preset mix up by name (`balanced`, `harsh`, `connected`,
+    /// `cohort`).
     pub fn from_name(name: &str) -> Option<Self> {
         match name {
             "balanced" => Some(Self::balanced()),
             "harsh" => Some(Self::harsh()),
             "connected" => Some(Self::connected()),
+            "cohort" => Some(Self::cohort()),
             _ => None,
         }
     }
 
     /// The names accepted by [`ScenarioMix::from_name`].
-    pub const PRESETS: [&'static str; 3] = ["balanced", "harsh", "connected"];
+    pub const PRESETS: [&'static str; 4] = ["balanced", "harsh", "connected", "cohort"];
 }
 
 impl Default for ScenarioMix {
@@ -158,12 +187,48 @@ impl DeviceScenario {
     /// rejected by the dataset builder (cannot happen for mixes whose ranges
     /// respect the builder's invariants).
     pub fn window_stream(&self) -> Result<SynthWindows, ppg_data::DataError> {
+        self.dataset_builder().window_stream()
+    }
+
+    /// The dataset builder describing this device's session — the one place
+    /// the scenario's synthesis parameters become builder state, shared by
+    /// the streaming, cached and key-derivation paths.
+    fn dataset_builder(&self) -> DatasetBuilder {
         DatasetBuilder::new()
             .subjects(1)
             .seconds_per_activity(self.seconds_per_activity)
             .seed(self.dataset_seed)
             .activities(&self.activities)
-            .window_stream()
+    }
+
+    /// The memoization key of this device's window stream: everything that
+    /// determines the synthesized windows — `(dataset seed, activity
+    /// schedule, seconds per activity)` — and **not** the device id, so
+    /// devices sharing a subject/activity profile share one cache entry.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DeviceScenario::window_stream`].
+    pub fn window_cache_key(&self) -> Result<WindowCacheKey, ppg_data::DataError> {
+        self.dataset_builder().window_cache_key()
+    }
+
+    /// Streams the device's labeled windows through a [`WindowCache`]:
+    /// the first device with a given [`DeviceScenario::window_cache_key`]
+    /// synthesizes and materializes the session once, and every later device
+    /// with an equal key replays the shared buffer instead of re-running
+    /// [`SynthWindows`]. The replay is element-wise identical to
+    /// [`DeviceScenario::window_stream`], so reports are byte-identical with
+    /// or without the cache.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DeviceScenario::window_stream`].
+    pub fn cached_window_stream(
+        &self,
+        cache: &mut WindowCache,
+    ) -> Result<MaybeCachedWindows<SynthWindows>, ppg_data::DataError> {
+        self.dataset_builder().cached_window_stream(cache)
     }
 
     /// Exact number of windows the device's session yields, computed from
@@ -202,6 +267,40 @@ fn splitmix64(mut x: u64) -> u64 {
 /// `(master_seed, device_id)`.
 pub fn device_stream_seed(master_seed: u64, device_id: u64) -> u64 {
     splitmix64(splitmix64(master_seed) ^ splitmix64(device_id.wrapping_mul(0xA076_1D64_78BD_642F)))
+}
+
+/// Domain separator for subject-pool streams: keeps the shared
+/// synthesis-profile draws of pool slot `s` independent from the per-device
+/// scenario stream of device id `s`.
+const SUBJECT_POOL_SALT: u64 = 0x5EED_C0DE_5A17_ED00;
+
+/// Draws one synthesis profile — recording length, activity schedule,
+/// dataset seed — from `rng`. The tail of every scenario derivation; for
+/// pooled mixes it runs on a slot-shared stream instead of the device's own.
+fn synthesis_profile(rng: &mut StdRng, mix: &ScenarioMix) -> (f32, Vec<Activity>, u64) {
+    let seconds_per_activity = sample_f32(rng, mix.seconds_per_activity);
+
+    let (lo, hi) = mix.activity_count;
+    let lo = lo.clamp(1, Activity::ALL.len());
+    let hi = hi.clamp(1, Activity::ALL.len());
+    let count = if hi > lo {
+        rng.random_range(lo..=hi)
+    } else {
+        lo
+    };
+    // Partial Fisher-Yates: pick `count` distinct activities, then keep
+    // them in difficulty order so HR trajectories chain canonically.
+    let mut pool: Vec<usize> = (0..Activity::ALL.len()).collect();
+    for i in 0..count {
+        let j = rng.random_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    let mut chosen = pool[..count].to_vec();
+    chosen.sort_unstable();
+    let activities: Vec<Activity> = chosen.into_iter().map(|i| Activity::ALL[i]).collect();
+
+    let dataset_seed: u64 = rng.random();
+    (seconds_per_activity, activities, dataset_seed)
 }
 
 /// Derives [`DeviceScenario`]s from a master seed and a [`ScenarioMix`].
@@ -284,28 +383,20 @@ impl ScenarioGenerator {
         };
 
         let battery_capacity_mah = sample_f64(&mut rng, mix.battery_capacity_mah);
-        let seconds_per_activity = sample_f32(&mut rng, mix.seconds_per_activity);
-
-        let (lo, hi) = mix.activity_count;
-        let lo = lo.clamp(1, Activity::ALL.len());
-        let hi = hi.clamp(1, Activity::ALL.len());
-        let count = if hi > lo {
-            rng.random_range(lo..=hi)
+        // Pooled mixes draw the synthesis profile from a slot-shared stream,
+        // so every device in a slot gets the same (seed, schedule, length) —
+        // and therefore the same window-cache key. Distinct mixes draw it
+        // from the device's own stream, exactly as before.
+        let (seconds_per_activity, activities, dataset_seed) = if mix.subject_pool > 0 {
+            let slot = device_id % mix.subject_pool;
+            let mut pool_rng = StdRng::seed_from_u64(device_stream_seed(
+                self.master_seed ^ SUBJECT_POOL_SALT,
+                slot,
+            ));
+            synthesis_profile(&mut pool_rng, mix)
         } else {
-            lo
+            synthesis_profile(&mut rng, mix)
         };
-        // Partial Fisher-Yates: pick `count` distinct activities, then keep
-        // them in difficulty order so HR trajectories chain canonically.
-        let mut pool: Vec<usize> = (0..Activity::ALL.len()).collect();
-        for i in 0..count {
-            let j = rng.random_range(i..pool.len());
-            pool.swap(i, j);
-        }
-        let mut chosen = pool[..count].to_vec();
-        chosen.sort_unstable();
-        let activities: Vec<Activity> = chosen.into_iter().map(|i| Activity::ALL[i]).collect();
-
-        let dataset_seed: u64 = rng.random();
 
         DeviceScenario {
             device_id,
@@ -442,6 +533,89 @@ mod tests {
             .collect();
         assert_eq!(streamed, eager);
         assert_eq!(scenario.window_count().unwrap(), eager.len());
+    }
+
+    #[test]
+    fn cached_window_stream_replays_the_synth_stream_and_shares_keys() {
+        use ppg_data::WindowSource;
+        let generator = ScenarioGenerator::new(19, ScenarioMix::balanced());
+        let scenario = generator.scenario(3);
+        // A clone with a different device id shares the cache key: the key
+        // excludes the id, so repeated subject/activity profiles hit.
+        let mut twin = scenario.clone();
+        twin.device_id = 99;
+        assert_eq!(
+            scenario.window_cache_key().unwrap(),
+            twin.window_cache_key().unwrap()
+        );
+        assert_ne!(
+            scenario.window_cache_key().unwrap(),
+            generator.scenario(4).window_cache_key().unwrap()
+        );
+
+        let mut cache = WindowCache::new(2);
+        let eager: Vec<_> = scenario
+            .window_stream()
+            .unwrap()
+            .iter()
+            .map(Result::unwrap)
+            .collect();
+        for expected_hits in [0, 1] {
+            let streamed: Vec<_> = twin
+                .cached_window_stream(&mut cache)
+                .unwrap()
+                .iter()
+                .map(Result::unwrap)
+                .collect();
+            assert_eq!(streamed, eager);
+            assert_eq!(cache.hits(), expected_hits);
+        }
+    }
+
+    #[test]
+    fn cohort_pool_shares_synthesis_profiles_but_not_the_rest() {
+        let generator = ScenarioGenerator::new(23, ScenarioMix::cohort());
+        let pool = ScenarioMix::cohort().subject_pool;
+        assert_eq!(pool, 16);
+        // Devices in the same slot share the synthesis profile (and so the
+        // window-cache key) while keeping per-device constraints/links.
+        let a = generator.scenario(3);
+        let b = generator.scenario(3 + pool);
+        assert_eq!(a.dataset_seed, b.dataset_seed);
+        assert_eq!(a.activities, b.activities);
+        assert_eq!(a.seconds_per_activity, b.seconds_per_activity);
+        assert_eq!(a.window_cache_key().unwrap(), b.window_cache_key().unwrap());
+        // Different slots get different profiles.
+        let c = generator.scenario(4);
+        assert_ne!(a.dataset_seed, c.dataset_seed);
+        // A fleet of N devices has exactly min(N, pool) distinct keys.
+        let distinct: std::collections::HashSet<_> = generator
+            .scenarios(64)
+            .map(|s| s.window_cache_key().unwrap())
+            .collect();
+        assert_eq!(distinct.len(), pool as usize);
+        // The population stays heterogeneous on the non-synthesis axes.
+        let constraints: std::collections::HashSet<_> = generator
+            .scenarios(64)
+            .map(|s| format!("{}", s.constraint))
+            .collect();
+        assert!(constraints.len() > 1);
+    }
+
+    #[test]
+    fn pooled_and_distinct_mixes_agree_on_non_synthesis_fields() {
+        // The pool only replaces the synthesis profile; every other sampled
+        // field must be identical to the distinct-mix derivation.
+        let distinct = ScenarioGenerator::new(31, ScenarioMix::balanced());
+        let pooled = ScenarioGenerator::new(31, ScenarioMix::cohort());
+        for id in [0u64, 7, 40] {
+            let d = distinct.scenario(id);
+            let p = pooled.scenario(id);
+            assert_eq!(d.constraint, p.constraint);
+            assert_eq!(d.schedule, p.schedule);
+            assert_eq!(d.accounting, p.accounting);
+            assert_eq!(d.battery_capacity_mah, p.battery_capacity_mah);
+        }
     }
 
     #[test]

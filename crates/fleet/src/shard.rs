@@ -23,7 +23,10 @@ use crate::scenario::ScenarioMix;
 /// [`crate::merge::merge`] refuses artifacts produced by a different engine
 /// version: scenario generation, reduction order and serialization are all
 /// allowed to change between versions, and merging across them would silently
-/// break the byte-identity guarantee.
+/// break the byte-identity guarantee. (0.3.0 added
+/// `ScenarioMix::subject_pool` to the artifact format; pre-0.3.0 artifacts
+/// fail deserialization with a "missing field" error naming the file —
+/// regenerate them with the current binaries.)
 pub const ENGINE_VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// Partition of a fleet's device-id range `0..devices` into contiguous

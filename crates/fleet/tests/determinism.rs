@@ -20,7 +20,11 @@ proptest! {
 
         let mut outcomes = Vec::new();
         for threads in [1usize, 2, 8] {
-            let options = ExecutorOptions { threads, chunk_size: 4 };
+            let options = ExecutorOptions {
+                threads,
+                chunk_size: 4,
+                ..ExecutorOptions::default()
+            };
             let devices = run_fleet(&scenarios, simulation.zoo(), simulation.engine(), &options)
             .unwrap();
             let report = FleetReport::from_devices(&devices);

@@ -6,7 +6,7 @@
 //! binaries legitimately call eager `windows()` helpers concurrently, which
 //! would race the counter.
 
-use fleet::{FleetSimulation, ScenarioMix};
+use fleet::{ExecutorOptions, FleetSimulation, ScenarioMix};
 use ppg_data::stream::metrics;
 
 #[test]
@@ -23,5 +23,21 @@ fn fleet_execution_never_collects_a_window_vector() {
         metrics::eager_collects(),
         before,
         "the streaming executor materialized a full per-device window vector"
+    );
+
+    // The profile cache materializes sessions *inside its bounded store* —
+    // a deliberate, capacity-limited memoization that must not register as
+    // an eager-collect regression on the executor path.
+    let options = ExecutorOptions {
+        threads: 2,
+        profile_cache: Some(4),
+        ..ExecutorOptions::default()
+    };
+    let cached = simulation.run_with_options(8, &options, None).unwrap();
+    assert_eq!(cached.report, outcome.report);
+    assert_eq!(
+        metrics::eager_collects(),
+        before,
+        "the cached executor path tripped the eager-collect counter"
     );
 }

@@ -29,6 +29,7 @@ fn generated_scenarios_stay_bounded_by_the_worker_count() {
     let options = ExecutorOptions {
         threads: THREADS,
         chunk_size: 2,
+        ..ExecutorOptions::default()
     };
     let eager =
         fleet::run_fleet(&scenarios, simulation.zoo(), simulation.engine(), &options).unwrap();

@@ -24,13 +24,19 @@
 //!   `&[LabeledWindow]` call site compiling: [`IntoWindowSource`] is
 //!   implemented for slices, slice references, arrays and vectors, so
 //!   consumers such as `chris_core::ChrisRuntime::run` accept both eager
-//!   buffers and streams through one generic parameter.
+//!   buffers and streams through one generic parameter,
+//! * [`cache`] — memoized synthesis: [`cache::WindowCache`] is a bounded,
+//!   deterministic LRU over materialized streams keyed by the full synthesis
+//!   input, and [`cache::CachedWindows`] replays the shared buffer as a
+//!   stream that is observationally identical to a fresh [`SynthWindows`].
 //!
 //! The streams are **bit-exact** replays of the eager paths: collecting any
 //! of them yields element-wise the same `LabeledWindow`s the legacy
 //! `Vec`-returning methods produced (locked in by property tests), so reports
 //! computed from a stream are byte-identical to reports computed from the
 //! eager vectors.
+
+pub mod cache;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -42,6 +42,13 @@ pub enum DspError {
         /// Human-readable description of the requirement.
         requirement: &'static str,
     },
+    /// The computed result was NaN or infinite — NaN inputs, or an `f64`
+    /// mean too large for the `f32` return type. Returned instead of
+    /// silently handing back `Ok(NaN)` / `Ok(inf)`.
+    NonFinite {
+        /// Name of the operation whose result was non-finite.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for DspError {
@@ -64,6 +71,9 @@ impl fmt::Display for DspError {
                 requirement,
             } => {
                 write!(f, "{op}: invalid parameter `{name}` ({requirement})")
+            }
+            DspError::NonFinite { op } => {
+                write!(f, "{op}: result is not finite (NaN input or overflow)")
             }
         }
     }
@@ -109,6 +119,12 @@ mod tests {
             requirement: "must be positive",
         };
         assert!(e.to_string().contains("low_hz"));
+    }
+
+    #[test]
+    fn display_non_finite() {
+        let e = DspError::NonFinite { op: "mae" };
+        assert!(e.to_string().contains("not finite"));
     }
 
     #[test]

@@ -10,12 +10,26 @@ use serde::{Deserialize, Serialize};
 
 use crate::DspError;
 
+/// Narrows an `f64` result to the `f32` return type, rejecting NaN (from NaN
+/// inputs) and infinity (inputs whose mean overflows `f32`) instead of
+/// returning `Ok(NaN)` / `Ok(inf)`. Every error-metric reduction funnels
+/// through this after its empty/length guards.
+fn finite_f32(op: &'static str, value: f64) -> Result<f32, DspError> {
+    let narrowed = value as f32;
+    if !narrowed.is_finite() {
+        return Err(DspError::NonFinite { op });
+    }
+    Ok(narrowed)
+}
+
 /// Mean absolute error between two equal-length series.
 ///
 /// # Errors
 ///
-/// Returns [`DspError::EmptyInput`] for empty inputs and
-/// [`DspError::LengthMismatch`] when lengths differ.
+/// Returns [`DspError::EmptyInput`] for empty inputs,
+/// [`DspError::LengthMismatch`] when lengths differ (both checked before any
+/// division) and [`DspError::NonFinite`] when the result is NaN (NaN inputs)
+/// or overflows `f32`.
 ///
 /// ```
 /// # fn main() -> Result<(), ppg_dsp::DspError> {
@@ -31,7 +45,7 @@ pub fn mae(predicted: &[f32], truth: &[f32]) -> Result<f32, DspError> {
         .zip(truth)
         .map(|(&p, &t)| f64::from(p - t).abs())
         .sum();
-    Ok((sum / predicted.len() as f64) as f32)
+    finite_f32("mae", sum / predicted.len() as f64)
 }
 
 /// Root-mean-square error between two equal-length series.
@@ -49,7 +63,30 @@ pub fn rmse(predicted: &[f32], truth: &[f32]) -> Result<f32, DspError> {
             d * d
         })
         .sum();
-    Ok((sum / predicted.len() as f64).sqrt() as f32)
+    finite_f32("rmse", (sum / predicted.len() as f64).sqrt())
+}
+
+/// Mean absolute percentage error between two equal-length series, in
+/// percent.
+///
+/// # Errors
+///
+/// Same conditions as [`mae`], plus [`DspError::InvalidParameter`] when any
+/// truth value is zero (the per-sample division would be infinite).
+pub fn mape(predicted: &[f32], truth: &[f32]) -> Result<f32, DspError> {
+    check("mape", predicted, truth)?;
+    let mut sum = 0.0f64;
+    for (&p, &t) in predicted.iter().zip(truth) {
+        if t == 0.0 {
+            return Err(DspError::InvalidParameter {
+                op: "mape",
+                name: "truth",
+                requirement: "must be non-zero",
+            });
+        }
+        sum += (f64::from(p) - f64::from(t)).abs() / f64::from(t).abs();
+    }
+    finite_f32("mape", 100.0 * sum / predicted.len() as f64)
 }
 
 /// Mean signed error (`mean(predicted - truth)`), positive when the predictor
@@ -65,7 +102,7 @@ pub fn bias(predicted: &[f32], truth: &[f32]) -> Result<f32, DspError> {
         .zip(truth)
         .map(|(&p, &t)| f64::from(p - t))
         .sum();
-    Ok((sum / predicted.len() as f64) as f32)
+    finite_f32("bias", sum / predicted.len() as f64)
 }
 
 /// Arithmetic mean of a slice.
@@ -215,6 +252,91 @@ mod tests {
     fn mae_errors() {
         assert!(mae(&[], &[]).is_err());
         assert!(mae(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn guards_fire_before_the_division_on_every_metric() {
+        type Metric = fn(&[f32], &[f32]) -> Result<f32, DspError>;
+        for (op, metric) in [
+            ("mae", mae as Metric),
+            ("rmse", rmse as Metric),
+            ("mape", mape as Metric),
+            ("bias", bias as Metric),
+        ] {
+            // Empty inputs reach the guard, not a 0/0 division yielding NaN.
+            assert!(
+                matches!(metric(&[], &[]), Err(DspError::EmptyInput { .. })),
+                "{op}: empty input must error"
+            );
+            assert!(
+                matches!(metric(&[], &[1.0]), Err(DspError::EmptyInput { .. })),
+                "{op}: one-sided empty input must error"
+            );
+            assert!(
+                matches!(
+                    metric(&[1.0], &[1.0, 2.0]),
+                    Err(DspError::LengthMismatch { .. })
+                ),
+                "{op}: mismatched lengths must error"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_inputs_error_instead_of_returning_ok_nan() {
+        type Metric = fn(&[f32], &[f32]) -> Result<f32, DspError>;
+        for (op, metric) in [
+            ("mae", mae as Metric),
+            ("rmse", rmse as Metric),
+            ("mape", mape as Metric),
+            ("bias", bias as Metric),
+        ] {
+            assert!(
+                matches!(
+                    metric(&[f32::NAN, 2.0], &[1.0, 2.0]),
+                    Err(DspError::NonFinite { .. })
+                ),
+                "{op}: NaN input must yield a typed error, not Ok(NaN)"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_overflow_errors_instead_of_returning_ok_infinity() {
+        // The f64 mean is finite but too large for the f32 return type; the
+        // narrowing conversion must error, not hand back Ok(inf).
+        let huge = [f32::MAX, f32::MAX];
+        let tiny = [f32::MIN, f32::MIN];
+        assert!(matches!(
+            mae(&huge, &tiny),
+            Err(DspError::NonFinite { op: "mae" })
+        ));
+        assert!(matches!(
+            rmse(&huge, &tiny),
+            Err(DspError::NonFinite { op: "rmse" })
+        ));
+        assert!(matches!(
+            bias(&huge, &tiny),
+            Err(DspError::NonFinite { op: "bias" })
+        ));
+    }
+
+    #[test]
+    fn mape_basic_and_zero_truth_guard() {
+        let err = mape(&[110.0, 90.0], &[100.0, 100.0]).unwrap();
+        assert!((err - 10.0).abs() < 1e-4, "got {err}");
+        assert!(matches!(
+            mape(&[1.0, 2.0], &[1.0, 0.0]),
+            Err(DspError::InvalidParameter {
+                op: "mape",
+                name: "truth",
+                ..
+            })
+        ));
+        // Negative truth values use their magnitude, matching the standard
+        // |p - t| / |t| formulation.
+        let symmetric = mape(&[-110.0], &[-100.0]).unwrap();
+        assert!((symmetric - 10.0).abs() < 1e-4);
     }
 
     #[test]
