@@ -1,0 +1,78 @@
+//! Overhead of the telemetry registry on the fleet hot path.
+//!
+//! The per-window instrumentation (one counter increment, one offload
+//! counter, three stage timers in the runtime plus three in the DSP layer)
+//! must stay in the noise of the simulation itself — the README documents a
+//! <2% wall-clock target. This bench runs the same fleet under three
+//! registries:
+//!
+//! * `enabled`   — a live [`telemetry::Registry`], the production path,
+//! * `disabled`  — [`telemetry::Registry::disabled`], whose instruments are
+//!   no-ops (timers skip the clock reads), isolating dispatch cost,
+//! * `global`    — no explicit scope, so recording lands on the process
+//!   global registry (the default for library users).
+//!
+//! Reports are asserted identical across all three before timing starts.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use fleet::{run_fleet, DeviceScenario, ExecutorOptions, FleetSimulation, ScenarioMix};
+
+const DEVICES: u64 = 16;
+
+fn options() -> ExecutorOptions {
+    ExecutorOptions {
+        // Single-threaded keeps the comparison about per-window instrument
+        // cost, not scheduling noise.
+        threads: 1,
+        ..ExecutorOptions::default()
+    }
+}
+
+fn run(simulation: &FleetSimulation, scenarios: &[DeviceScenario]) -> Vec<fleet::DeviceReport> {
+    run_fleet(scenarios, simulation.zoo(), simulation.engine(), &options()).unwrap()
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let simulation = FleetSimulation::new(42, ScenarioMix::balanced()).expect("profiling succeeds");
+    let scenarios: Vec<_> = simulation.generator().scenarios(DEVICES).collect();
+    let total_windows: u64 = scenarios
+        .iter()
+        .map(|s| s.window_count().expect("valid scenario") as u64)
+        .sum();
+
+    let live = telemetry::Registry::new();
+    let dead = telemetry::Registry::disabled();
+
+    // Telemetry must be invisible in the output: byte-identical reports
+    // whether instruments are live, disabled, or global.
+    let baseline = run(&simulation, &scenarios);
+    {
+        let _scope = telemetry::scoped(&live);
+        assert_eq!(baseline, run(&simulation, &scenarios));
+    }
+    {
+        let _scope = telemetry::scoped(&dead);
+        assert_eq!(baseline, run(&simulation, &scenarios));
+    }
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total_windows));
+    group.bench_function("enabled_registry", |b| {
+        let _scope = telemetry::scoped(&live);
+        b.iter(|| black_box(run(&simulation, black_box(&scenarios))))
+    });
+    group.bench_function("disabled_registry", |b| {
+        let _scope = telemetry::scoped(&dead);
+        b.iter(|| black_box(run(&simulation, black_box(&scenarios))))
+    });
+    group.bench_function("global_registry", |b| {
+        b.iter(|| black_box(run(&simulation, black_box(&scenarios))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -25,14 +25,23 @@ use std::process::ExitCode;
 use chris_bench::fleet_cli;
 use fleet::MergeAccumulator;
 
-const USAGE: &str = "usage: fleet-merge [--json] [--per-device] SHARD.json...\n\
+const USAGE: &str = "usage: fleet-merge [--json] [--per-device] [--metrics-out PATH] \
+     [--metrics-json] SHARD.json...\n\
        --json          print the merged aggregate report as JSON instead of text\n\
        --per-device    also print one line per device\n\
-     Positional arguments are shard artifacts written by fleet-shard, in any order.";
+       {METRICS}\n\
+     Positional arguments are shard artifacts written by fleet-shard, in any order.\n\
+     The --metrics flags emit the shards' embedded telemetry snapshots folded into one\n\
+     fleet-level snapshot (identical to the single-process run's).";
+
+fn usage() -> String {
+    USAGE.replace("{METRICS}", fleet_cli::METRICS_USAGE)
+}
 
 struct Args {
     json: bool,
     per_device: bool,
+    metrics: fleet_cli::MetricsArgs,
     paths: Vec<String>,
 }
 
@@ -40,24 +49,29 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         json: false,
         per_device: false,
+        metrics: fleet_cli::MetricsArgs::default(),
         paths: Vec::new(),
     };
-    for arg in std::env::args().skip(1) {
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if fleet_cli::parse_metrics(&mut args.metrics, &arg, &mut it)? {
+            continue;
+        }
         match arg.as_str() {
             "--json" => args.json = true,
             "--per-device" => args.per_device = true,
             "--help" | "-h" => {
-                println!("{USAGE}");
+                println!("{}", usage());
                 std::process::exit(0);
             }
             other if other.starts_with("--") => {
-                return Err(format!("unknown argument `{other}`\n{USAGE}"));
+                return Err(format!("unknown argument `{other}`\n{}", usage()));
             }
             path => args.paths.push(path.to_string()),
         }
     }
     if args.paths.is_empty() {
-        return Err(format!("no shard artifacts given\n{USAGE}"));
+        return Err(format!("no shard artifacts given\n{}", usage()));
     }
     Ok(args)
 }
@@ -130,6 +144,12 @@ fn main() -> ExitCode {
             device_lines.extend(artifact.devices.iter().map(fleet_cli::device_line));
         }
     }
+    // The folded telemetry must be read before `finalize` consumes the
+    // accumulator; it is only cloned when an emission flag asks for it.
+    let telemetry = args
+        .metrics
+        .enabled()
+        .then(|| accumulator.telemetry().clone());
     let report = match accumulator.finalize() {
         Ok(report) => report,
         Err(e) => {
@@ -158,6 +178,12 @@ fn main() -> ExitCode {
             for line in &device_lines {
                 println!("{line}");
             }
+        }
+    }
+    if let Some(telemetry) = &telemetry {
+        if let Err(message) = fleet_cli::emit_metrics(&args.metrics, telemetry) {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

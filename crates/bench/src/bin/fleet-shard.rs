@@ -30,7 +30,8 @@ struct Args {
 }
 
 const USAGE: &str = "usage: fleet-shard --shards K --shard-index I [--devices N] [--threads N] \
-     [--seed N] [--mix NAME] [--profile-cache] [--out PATH] [--progress]\n\
+     [--seed N] [--mix NAME] [--profile-cache] [--metrics-out PATH] [--metrics-json] \
+     [--out PATH] [--progress]\n\
      {COMMON}\n\
        --shards K      number of contiguous shards the fleet is split into (default 1)\n\
        --shard-index I which shard to simulate, 0-based (default 0)\n\
@@ -86,6 +87,12 @@ fn main() -> ExitCode {
         }
     };
 
+    // Root telemetry registry for the whole invocation: profiling and the
+    // shard run record under this scope, and the process-global series are
+    // folded in at emission time.
+    let telemetry_root = telemetry::Registry::new();
+    let _telemetry_scope = telemetry::scoped(&telemetry_root);
+
     let simulation = match FleetSimulation::new(args.common.seed, args.common.mix) {
         Ok(simulation) => simulation,
         Err(e) => {
@@ -135,6 +142,13 @@ fn main() -> ExitCode {
             );
         }
         None => println!("{json}"),
+    }
+    if args.common.metrics.enabled() {
+        let snapshot = fleet_cli::process_snapshot(&telemetry_root);
+        if let Err(message) = fleet_cli::emit_metrics(&args.common.metrics, &snapshot) {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -26,7 +26,7 @@ struct Args {
 }
 
 const USAGE: &str = "usage: fleet [--devices N] [--threads N] [--seed N] [--mix NAME] \
-     [--profile-cache] [--json] [--per-device] [--progress]\n\
+     [--profile-cache] [--metrics-out PATH] [--metrics-json] [--json] [--per-device] [--progress]\n\
      {COMMON}\n\
        --json          print the aggregate report as JSON instead of text\n\
        --per-device    also print one line per device\n\
@@ -70,6 +70,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Root telemetry registry for the whole invocation: profiling and the
+    // fleet run record under this scope, and the process-global series are
+    // folded in at emission time.
+    let telemetry_root = telemetry::Registry::new();
+    let _telemetry_scope = telemetry::scoped(&telemetry_root);
 
     let setup_start = Instant::now();
     let simulation = match FleetSimulation::new(args.common.seed, args.common.mix) {
@@ -130,6 +136,13 @@ fn main() -> ExitCode {
             outcome.report.total_windows,
             run_time.as_secs_f64(),
         );
+    }
+    if args.common.metrics.enabled() {
+        let snapshot = fleet_cli::process_snapshot(&telemetry_root);
+        if let Err(message) = fleet_cli::emit_metrics(&args.common.metrics, &snapshot) {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

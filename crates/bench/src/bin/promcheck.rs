@@ -1,0 +1,125 @@
+//! Validator for Prometheus text exposition files written by the fleet
+//! binaries' `--metrics-out` flag.
+//!
+//! Parses the whole file through [`telemetry::parse_exposition`] — rejecting
+//! malformed families, samples and escapes with a nonzero exit — and
+//! optionally asserts exact sample values, which is how CI pins the
+//! workload-deterministic series (e.g. `chris_windows_total`) of the golden
+//! 64-device fleet without fixing the nondeterministic duration histograms.
+//!
+//! ```text
+//! promcheck --expect chris_windows_total=3482 --require chris_stage_duration_ns m.prom
+//! ```
+
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: promcheck [--expect SERIES=VALUE]... [--require NAME]... FILE.prom\n\
+       --expect SERIES=VALUE  assert the sample SERIES (labels in canonical sorted\n\
+                              form, e.g. chris_offload_decisions_total{backend=\"phone\"})\n\
+                              has exactly VALUE\n\
+       --require NAME         assert at least one sample of the family NAME exists";
+
+struct Args {
+    expects: Vec<(String, f64)>,
+    requires: Vec<String>,
+    path: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut expects = Vec::new();
+    let mut requires = Vec::new();
+    let mut path = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--expect" => {
+                let spec = it.next().ok_or("missing value for --expect")?;
+                let (series, value) = spec
+                    .rsplit_once('=')
+                    .ok_or_else(|| format!("--expect `{spec}` is not SERIES=VALUE"))?;
+                let value: f64 = value
+                    .parse()
+                    .map_err(|e| format!("--expect `{spec}`: {e}"))?;
+                expects.push((series.to_string(), value));
+            }
+            "--require" => requires.push(it.next().ok_or("missing value for --require")?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown argument `{other}`\n{USAGE}"));
+            }
+            file => {
+                if path.replace(file.to_string()).is_some() {
+                    return Err(format!("more than one input file\n{USAGE}"));
+                }
+            }
+        }
+    }
+    Ok(Args {
+        expects,
+        requires,
+        path: path.ok_or_else(|| format!("no exposition file given\n{USAGE}"))?,
+    })
+}
+
+fn run(args: &Args) -> Result<usize, String> {
+    let text = std::fs::read_to_string(&args.path)
+        .map_err(|e| format!("reading {} failed: {e}", args.path))?;
+    let samples = telemetry::parse_exposition(&text)
+        .map_err(|e| format!("{} is not valid exposition: {e}", args.path))?;
+
+    for (series, expected) in &args.expects {
+        let found = telemetry::sample_value(&samples, series)
+            .ok_or_else(|| format!("expected series `{series}` is missing"))?;
+        if found != *expected {
+            return Err(format!(
+                "series `{series}`: expected {expected}, found {found}"
+            ));
+        }
+    }
+    for name in &args.requires {
+        // A family's samples are `name`, `name{...}`, or — for histograms —
+        // `name_bucket{...}` / `name_sum` / `name_count` (with or without
+        // labels).
+        let in_family = |series: &str| {
+            series == name
+                || series.strip_prefix(name.as_str()).is_some_and(|rest| {
+                    rest.starts_with('{')
+                        || ["_bucket", "_sum", "_count"].iter().any(|suffix| {
+                            rest == *suffix || rest.starts_with(&format!("{suffix}{{"))
+                        })
+                })
+        };
+        if !samples.iter().any(|s| in_family(&s.series)) {
+            return Err(format!("required family `{name}` has no samples"));
+        }
+    }
+    Ok(samples.len())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(samples) => {
+            println!(
+                "{}: {samples} samples, {} values checked, {} families required",
+                args.path,
+                args.expects.len(),
+                args.requires.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("promcheck: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -31,6 +31,8 @@ pub struct FleetArgs {
     /// (`--profile-cache`). Purely a performance knob: reports are
     /// byte-identical with the cache on or off.
     pub profile_cache: bool,
+    /// Telemetry output selection (`--metrics-out`, `--metrics-json`).
+    pub metrics: MetricsArgs,
 }
 
 impl Default for FleetArgs {
@@ -42,8 +44,85 @@ impl Default for FleetArgs {
             mix: ScenarioMix::balanced(),
             mix_name: "balanced".to_string(),
             profile_cache: false,
+            metrics: MetricsArgs::default(),
         }
     }
+}
+
+/// Telemetry output flags shared by every fleet binary.
+///
+/// Telemetry is strictly a sidecar: the exposition goes to its own file and
+/// the JSON snapshot to stderr, so a `--json` report redirected from stdout
+/// stays byte-identical whether metrics are requested or not.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsArgs {
+    /// Write the snapshot as Prometheus text exposition to this path.
+    pub out: Option<String>,
+    /// Print the snapshot as one JSON line to stderr.
+    pub json: bool,
+}
+
+impl MetricsArgs {
+    /// Whether any telemetry output was requested.
+    pub fn enabled(&self) -> bool {
+        self.out.is_some() || self.json
+    }
+}
+
+/// Usage lines of the flags [`parse_metrics`] understands.
+pub const METRICS_USAGE: &str =
+    "--metrics-out PATH  write run telemetry as Prometheus text exposition to PATH\n\
+       --metrics-json  print the telemetry snapshot as one JSON line to stderr";
+
+/// Tries to consume one of the telemetry output flags; same contract as
+/// [`parse_common`].
+///
+/// # Errors
+///
+/// Returns a usage-style message when `--metrics-out` lacks its path.
+pub fn parse_metrics(
+    args: &mut MetricsArgs,
+    flag: &str,
+    it: &mut dyn Iterator<Item = String>,
+) -> Result<bool, String> {
+    match flag {
+        "--metrics-out" => args.out = Some(flag_value(flag, it)?),
+        "--metrics-json" => args.json = true,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Emits a telemetry snapshot per the `--metrics-*` flags: deterministic
+/// Prometheus text exposition to the sidecar file, compact JSON to stderr.
+/// Never writes to stdout.
+///
+/// # Errors
+///
+/// Returns a usage-style message when writing or serialization fails.
+pub fn emit_metrics(
+    args: &MetricsArgs,
+    snapshot: &telemetry::MetricsSnapshot,
+) -> Result<(), String> {
+    if let Some(path) = &args.out {
+        std::fs::write(path, telemetry::render_text(snapshot))
+            .map_err(|e| format!("writing {path} failed: {e}"))?;
+    }
+    if args.json {
+        let json = serde_json::to_string(snapshot)
+            .map_err(|e| format!("serializing telemetry failed: {e}"))?;
+        eprintln!("{json}");
+    }
+    Ok(())
+}
+
+/// The whole process's telemetry: the binary's root registry (everything the
+/// run recorded under its scope) plus the process-global registry's series
+/// (eager-collect counter, scenario gauges), folded for emission.
+pub fn process_snapshot(root: &telemetry::Registry) -> telemetry::MetricsSnapshot {
+    root.absorb(&telemetry::global().snapshot())
+        .expect("global series never conflict with run series");
+    root.snapshot()
 }
 
 impl FleetArgs {
@@ -90,7 +169,9 @@ pub const COMMON_USAGE: &str = "--devices N     number of simulated devices (def
        --seed N        master seed; fixes every device's scenario (default 42)\n\
        --mix NAME      scenario mix: balanced | harsh | connected | cohort (default balanced)\n\
        --profile-cache memoize synthesized window streams per worker (identical output,\n\
-                       faster on fleets with repeated subject/activity profiles, e.g. --mix cohort)";
+                       faster on fleets with repeated subject/activity profiles, e.g. --mix cohort)\n\
+       --metrics-out PATH  write run telemetry as Prometheus text exposition to PATH\n\
+       --metrics-json  print the telemetry snapshot as one JSON line to stderr";
 
 /// Pulls the next raw argument as the value of `flag`.
 ///
@@ -294,7 +375,7 @@ pub fn parse_common(
             args.mix_name = name;
         }
         "--profile-cache" => args.profile_cache = true,
-        _ => return Ok(false),
+        _ => return parse_metrics(&mut args.metrics, flag, it),
     }
     Ok(true)
 }
@@ -394,6 +475,7 @@ mod tests {
                 end: 2,
             },
             devices: Vec::new(),
+            telemetry: telemetry::MetricsSnapshot::default(),
         };
         let path =
             std::env::temp_dir().join(format!("chris-fleet-cli-meta-{}.json", std::process::id()));
@@ -412,6 +494,48 @@ mod tests {
         std::fs::write(&path, "{ not json").unwrap();
         let garbled = read_shard_report(path.to_str().unwrap()).unwrap_err();
         assert!(garbled.contains("parsing"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metrics_flags_are_parsed_and_emitted_off_stdout() {
+        let off = parse_all(&[]).unwrap();
+        assert!(!off.metrics.enabled());
+
+        let on = parse_all(&["--metrics-out", "m.prom", "--metrics-json"]).unwrap();
+        assert_eq!(on.metrics.out.as_deref(), Some("m.prom"));
+        assert!(on.metrics.json);
+        assert!(on.metrics.enabled());
+        assert!(parse_all(&["--metrics-out"])
+            .unwrap_err()
+            .contains("--metrics-out"));
+
+        // A written exposition file round-trips through the parser.
+        let registry = telemetry::Registry::new();
+        registry
+            .counter(
+                "chris_demo_total",
+                &[],
+                "Demo",
+                telemetry::Stability::Stable,
+            )
+            .unwrap()
+            .add(3);
+        let path = std::env::temp_dir().join(format!(
+            "chris-fleet-cli-metrics-{}.prom",
+            std::process::id()
+        ));
+        let args = MetricsArgs {
+            out: Some(path.to_str().unwrap().to_string()),
+            json: false,
+        };
+        emit_metrics(&args, &registry.snapshot()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let samples = telemetry::parse_exposition(&text).unwrap();
+        assert_eq!(
+            telemetry::sample_value(&samples, "chris_demo_total"),
+            Some(3.0)
+        );
         std::fs::remove_file(&path).ok();
     }
 

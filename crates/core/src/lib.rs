@@ -54,6 +54,7 @@
 pub mod config;
 pub mod decision;
 pub mod error;
+pub mod metrics;
 pub mod pareto;
 pub mod profiling;
 pub mod report;

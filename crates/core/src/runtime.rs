@@ -161,6 +161,9 @@ impl ChrisRuntime {
         let mut source = windows.into_window_source();
         let profiler = Profiler::new(&self.zoo);
         let period = TimeSpan::from_seconds(hw_sim::PREDICTION_PERIOD_S);
+        // One registry resolution per run; the loop below only touches
+        // pre-resolved lock-free handles.
+        let instruments = crate::metrics::RunInstruments::resolve();
 
         let mut errors = ErrorAccumulator::new();
         let mut per_activity: BTreeMap<String, ErrorAccumulator> = BTreeMap::new();
@@ -184,10 +187,14 @@ impl ChrisRuntime {
             let configuration = profile.configuration;
             report.record_configuration(&configuration, 1);
 
-            let predicted_activity = self.classifier.classify(window)?;
+            let predicted_activity = {
+                let _timer = instruments.time_classify();
+                self.classifier.classify(window)?
+            };
             let difficulty = predicted_activity.difficulty();
             let model = configuration.model_for(difficulty);
             let offload = configuration.offloads(difficulty) && connected;
+            instruments.offload_decision(offload);
 
             if model == configuration.simple {
                 simple += 1;
@@ -197,7 +204,10 @@ impl ChrisRuntime {
                 .estimators
                 .get_mut(&model)
                 .expect("every model kind has an estimator");
-            let prediction = estimator.predict(window)?;
+            let prediction = {
+                let _timer = instruments.time_predict();
+                estimator.predict(window)?
+            };
             errors.record(prediction, window.hr_bpm);
             per_activity
                 .entry(window.activity.name().to_string())
@@ -205,6 +215,7 @@ impl ChrisRuntime {
                 .record(prediction, window.hr_bpm);
 
             // Energy accounting for this window.
+            let _energy_timer = instruments.time_energy();
             if self.options.classifier_energy > Energy::ZERO {
                 trace.push(
                     PowerState::Acquire,
@@ -230,6 +241,7 @@ impl ChrisRuntime {
                     self.zoo.watch().sleep_power * sleep_time,
                 );
             }
+            instruments.window_processed();
             index += 1;
             Ok(())
         })?;

@@ -119,6 +119,12 @@ pub enum MergeError {
         /// One past the last uncovered device id.
         end: u64,
     },
+    /// Two shards' embedded telemetry snapshots cannot be folded (the same
+    /// series is registered with conflicting metadata or kinds).
+    TelemetryConflict {
+        /// The underlying [`telemetry::TelemetryError`], rendered.
+        detail: String,
+    },
     /// A shard artifact is internally inconsistent (device list does not
     /// match its declared range).
     CorruptShard {
@@ -169,6 +175,9 @@ impl fmt::Display for MergeError {
             ),
             MergeError::MissingDevices { start, end } => {
                 write!(f, "devices [{start}, {end}) are covered by no shard")
+            }
+            MergeError::TelemetryConflict { detail } => {
+                write!(f, "shard telemetry snapshots conflict: {detail}")
             }
             MergeError::CorruptShard { start, end, detail } => {
                 write!(f, "shard [{start}, {end}) is corrupt: {detail}")

@@ -33,38 +33,73 @@ use chris_core::{ChrisError, DecisionEngine, RunReport};
 use hw_sim::battery::{Battery, HWATCH_BATTERY_VOLTAGE, HWATCH_CONVERTER_EFFICIENCY};
 use ppg_data::{IntoWindowSource, WindowCache, WindowSource};
 use ppg_models::zoo::ModelZoo;
+use telemetry::Stability;
 
 use crate::error::FleetError;
 use crate::progress::{ProgressSink, ProgressSource};
 use crate::report::DeviceReport;
 use crate::scenario::{DeviceScenario, ScenarioGenerator};
 
-/// Instrumentation counters for scenario materialization.
+/// Instrumentation gauges for scenario materialization.
 ///
-/// Cheap relaxed atomics, always compiled in — the `scenario_free`
-/// integration test uses them to prove that the generator-backed execution
-/// path keeps at most one generated [`DeviceScenario`] alive per worker
-/// thread, instead of materializing the whole range up front.
+/// A facade over the process-global [`telemetry`] registry (the gauges keep
+/// their original process-wide semantics, independent of any worker scope) —
+/// the `scenario_free` integration test uses them to prove that the
+/// generator-backed execution path keeps at most one generated
+/// [`DeviceScenario`] alive per worker thread, instead of materializing the
+/// whole range up front.
 pub mod metrics {
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+    use telemetry::{Gauge, Stability};
 
-    static LIVE: AtomicUsize = AtomicUsize::new(0);
-    static PEAK: AtomicUsize = AtomicUsize::new(0);
+    /// Series name of the currently-alive generated-scenario gauge.
+    pub const LIVE_SCENARIOS_SERIES: &str = "chris_live_generated_scenarios";
+
+    /// Series name of the generated-scenario high-water-mark gauge.
+    pub const PEAK_SCENARIOS_SERIES: &str = "chris_peak_live_scenarios";
+
+    fn live() -> &'static Gauge {
+        static LIVE: OnceLock<Gauge> = OnceLock::new();
+        LIVE.get_or_init(|| {
+            telemetry::global()
+                .gauge(
+                    LIVE_SCENARIOS_SERIES,
+                    &[],
+                    "Generated scenarios currently alive inside executor workers",
+                    Stability::Observational,
+                )
+                .expect("scenario gauge registration cannot fail")
+        })
+    }
+
+    fn peak() -> &'static Gauge {
+        static PEAK: OnceLock<Gauge> = OnceLock::new();
+        PEAK.get_or_init(|| {
+            telemetry::global()
+                .gauge(
+                    PEAK_SCENARIOS_SERIES,
+                    &[],
+                    "High-water mark of live generated scenarios since the last reset",
+                    Stability::Observational,
+                )
+                .expect("scenario gauge registration cannot fail")
+        })
+    }
 
     /// Generated scenarios currently alive inside executor workers.
     pub fn live_generated_scenarios() -> usize {
-        LIVE.load(Ordering::Relaxed)
+        usize::try_from(live().value()).unwrap_or(0)
     }
 
     /// High-water mark of [`live_generated_scenarios`] since the last
     /// [`reset_peak`].
     pub fn peak_live_scenarios() -> usize {
-        PEAK.load(Ordering::Relaxed)
+        usize::try_from(peak().value()).unwrap_or(0)
     }
 
     /// Resets the peak gauge (the live gauge is self-balancing).
     pub fn reset_peak() {
-        PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+        peak().set(live().value());
     }
 
     /// RAII guard accounting one generated scenario's lifetime.
@@ -72,15 +107,16 @@ pub mod metrics {
 
     impl GeneratedScenario {
         pub(crate) fn track() -> Self {
-            let live = LIVE.fetch_add(1, Ordering::Relaxed) + 1;
-            PEAK.fetch_max(live, Ordering::Relaxed);
+            let gauge = live();
+            gauge.add(1);
+            peak().set_max(gauge.value());
             Self
         }
     }
 
     impl Drop for GeneratedScenario {
         fn drop(&mut self) {
-            LIVE.fetch_sub(1, Ordering::Relaxed);
+            live().sub(1);
         }
     }
 }
@@ -423,33 +459,48 @@ fn simulate_index(
     simulate_device_inner(scenario.as_ref(), zoo, engine, sink, cache)
 }
 
-/// Lock-free merge target for the per-worker [`WindowCache`] counters: each
-/// worker owns its cache outright and folds its totals in exactly once, when
-/// it finishes.
-#[derive(Default)]
-struct CacheStats {
-    hits: AtomicU64,
-    misses: AtomicU64,
+/// Series name of the profiling-window cache event counter (labelled by
+/// `result`: `"hit"` or `"miss"`).
+pub const PROFILE_CACHE_EVENTS_SERIES: &str = "chris_profile_cache_events_total";
+
+/// Help text of [`PROFILE_CACHE_EVENTS_SERIES`].
+pub const PROFILE_CACHE_EVENTS_HELP: &str =
+    "Profiling-window cache lookups, by result (hit replays a memoized stream)";
+
+/// Resolves (registering if needed) one cache-event counter on `registry`.
+///
+/// Cache hit/miss splits depend on work-stealing interleaving, so the series
+/// is [`Observational`](Stability::Observational): visible in exposition,
+/// never embedded in byte-stable shard artifacts.
+fn cache_event_counter(registry: &telemetry::Registry, result: &str) -> telemetry::Counter {
+    registry
+        .counter(
+            PROFILE_CACHE_EVENTS_SERIES,
+            &[("result", result)],
+            PROFILE_CACHE_EVENTS_HELP,
+            Stability::Observational,
+        )
+        .expect("cache counter registration cannot fail")
 }
 
-impl CacheStats {
-    fn absorb(&self, cache: &WindowCache) {
-        self.hits.fetch_add(cache.hits(), Ordering::Relaxed);
-        self.misses.fetch_add(cache.misses(), Ordering::Relaxed);
-    }
-
-    fn report(&self, sink: Option<&dyn ProgressSink>) {
-        if let Some(sink) = sink {
-            sink.profile_cache(
-                self.hits.load(Ordering::Relaxed),
-                self.misses.load(Ordering::Relaxed),
-            );
-        }
-    }
+/// Folds one worker's [`WindowCache`] totals into `registry` — called exactly
+/// once per cache, when its owning worker finishes.
+fn record_cache_events(registry: &telemetry::Registry, cache: &WindowCache) {
+    cache_event_counter(registry, "hit").add(cache.hits());
+    cache_event_counter(registry, "miss").add(cache.misses());
 }
 
 /// The shared executor core: claims work items from an atomic cursor over
 /// the supply, simulates them, and merges the reports in item order.
+///
+/// Telemetry flows through three registry layers: each worker records into
+/// its own private [`telemetry::Registry`] (lock-free, no cross-thread
+/// contention), workers fold their snapshot into a shared batch registry at
+/// exit (counter/histogram merging is commutative, so the batch totals are
+/// identical for any thread count or interleaving), and the batch is finally
+/// absorbed into whatever registry was active when the run started. The
+/// merged cache hit/miss totals surface to [`ProgressSink::profile_cache`]
+/// straight from the batch snapshot.
 fn run_supply(
     supply: &ScenarioSupply<'_>,
     zoo: &ModelZoo,
@@ -463,20 +514,71 @@ fn run_supply(
     }
     let threads = options.effective_threads(usize::try_from(count).unwrap_or(usize::MAX));
     let chunk = options.chunk_size.max(1) as u64;
-    let stats = CacheStats::default();
+    let outer = telemetry::active();
+    let batch = telemetry::Registry::new();
+    if options.profile_cache.is_some() {
+        // Eager registration: a run whose caches never hit still exposes
+        // zero-valued hit/miss series.
+        cache_event_counter(&batch, "hit");
+        cache_event_counter(&batch, "miss");
+    }
 
-    if threads == 1 {
+    let reports = if threads == 1 {
+        let _scope = telemetry::scoped(&batch);
         let mut cache = options.profile_cache.map(WindowCache::new);
         let reports = (0..count)
             .map(|index| simulate_index(supply, index, zoo, engine, sink, cache.as_mut()))
             .collect();
         if let Some(cache) = &cache {
-            stats.absorb(cache);
-            stats.report(sink);
+            record_cache_events(&batch, cache);
         }
-        return reports;
-    }
+        reports
+    } else {
+        run_supply_parallel(
+            supply,
+            zoo,
+            engine,
+            sink,
+            &batch,
+            options.profile_cache,
+            count,
+            threads,
+            chunk,
+        )
+    };
 
+    if options.profile_cache.is_some() {
+        if let Some(sink) = sink {
+            let snapshot = batch.snapshot();
+            let event = |result| {
+                snapshot
+                    .counter_value(PROFILE_CACHE_EVENTS_SERIES, &[("result", result)])
+                    .unwrap_or(0)
+            };
+            sink.profile_cache(event("hit"), event("miss"));
+        }
+    }
+    outer
+        .absorb(&batch.snapshot())
+        .expect("executor series are self-consistent across registries");
+    reports
+}
+
+/// The multi-worker arm of [`run_supply`]: scoped threads over an atomic
+/// chunk cursor, one private [`WindowCache`] and [`telemetry::Registry`] per
+/// worker, both folded into the shared `batch` exactly once at worker exit.
+#[allow(clippy::too_many_arguments)]
+fn run_supply_parallel(
+    supply: &ScenarioSupply<'_>,
+    zoo: &ModelZoo,
+    engine: &DecisionEngine,
+    sink: Option<&dyn ProgressSink>,
+    batch: &telemetry::Registry,
+    profile_cache: Option<usize>,
+    count: u64,
+    threads: usize,
+    chunk: u64,
+) -> Result<Vec<DeviceReport>, FleetError> {
     let cursor = AtomicU64::new(0);
     let capacity = usize::try_from(count).unwrap_or(usize::MAX);
     let collected: Mutex<Vec<(u64, Result<DeviceReport, FleetError>)>> =
@@ -485,9 +587,11 @@ fn run_supply(
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                // One cache per worker: no synchronization on the hot path,
-                // and counters merge once at worker exit.
-                let mut cache = options.profile_cache.map(WindowCache::new);
+                // One cache and one registry per worker: no synchronization
+                // on the hot path, and counters merge once at worker exit.
+                let worker = telemetry::Registry::new();
+                let _scope = telemetry::scoped(&worker);
+                let mut cache = profile_cache.map(WindowCache::new);
                 let mut local = Vec::new();
                 // Compare-exchange claims instead of `fetch_add`: the cursor
                 // never moves past `count`, so id ranges near `u64::MAX`
@@ -501,8 +605,11 @@ fn run_supply(
                     }
                 }
                 if let Some(cache) = &cache {
-                    stats.absorb(cache);
+                    record_cache_events(&worker, cache);
                 }
+                batch
+                    .absorb(&worker.snapshot())
+                    .expect("worker series are self-consistent across registries");
                 collected
                     .lock()
                     .expect("no worker panics while holding the results lock")
@@ -510,9 +617,6 @@ fn run_supply(
             });
         }
     });
-    if options.profile_cache.is_some() {
-        stats.report(sink);
-    }
 
     let mut merged = collected
         .into_inner()

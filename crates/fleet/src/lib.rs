@@ -79,7 +79,7 @@ pub use error::{FleetError, MergeError};
 pub use executor::{
     run_fleet, run_fleet_range, run_fleet_range_with_progress, run_fleet_with_progress,
     simulate_device, simulate_device_cached, simulate_device_with_progress, ExecutorOptions,
-    DEFAULT_PROFILE_CACHE_CAPACITY,
+    DEFAULT_PROFILE_CACHE_CAPACITY, PROFILE_CACHE_EVENTS_SERIES,
 };
 pub use merge::{merge, merge_stream, MergeAccumulator};
 pub use progress::{ProgressSink, ProgressSource};
@@ -92,6 +92,7 @@ pub use shard::{ShardMeta, ShardProvenance, ShardReport, ShardSpec, ENGINE_VERSI
 use chris_core::{DecisionEngine, Profiler, ProfilingOptions};
 use ppg_data::DatasetBuilder;
 use ppg_models::zoo::ModelZoo;
+use telemetry::MetricsSnapshot;
 
 /// Result of a fleet run: the aggregate report plus the per-device reports
 /// (sorted by device id).
@@ -101,6 +102,11 @@ pub struct FleetOutcome {
     pub report: FleetReport,
     /// Per-device results, ordered by device id.
     pub devices: Vec<DeviceReport>,
+    /// Workload-deterministic ([`telemetry::Stability::Stable`]) telemetry
+    /// folded across all merged shards: windows processed, offload decisions
+    /// by backend, model invocations. Identical for any thread count and any
+    /// shard partition of the same fleet.
+    pub telemetry: MetricsSnapshot,
 }
 
 /// High-level entry point tying the three layers together.
@@ -287,12 +293,20 @@ impl FleetSimulation {
                 index,
                 shards: spec.shards(),
             })?;
+        // The shard's run records into a private registry, so its embedded
+        // snapshot covers exactly this run — not whatever else the process
+        // did — and concurrent shard runs in one process cannot bleed into
+        // each other. The full snapshot (durations, cache counters) is
+        // re-absorbed into the caller's active registry afterwards; only the
+        // Stable subset is embedded in the byte-stable artifact.
+        let run_registry = telemetry::Registry::new();
         // Scenario-free execution: the workers derive each device's scenario
         // on demand from (generator, id), so no `Vec<DeviceScenario>` is
         // materialized no matter how large the shard's range is.
         let devices = if range.is_empty() {
             Vec::new()
         } else {
+            let _scope = telemetry::scoped(&run_registry);
             run_fleet_range_with_progress(
                 &self.generator,
                 range.clone(),
@@ -302,6 +316,9 @@ impl FleetSimulation {
                 sink,
             )?
         };
+        telemetry::active()
+            .absorb(&run_registry.snapshot())
+            .expect("run series are self-consistent across registries");
         Ok(ShardReport {
             meta: ShardMeta {
                 engine_version: ENGINE_VERSION.to_string(),
@@ -314,6 +331,7 @@ impl FleetSimulation {
                 end: range.end,
             },
             devices,
+            telemetry: run_registry.snapshot_stable(),
         })
     }
 }

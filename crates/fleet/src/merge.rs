@@ -24,6 +24,8 @@
 //! Any violation is a typed [`MergeError`] — a corrupted report is never
 //! emitted.
 
+use telemetry::MetricsSnapshot;
+
 use crate::error::MergeError;
 use crate::report::{FleetAccumulator, FleetReport};
 use crate::shard::{ShardMeta, ShardReport, ENGINE_VERSION};
@@ -45,6 +47,7 @@ pub struct MergeAccumulator {
     /// Last non-empty range folded, for overlap diagnostics.
     previous: Option<(u64, u64)>,
     fleet: FleetAccumulator,
+    telemetry: MetricsSnapshot,
 }
 
 impl MergeAccumulator {
@@ -61,6 +64,14 @@ impl MergeAccumulator {
     /// Number of devices folded so far.
     pub fn devices(&self) -> usize {
         self.fleet.devices()
+    }
+
+    /// Telemetry snapshots of the pushed shards, folded series-wise
+    /// (counters and histogram buckets add, gauges take the maximum).
+    /// Read (or clone) this before [`MergeAccumulator::finalize`], which
+    /// consumes the accumulator.
+    pub fn telemetry(&self) -> &MetricsSnapshot {
+        &self.telemetry
     }
 
     /// Validates one shard against the artifact set seen so far and folds
@@ -122,11 +133,21 @@ impl MergeAccumulator {
                 end: meta.start,
             });
         }
+        // Fold telemetry through a pure merge *before* mutating anything, so
+        // a conflicting snapshot leaves the accumulator unchanged like every
+        // other rejection.
+        let telemetry =
+            self.telemetry
+                .merged(&shard.telemetry)
+                .map_err(|e| MergeError::TelemetryConflict {
+                    detail: e.to_string(),
+                })?;
 
         for device in &shard.devices {
             self.fleet.push(device);
         }
         self.cursor = meta.end;
+        self.telemetry = telemetry;
         if meta.end > meta.start {
             self.previous = Some((meta.start, meta.end));
         }
@@ -254,8 +275,13 @@ pub fn merge(mut shards: Vec<ShardReport>) -> Result<FleetOutcome, MergeError> {
         accumulator.push(&shard)?;
         devices.extend(shard.devices);
     }
+    let telemetry = accumulator.telemetry().clone();
     let report = accumulator.finalize()?;
-    Ok(FleetOutcome { report, devices })
+    Ok(FleetOutcome {
+        report,
+        devices,
+        telemetry,
+    })
 }
 
 /// Checks that a shard's device list is exactly its declared range, in order.
@@ -340,6 +366,7 @@ mod tests {
                 end,
             },
             devices: (start..end).map(device).collect(),
+            telemetry: MetricsSnapshot::default(),
         }
     }
 
@@ -474,6 +501,46 @@ mod tests {
             merge(vec![truncated]).unwrap_err(),
             MergeError::CorruptShard { .. }
         ));
+    }
+
+    #[test]
+    fn telemetry_folds_across_shards_and_conflicts_reject_atomically() {
+        use telemetry::{CounterSample, Stability};
+        let counter = |value| CounterSample {
+            name: "chris_windows_total".to_string(),
+            labels: Vec::new(),
+            help: "Windows processed".to_string(),
+            stability: Stability::Stable,
+            value,
+        };
+        let mut a = shard(8, 2, 0, 0, 4);
+        a.telemetry.counters.push(counter(10));
+        let mut b = shard(8, 2, 1, 4, 8);
+        b.telemetry.counters.push(counter(32));
+
+        let merged = merge(vec![a.clone(), b.clone()]).unwrap();
+        assert_eq!(
+            merged.telemetry.counter_value("chris_windows_total", &[]),
+            Some(42)
+        );
+
+        // A snapshot whose metadata conflicts is rejected like any other bad
+        // artifact — and the failed push leaves the accumulator unchanged.
+        let mut accumulator = MergeAccumulator::new();
+        accumulator.push(&a).unwrap();
+        let mut bad = b;
+        bad.telemetry.counters[0].help = "renamed help".to_string();
+        assert!(matches!(
+            accumulator.push(&bad).unwrap_err(),
+            MergeError::TelemetryConflict { .. }
+        ));
+        assert_eq!(accumulator.cursor(), 4);
+        assert_eq!(
+            accumulator
+                .telemetry()
+                .counter_value("chris_windows_total", &[]),
+            Some(10)
+        );
     }
 
     #[test]

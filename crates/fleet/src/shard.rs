@@ -13,6 +13,7 @@
 use std::ops::Range;
 
 use serde::{Deserialize, Serialize};
+use telemetry::MetricsSnapshot;
 
 use crate::error::FleetError;
 use crate::report::DeviceReport;
@@ -24,8 +25,9 @@ use crate::scenario::ScenarioMix;
 /// version: scenario generation, reduction order and serialization are all
 /// allowed to change between versions, and merging across them would silently
 /// break the byte-identity guarantee. (0.3.0 added
-/// `ScenarioMix::subject_pool` to the artifact format; pre-0.3.0 artifacts
-/// fail deserialization with a "missing field" error naming the file —
+/// `ScenarioMix::subject_pool` to the artifact format, and 0.4.0 added the
+/// embedded `telemetry` snapshot; artifacts from earlier versions fail
+/// deserialization with a "missing field" error naming the file —
 /// regenerate them with the current binaries.)
 pub const ENGINE_VERSION: &str = env!("CARGO_PKG_VERSION");
 
@@ -132,6 +134,13 @@ pub struct ShardReport {
     /// Per-device reports, ordered by device id, exactly covering
     /// `meta.start..meta.end`.
     pub devices: Vec<DeviceReport>,
+    /// [`Stable`](telemetry::Stability::Stable) telemetry series of the
+    /// shard's run (windows processed, offload decisions, model
+    /// invocations). Only workload-deterministic series are embedded, so the
+    /// artifact stays byte-identical for any thread count;
+    /// [`crate::merge::merge`] folds the snapshots of all shards into the
+    /// fleet-level total.
+    pub telemetry: MetricsSnapshot,
 }
 
 /// Meta-only view of a serialized shard artifact.
@@ -221,6 +230,7 @@ mod tests {
                 end: 4,
             },
             devices: Vec::new(),
+            telemetry: MetricsSnapshot::default(),
         };
         let json = serde_json::to_string(&report).unwrap();
         let provenance: ShardProvenance = serde_json::from_str(&json).unwrap();

@@ -187,23 +187,42 @@ pub fn collect_windows<S: IntoWindowSource>(source: S) -> Result<Vec<LabeledWind
 
 /// Instrumentation counters for the streaming migration.
 ///
-/// Cheap relaxed atomics, always compiled in: they let integration tests (and
-/// debug assertions in downstream crates) verify that streaming hot paths
-/// never fall back to eager `Vec<LabeledWindow>` materialization.
+/// A facade over the process-global [`telemetry`] registry: the counter is
+/// the `chris_eager_collects_total` series on [`telemetry::global`], so it
+/// shows up in metrics expositions while keeping the original process-wide
+/// watchdog semantics that integration tests (and debug assertions in
+/// downstream crates) rely on to verify that streaming hot paths never fall
+/// back to eager `Vec<LabeledWindow>` materialization.
 pub mod metrics {
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+    use telemetry::{Counter, Stability};
 
-    static EAGER_COLLECTS: AtomicUsize = AtomicUsize::new(0);
+    /// Series name of the eager-materialization watchdog counter.
+    pub const EAGER_COLLECTS_SERIES: &str = "chris_eager_collects_total";
+
+    fn counter() -> &'static Counter {
+        static EAGER_COLLECTS: OnceLock<Counter> = OnceLock::new();
+        EAGER_COLLECTS.get_or_init(|| {
+            telemetry::global()
+                .counter(
+                    EAGER_COLLECTS_SERIES,
+                    &[],
+                    "Full window-vector materializations since process start",
+                    Stability::Observational,
+                )
+                .expect("eager-collect series registration cannot fail")
+        })
+    }
 
     /// Number of full window-vector materializations since process start
     /// (every [`super::collect_windows`] call, which all eager `windows()`
     /// methods delegate to).
     pub fn eager_collects() -> usize {
-        EAGER_COLLECTS.load(Ordering::Relaxed)
+        usize::try_from(counter().value()).unwrap_or(usize::MAX)
     }
 
     pub(crate) fn record_eager_collect() {
-        EAGER_COLLECTS.fetch_add(1, Ordering::Relaxed);
+        counter().inc();
     }
 }
 

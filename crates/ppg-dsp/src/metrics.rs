@@ -1,0 +1,137 @@
+//! Per-stage duration instrumentation for the DSP hot path.
+//!
+//! The DSP entry points ([`band_pass`](crate::filter::band_pass),
+//! [`dominant_frequency`](crate::fft::dominant_frequency), feature
+//! extraction) time themselves into the shared
+//! [`telemetry::STAGE_DURATION_SERIES`] histogram family of the thread's
+//! active registry. Handle resolution goes through the registry's internal
+//! lock, so each thread memoizes its handles and re-resolves only when the
+//! active registry changes (executor workers install one registry for their
+//! whole lifetime, so in steady state a timer start is a TLS read plus an
+//! `Instant::now`). All stage series are
+//! [`Observational`](telemetry::Stability::Observational): wall-clock
+//! durations are scheduling-dependent and never embedded in byte-stable
+//! artifacts.
+
+use std::cell::RefCell;
+
+use telemetry::{Histogram, ScopedTimer, Stability, DURATION_NS_BOUNDS};
+
+/// The DSP pipeline stages instrumented by this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Cardiac-band IIR filtering of a PPG window.
+    BandPass,
+    /// Spectral analysis (power spectrum + peak search).
+    Fft,
+    /// Statistical feature extraction for activity recognition.
+    Features,
+}
+
+impl Stage {
+    const ALL: [Stage; 3] = [Stage::BandPass, Stage::Fft, Stage::Features];
+
+    fn label(self) -> &'static str {
+        match self {
+            Stage::BandPass => "band_pass",
+            Stage::Fft => "fft",
+            Stage::Features => "features",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::BandPass => 0,
+            Stage::Fft => 1,
+            Stage::Features => 2,
+        }
+    }
+}
+
+thread_local! {
+    /// `(registry id, per-stage histogram handles)` for the registry the
+    /// handles were resolved from.
+    static HANDLES: RefCell<Option<(usize, [Histogram; 3])>> = const { RefCell::new(None) };
+}
+
+/// Starts a timer observing into the active registry's histogram for
+/// `stage`; the elapsed nanoseconds are recorded when the guard drops.
+pub fn stage_timer(stage: Stage) -> ScopedTimer {
+    HANDLES.with(|cell| {
+        let mut cached = cell.borrow_mut();
+        let registry = telemetry::active();
+        let stale = cached.as_ref().is_none_or(|(id, _)| *id != registry.id());
+        if stale {
+            let resolve = |s: Stage| {
+                registry
+                    .histogram(
+                        telemetry::STAGE_DURATION_SERIES,
+                        &[("stage", s.label())],
+                        telemetry::STAGE_DURATION_HELP,
+                        Stability::Observational,
+                        &DURATION_NS_BOUNDS,
+                    )
+                    .expect("stage histogram registration cannot fail")
+            };
+            *cached = Some((
+                registry.id(),
+                [
+                    resolve(Stage::ALL[0]),
+                    resolve(Stage::ALL[1]),
+                    resolve(Stage::ALL[2]),
+                ],
+            ));
+        }
+        let (_, handles) = cached.as_ref().expect("populated above");
+        handles[stage.index()].start_timer()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_timers_record_into_the_scoped_registry() {
+        let registry = telemetry::Registry::new();
+        {
+            let _scope = telemetry::scoped(&registry);
+            drop(stage_timer(Stage::Fft));
+            drop(stage_timer(Stage::Fft));
+            drop(stage_timer(Stage::BandPass));
+        }
+        let snap = registry.snapshot();
+        let count = |stage: &str| {
+            snap.histograms
+                .iter()
+                .find(|h| h.labels == vec![("stage".to_string(), stage.to_string())])
+                .map(|h| h.count)
+        };
+        assert_eq!(count("fft"), Some(2));
+        assert_eq!(count("band_pass"), Some(1));
+        assert_eq!(count("features"), Some(0));
+    }
+
+    #[test]
+    fn handles_re_resolve_when_the_active_registry_changes() {
+        let a = telemetry::Registry::new();
+        let b = telemetry::Registry::new();
+        {
+            let _scope = telemetry::scoped(&a);
+            drop(stage_timer(Stage::Features));
+        }
+        {
+            let _scope = telemetry::scoped(&b);
+            drop(stage_timer(Stage::Features));
+        }
+        for reg in [&a, &b] {
+            let snap = reg.snapshot();
+            let features = snap
+                .histograms
+                .iter()
+                .find(|h| h.labels == vec![("stage".to_string(), "features".to_string())])
+                .expect("features series registered");
+            assert_eq!(features.count, 1);
+        }
+    }
+}

@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use ppg_data::Activity;
 
 use crate::adaptive_threshold::{AdaptiveThreshold, AT_CYCLES_PI3, AT_CYCLES_STM32};
+use crate::metrics::InstrumentedEstimator;
 use crate::surrogate::CalibratedEstimator;
 use crate::timeppg::TimePpgVariant;
 use crate::traits::HrEstimator;
@@ -208,7 +209,9 @@ impl ModelZoo {
     /// [`crate::surrogate`]). The `seed` controls the reproducible error
     /// sequence.
     pub fn calibrated_estimator(&self, kind: ModelKind, seed: u64) -> Box<dyn HrEstimator> {
-        Box::new(CalibratedEstimator::new(kind, seed))
+        Box::new(InstrumentedEstimator::new(Box::new(
+            CalibratedEstimator::new(kind, seed),
+        )))
     }
 
     /// Builds the *real* algorithmic estimator where one exists (AT); falls
@@ -216,7 +219,9 @@ impl ModelZoo {
     /// weights are not available (see `DESIGN.md` §4).
     pub fn reference_estimator(&self, kind: ModelKind, seed: u64) -> Box<dyn HrEstimator> {
         match kind {
-            ModelKind::AdaptiveThreshold => Box::new(AdaptiveThreshold::new()),
+            ModelKind::AdaptiveThreshold => Box::new(InstrumentedEstimator::new(Box::new(
+                AdaptiveThreshold::new(),
+            ))),
             _ => self.calibrated_estimator(kind, seed),
         }
     }

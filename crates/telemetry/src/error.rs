@@ -1,0 +1,73 @@
+//! Typed errors for registration and snapshot merging.
+
+/// Error raised by instrument registration or snapshot merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TelemetryError {
+    /// The metric name is empty or contains characters outside
+    /// `[a-zA-Z0-9_:]` (first character must not be a digit).
+    InvalidMetricName {
+        /// The offending name.
+        name: String,
+    },
+    /// A label name is empty, reserved (`__` prefix), or contains
+    /// characters outside `[a-zA-Z0-9_]` (first character must not be a
+    /// digit).
+    InvalidLabelName {
+        /// The offending label name.
+        label: String,
+    },
+    /// A label value is empty. (Any non-empty UTF-8 value is allowed;
+    /// newlines, quotes and backslashes are escaped at exposition time.)
+    EmptyLabelValue {
+        /// The label whose value was empty.
+        label: String,
+    },
+    /// The series is already registered with a different kind, help text,
+    /// stability, or histogram bucket layout.
+    KindMismatch {
+        /// The conflicting series name.
+        name: String,
+        /// What differed.
+        detail: String,
+    },
+    /// Two snapshots disagree about a series' metadata and cannot merge.
+    MergeConflict {
+        /// The conflicting series name.
+        name: String,
+        /// What differed.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TelemetryError::InvalidMetricName { name } => {
+                write!(
+                    f,
+                    "invalid metric name {name:?}: must match [a-zA-Z_:][a-zA-Z0-9_:]*"
+                )
+            }
+            TelemetryError::InvalidLabelName { label } => {
+                write!(
+                    f,
+                    "invalid label name {label:?}: must match [a-zA-Z_][a-zA-Z0-9_]* and not start with __"
+                )
+            }
+            TelemetryError::EmptyLabelValue { label } => {
+                write!(f, "label {label:?} has an empty value")
+            }
+            TelemetryError::KindMismatch { name, detail } => {
+                write!(
+                    f,
+                    "series {name:?} already registered differently: {detail}"
+                )
+            }
+            TelemetryError::MergeConflict { name, detail } => {
+                write!(f, "snapshots disagree on series {name:?}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}

@@ -1,0 +1,57 @@
+//! Thread-scoped active registries with a process-global fallback.
+
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
+use crate::registry::Registry;
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+thread_local! {
+    static ACTIVE: RefCell<Vec<Registry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The process-global registry. Used as the fallback when no scope is
+/// installed on the current thread, and as the home of process-lifetime
+/// series (liveness gauges, watchdog counters).
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// The registry instrumented code should record into: the innermost scope
+/// installed on this thread via [`scoped`], or [`global`] when none is.
+pub fn active() -> Registry {
+    ACTIVE.with(|stack| {
+        stack
+            .borrow()
+            .last()
+            .cloned()
+            .unwrap_or_else(|| global().clone())
+    })
+}
+
+/// Guard keeping a registry installed as the current thread's active one;
+/// uninstalls on drop. Scopes nest (innermost wins) and are thread-local:
+/// spawned threads start with no scope.
+#[derive(Debug)]
+pub struct RegistryScope {
+    // !Send by construction: the guard must drop on the installing thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Installs `registry` as the active registry of the current thread for the
+/// lifetime of the returned guard.
+pub fn scoped(registry: &Registry) -> RegistryScope {
+    ACTIVE.with(|stack| stack.borrow_mut().push(registry.clone()));
+    RegistryScope {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for RegistryScope {
+    fn drop(&mut self) {
+        ACTIVE.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}

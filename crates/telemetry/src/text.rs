@@ -1,0 +1,299 @@
+//! Prometheus text-format exposition: deterministic writer and a small
+//! grammar checker used by tests and the `promcheck` CI binary.
+
+use std::fmt::Write as _;
+
+use crate::snapshot::MetricsSnapshot;
+
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label_value(text: &str) -> String {
+    text.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format. Output is
+/// deterministic: families ordered by name, series by label set, one
+/// `# HELP`/`# TYPE` pair per family. Histograms emit cumulative
+/// `_bucket{le=...}` lines (bounds printed as integer nanoseconds), then
+/// `_sum` and `_count`.
+pub fn render_text(snapshot: &MetricsSnapshot) -> String {
+    // (name, kind, help, body-lines) per family, assembled then sorted.
+    let mut families: Vec<(String, &'static str, String, Vec<String>)> = Vec::new();
+
+    for sample in &snapshot.counters {
+        let line = format!(
+            "{}{} {}",
+            sample.name,
+            label_block(&sample.labels, None),
+            sample.value
+        );
+        push_family(&mut families, &sample.name, "counter", &sample.help, line);
+    }
+    for sample in &snapshot.gauges {
+        let line = format!(
+            "{}{} {}",
+            sample.name,
+            label_block(&sample.labels, None),
+            sample.value
+        );
+        push_family(&mut families, &sample.name, "gauge", &sample.help, line);
+    }
+    for sample in &snapshot.histograms {
+        let mut lines = Vec::with_capacity(sample.bounds.len() + 3);
+        let mut cumulative = 0u64;
+        for (bound, bucket) in sample.bounds.iter().zip(&sample.buckets) {
+            cumulative = cumulative.saturating_add(*bucket);
+            lines.push(format!(
+                "{}_bucket{} {}",
+                sample.name,
+                label_block(&sample.labels, Some(("le", &bound.to_string()))),
+                cumulative
+            ));
+        }
+        lines.push(format!(
+            "{}_bucket{} {}",
+            sample.name,
+            label_block(&sample.labels, Some(("le", "+Inf"))),
+            sample.count
+        ));
+        lines.push(format!(
+            "{}_sum{} {}",
+            sample.name,
+            label_block(&sample.labels, None),
+            sample.sum
+        ));
+        lines.push(format!(
+            "{}_count{} {}",
+            sample.name,
+            label_block(&sample.labels, None),
+            sample.count
+        ));
+        for line in lines {
+            push_family(&mut families, &sample.name, "histogram", &sample.help, line);
+        }
+    }
+
+    families.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::new();
+    for (name, kind, help, lines) in families {
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(&help));
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for line in lines {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    out
+}
+
+fn push_family(
+    families: &mut Vec<(String, &'static str, String, Vec<String>)>,
+    name: &str,
+    kind: &'static str,
+    help: &str,
+    line: String,
+) {
+    if let Some(family) = families.iter_mut().find(|f| f.0 == name) {
+        family.3.push(line);
+    } else {
+        families.push((name.to_string(), kind, help.to_string(), vec![line]));
+    }
+}
+
+/// One parsed sample line: the canonical series key
+/// (`name{label="value",...}` with labels sorted) and its value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Canonical series identifier.
+    pub series: String,
+    /// Parsed sample value.
+    pub value: f64,
+}
+
+/// Parses (and thereby validates) a Prometheus text exposition. Every line
+/// must be empty, a well-formed `# HELP`/`# TYPE` comment, or a sample line
+/// matching the text-format grammar.
+///
+/// # Errors
+///
+/// A description of the first malformed line, 1-indexed.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            parse_comment(comment).map_err(|e| format!("line {lineno}: {e}"))?;
+            continue;
+        }
+        let sample = parse_sample(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        samples.push(sample);
+    }
+    Ok(samples)
+}
+
+/// Looks up a sample by canonical series key (`name` or
+/// `name{label="value",...}` with labels in sorted order).
+pub fn sample_value(samples: &[Sample], series: &str) -> Option<f64> {
+    samples.iter().find(|s| s.series == series).map(|s| s.value)
+}
+
+fn parse_comment(rest: &str) -> Result<(), String> {
+    let rest = rest.strip_prefix(' ').ok_or("expected a space after '#'")?;
+    if let Some(help) = rest.strip_prefix("HELP ") {
+        let (name, _) = help
+            .split_once(' ')
+            .ok_or("HELP needs a metric name and text")?;
+        validate_name_token(name)?;
+        return Ok(());
+    }
+    if let Some(typ) = rest.strip_prefix("TYPE ") {
+        let (name, kind) = typ.split_once(' ').ok_or("TYPE needs a name and a kind")?;
+        validate_name_token(name)?;
+        match kind {
+            "counter" | "gauge" | "histogram" | "summary" | "untyped" => Ok(()),
+            other => Err(format!("unknown metric type {other:?}")),
+        }
+    } else {
+        // Free-form comments are legal in the text format.
+        Ok(())
+    }
+}
+
+fn validate_name_token(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    let ok_first =
+        matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':');
+    if !ok_first || !chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    Ok(())
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let name_end = line
+        .find(['{', ' '])
+        .ok_or("sample line needs a value")?;
+    let name = &line[..name_end];
+    validate_name_token(name)?;
+    let mut labels: Vec<(String, String)> = Vec::new();
+    let rest = if line[name_end..].starts_with('{') {
+        let body_end = parse_labels(&line[name_end + 1..], &mut labels)?;
+        &line[name_end + 1 + body_end + 1..]
+    } else {
+        &line[name_end..]
+    };
+    let value_str = rest.trim_start_matches(' ');
+    if value_str.is_empty() {
+        return Err("missing sample value".to_string());
+    }
+    // Timestamps (a second field) are allowed by the grammar.
+    let mut fields = value_str.split(' ');
+    let value_token = fields.next().unwrap_or_default();
+    let value = match value_token {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v
+            .parse::<f64>()
+            .map_err(|_| format!("invalid sample value {v:?}"))?,
+    };
+    if let Some(ts) = fields.next() {
+        ts.parse::<i64>()
+            .map_err(|_| format!("invalid timestamp {ts:?}"))?;
+    }
+    labels.sort();
+    let series = if labels.is_empty() {
+        name.to_string()
+    } else {
+        let body: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+            .collect();
+        format!("{name}{{{}}}", body.join(","))
+    };
+    Ok(Sample { series, value })
+}
+
+/// Parses `k="v",...}`-style label bodies starting just after `{`; returns
+/// the byte offset of the closing `}` relative to the input.
+fn parse_labels(body: &str, labels: &mut Vec<(String, String)>) -> Result<usize, String> {
+    let bytes = body.as_bytes();
+    let mut i = 0usize;
+    loop {
+        if i >= bytes.len() {
+            return Err("unterminated label block".to_string());
+        }
+        if bytes[i] == b'}' {
+            return Ok(i);
+        }
+        // Label name.
+        let name_start = i;
+        while i < bytes.len() && bytes[i] != b'=' {
+            i += 1;
+        }
+        let name = &body[name_start..i];
+        let mut chars = name.chars();
+        let ok_first = matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_');
+        if !ok_first || !chars.all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("invalid label name {name:?}"));
+        }
+        i += 1; // '='
+        if i >= bytes.len() || bytes[i] != b'"' {
+            return Err("label value must be quoted".to_string());
+        }
+        i += 1; // '"'
+        let mut value = String::new();
+        loop {
+            if i >= bytes.len() {
+                return Err("unterminated label value".to_string());
+            }
+            match bytes[i] {
+                b'"' => break,
+                b'\\' => {
+                    i += 1;
+                    match bytes.get(i) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    i += 1;
+                }
+                _ => {
+                    // Advance one full UTF-8 character.
+                    let ch_len = body[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+                    value.push_str(&body[i..i + ch_len]);
+                    i += ch_len;
+                }
+            }
+        }
+        i += 1; // closing '"'
+        labels.push((name.to_string(), value));
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => return Ok(i),
+            _ => return Err("expected ',' or '}' after a label".to_string()),
+        }
+    }
+}

@@ -100,6 +100,12 @@ pub mod fleet {
     pub use ::fleet::*;
 }
 
+/// Metrics registry, snapshots and Prometheus-text exposition (re-export of
+/// `telemetry`).
+pub mod telemetry {
+    pub use ::telemetry::*;
+}
+
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use ::fleet::{
