@@ -23,12 +23,15 @@
 use std::process::ExitCode;
 
 use chris_bench::fleet_cli;
-use fleet::MergeAccumulator;
+use fleet::{MergeAccumulator, ReportMode};
 
-const USAGE: &str = "usage: fleet-merge [--json] [--per-device] [--metrics-out PATH] \
-     [--metrics-json] SHARD.json...\n\
+const USAGE: &str = "usage: fleet-merge [--json] [--per-device] [--report-mode NAME] \
+     [--metrics-out PATH] [--metrics-json] SHARD.json...\n\
        --json          print the merged aggregate report as JSON instead of text\n\
        --per-device    also print one line per device\n\
+       --report-mode NAME  force the aggregation mode: exact | sketch (default: the mode\n\
+                       the shard artifacts declare; forcing sketch rolls an exact\n\
+                       artifact set up through O(log devices) quantile sketches)\n\
        {METRICS}\n\
      Positional arguments are shard artifacts written by fleet-shard, in any order.\n\
      The --metrics flags emit the shards' embedded telemetry snapshots folded into one\n\
@@ -41,6 +44,7 @@ fn usage() -> String {
 struct Args {
     json: bool,
     per_device: bool,
+    report_mode: Option<ReportMode>,
     metrics: fleet_cli::MetricsArgs,
     paths: Vec<String>,
 }
@@ -49,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         json: false,
         per_device: false,
+        report_mode: None,
         metrics: fleet_cli::MetricsArgs::default(),
         paths: Vec::new(),
     };
@@ -60,6 +65,15 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--json" => args.json = true,
             "--per-device" => args.per_device = true,
+            "--report-mode" => {
+                let name = fleet_cli::flag_value("--report-mode", &mut it)?;
+                args.report_mode = Some(ReportMode::from_name(&name).ok_or_else(|| {
+                    format!(
+                        "unknown report mode `{name}`; expected one of {}",
+                        ReportMode::NAMES.join(", ")
+                    )
+                })?);
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -126,7 +140,10 @@ fn main() -> ExitCode {
     // Fold pass: one artifact resident at a time. Device lines are
     // pre-rendered during the fold (only when requested) so no report needs
     // to be retained for printing later.
-    let mut accumulator = MergeAccumulator::new();
+    let mut accumulator = match args.report_mode {
+        Some(mode) => MergeAccumulator::with_mode(mode),
+        None => MergeAccumulator::new(),
+    };
     let mut device_lines = Vec::new();
     for shard in &scanned {
         let artifact = match fleet_cli::read_shard_report(&shard.path) {
@@ -150,6 +167,7 @@ fn main() -> ExitCode {
         .metrics
         .enabled()
         .then(|| accumulator.telemetry().clone());
+    let sketch = accumulator.sketch_info();
     let report = match accumulator.finalize() {
         Ok(report) => report,
         Err(e) => {
@@ -159,7 +177,16 @@ fn main() -> ExitCode {
     };
 
     if args.json {
-        match serde_json::to_string_pretty(&report) {
+        // Same envelope rule as `fleet --json`: sketch merges carry their
+        // accuracy diagnostics, exact merges keep the bare-report shape.
+        let json = match sketch {
+            Some(sketch) => serde_json::to_string_pretty(&fleet::SketchedReport {
+                sketch,
+                report: report.clone(),
+            }),
+            None => serde_json::to_string_pretty(&report),
+        };
+        match json {
             Ok(json) => println!("{json}"),
             Err(e) => {
                 eprintln!("serializing the report failed: {e}");
@@ -173,6 +200,9 @@ fn main() -> ExitCode {
             scanned.len()
         );
         println!("{report}");
+        if let Some(sketch) = &sketch {
+            println!("{}", fleet_cli::sketch_note(sketch));
+        }
         if args.per_device {
             println!();
             for line in &device_lines {

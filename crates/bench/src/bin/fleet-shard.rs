@@ -30,8 +30,8 @@ struct Args {
 }
 
 const USAGE: &str = "usage: fleet-shard --shards K --shard-index I [--devices N] [--threads N] \
-     [--seed N] [--mix NAME] [--profile-cache] [--metrics-out PATH] [--metrics-json] \
-     [--out PATH] [--progress]\n\
+     [--seed N] [--mix NAME] [--profile-cache] [--report-mode NAME] [--metrics-out PATH] \
+     [--metrics-json] [--out PATH] [--progress]\n\
      {COMMON}\n\
        --shards K      number of contiguous shards the fleet is split into (default 1)\n\
        --shard-index I which shard to simulate, 0-based (default 0)\n\

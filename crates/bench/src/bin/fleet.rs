@@ -26,7 +26,8 @@ struct Args {
 }
 
 const USAGE: &str = "usage: fleet [--devices N] [--threads N] [--seed N] [--mix NAME] \
-     [--profile-cache] [--metrics-out PATH] [--metrics-json] [--json] [--per-device] [--progress]\n\
+     [--profile-cache] [--report-mode NAME] [--metrics-out PATH] [--metrics-json] [--json] \
+     [--per-device] [--progress]\n\
      {COMMON}\n\
        --json          print the aggregate report as JSON instead of text\n\
        --per-device    also print one line per device\n\
@@ -108,7 +109,17 @@ fn main() -> ExitCode {
     let run_time = run_start.elapsed();
 
     if args.json {
-        match serde_json::to_string_pretty(&outcome.report) {
+        // Sketch runs wrap the report in an envelope carrying the accuracy
+        // diagnostics; exact runs keep the bare-report JSON shape (and its
+        // byte-stability against the golden fixture).
+        let json = match outcome.sketch {
+            Some(sketch) => serde_json::to_string_pretty(&fleet::SketchedReport {
+                sketch,
+                report: outcome.report.clone(),
+            }),
+            None => serde_json::to_string_pretty(&outcome.report),
+        };
+        match json {
             Ok(json) => println!("{json}"),
             Err(e) => {
                 eprintln!("serializing the report failed: {e}");
@@ -121,6 +132,9 @@ fn main() -> ExitCode {
             args.common.seed, args.common.mix_name, args.common.devices
         );
         println!("{}", outcome.report);
+        if let Some(sketch) = &outcome.sketch {
+            println!("{}", fleet_cli::sketch_note(sketch));
+        }
         if args.per_device {
             println!();
             for d in &outcome.devices {

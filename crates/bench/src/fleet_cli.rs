@@ -12,7 +12,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use fleet::{ProgressSink, ScenarioMix};
+use fleet::{ProgressSink, ReportMode, ScenarioMix};
 
 /// The flags shared by every fleet binary, with their defaults.
 #[derive(Debug, Clone)]
@@ -31,6 +31,10 @@ pub struct FleetArgs {
     /// (`--profile-cache`). Purely a performance knob: reports are
     /// byte-identical with the cache on or off.
     pub profile_cache: bool,
+    /// Aggregation mode (`--report-mode exact|sketch`): exact per-device
+    /// order statistics (the default) or O(log devices) mergeable quantile
+    /// sketches with a surfaced rank-error bound.
+    pub report_mode: ReportMode,
     /// Telemetry output selection (`--metrics-out`, `--metrics-json`).
     pub metrics: MetricsArgs,
 }
@@ -44,6 +48,7 @@ impl Default for FleetArgs {
             mix: ScenarioMix::balanced(),
             mix_name: "balanced".to_string(),
             profile_cache: false,
+            report_mode: ReportMode::Exact,
             metrics: MetricsArgs::default(),
         }
     }
@@ -143,6 +148,7 @@ impl FleetArgs {
         fleet::ExecutorOptions {
             threads: self.threads,
             profile_cache: self.profile_cache.then_some(capacity),
+            report_mode: self.report_mode,
             ..fleet::ExecutorOptions::default()
         }
     }
@@ -170,6 +176,8 @@ pub const COMMON_USAGE: &str = "--devices N     number of simulated devices (def
        --mix NAME      scenario mix: balanced | harsh | connected | cohort (default balanced)\n\
        --profile-cache memoize synthesized window streams per worker (identical output,\n\
                        faster on fleets with repeated subject/activity profiles, e.g. --mix cohort)\n\
+       --report-mode NAME  aggregation mode: exact | sketch (default exact; sketch folds\n\
+                       percentiles through O(log devices) mergeable quantile sketches)\n\
        --metrics-out PATH  write run telemetry as Prometheus text exposition to PATH\n\
        --metrics-json  print the telemetry snapshot as one JSON line to stderr";
 
@@ -346,6 +354,19 @@ pub fn device_line(d: &fleet::DeviceReport) -> String {
     )
 }
 
+/// Formats the one-line sketch-accuracy note printed (to stdout, under the
+/// text report) by `fleet` and `fleet-merge` when a run aggregated in sketch
+/// mode, so the two renderings cannot drift apart.
+pub fn sketch_note(info: &fleet::SketchInfo) -> String {
+    format!(
+        "  sketch: percentiles within ±{} ranks ({:.3} % of {} retained samples, {} compactions)",
+        info.max_rank_error,
+        info.rank_error_fraction * 100.0,
+        info.retained_samples,
+        info.compactions,
+    )
+}
+
 /// Tries to consume one of the common fleet flags.
 ///
 /// Returns `Ok(true)` when `flag` (and, where applicable, its value) was
@@ -375,6 +396,15 @@ pub fn parse_common(
             args.mix_name = name;
         }
         "--profile-cache" => args.profile_cache = true,
+        "--report-mode" => {
+            let name = flag_value(flag, it)?;
+            args.report_mode = ReportMode::from_name(&name).ok_or_else(|| {
+                format!(
+                    "unknown report mode `{name}`; expected one of {}",
+                    ReportMode::NAMES.join(", ")
+                )
+            })?;
+        }
         _ => return parse_metrics(&mut args.metrics, flag, it),
     }
     Ok(true)
@@ -413,6 +443,38 @@ mod tests {
         assert_eq!(args.seed, 7);
         assert_eq!(args.mix_name, "harsh");
         assert_eq!(args.mix, ScenarioMix::harsh());
+    }
+
+    #[test]
+    fn report_mode_flag_is_parsed_and_threaded_through() {
+        let default = parse_all(&[]).unwrap();
+        assert_eq!(default.report_mode, ReportMode::Exact);
+        assert_eq!(default.executor_options().report_mode, ReportMode::Exact);
+
+        let sketch = parse_all(&["--report-mode", "sketch"]).unwrap();
+        assert_eq!(sketch.report_mode, ReportMode::Sketch);
+        assert_eq!(sketch.executor_options().report_mode, ReportMode::Sketch);
+
+        let err = parse_all(&["--report-mode", "fuzzy"]).unwrap_err();
+        assert!(err.contains("fuzzy"));
+        assert!(err.contains("exact, sketch"));
+        assert!(parse_all(&["--report-mode"])
+            .unwrap_err()
+            .contains("--report-mode"));
+    }
+
+    #[test]
+    fn sketch_note_renders_the_error_bound() {
+        let note = sketch_note(&fleet::SketchInfo {
+            max_rank_error: 24,
+            rank_error_fraction: 0.0125,
+            retained_samples: 512,
+            compactions: 7,
+        });
+        assert!(note.contains("±24 ranks"));
+        assert!(note.contains("1.250 %"));
+        assert!(note.contains("512 retained"));
+        assert!(note.contains("7 compactions"));
     }
 
     #[test]
@@ -468,6 +530,7 @@ mod tests {
                 engine_version: fleet::ENGINE_VERSION.to_string(),
                 master_seed: 7,
                 mix: ScenarioMix::balanced(),
+                report_mode: ReportMode::Exact,
                 fleet_devices: 2,
                 shard_count: 1,
                 shard_index: 0,

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::report::ReportMode;
+
 /// Errors produced while generating scenarios or running a fleet.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FleetError {
@@ -91,6 +93,13 @@ pub enum MergeError {
     },
     /// Shards disagree on the scenario mix.
     MixMismatch,
+    /// Shards disagree on the report mode (exact vs. sketch aggregation).
+    ReportModeMismatch {
+        /// Report mode of the first shard (or the mode forced on the merger).
+        expected: ReportMode,
+        /// Conflicting report mode.
+        found: ReportMode,
+    },
     /// Shards disagree on the total fleet size.
     FleetSizeMismatch {
         /// Fleet size of the first shard.
@@ -155,6 +164,14 @@ impl fmt::Display for MergeError {
             }
             MergeError::MixMismatch => {
                 write!(f, "shards were generated from different scenario mixes")
+            }
+            MergeError::ReportModeMismatch { expected, found } => {
+                write!(
+                    f,
+                    "report mode mismatch: expected {}, found {}",
+                    expected.name(),
+                    found.name()
+                )
             }
             MergeError::FleetSizeMismatch { expected, found } => {
                 write!(
@@ -261,6 +278,11 @@ mod tests {
         assert!(e.to_string().contains("[4, 12)"));
         let e = MergeError::MissingDevices { start: 8, end: 16 };
         assert!(e.to_string().contains("[8, 16)"));
+        let e = MergeError::ReportModeMismatch {
+            expected: ReportMode::Exact,
+            found: ReportMode::Sketch,
+        };
+        assert!(e.to_string().contains("expected exact, found sketch"));
         let wrapped: FleetError = MergeError::NoShards.into();
         assert!(wrapped.to_string().contains("merge"));
         use std::error::Error;

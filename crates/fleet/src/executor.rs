@@ -37,7 +37,7 @@ use telemetry::Stability;
 
 use crate::error::FleetError;
 use crate::progress::{ProgressSink, ProgressSource};
-use crate::report::DeviceReport;
+use crate::report::{DeviceReport, ReportMode};
 use crate::scenario::{DeviceScenario, ScenarioGenerator};
 
 /// Instrumentation gauges for scenario materialization.
@@ -179,6 +179,13 @@ pub struct ExecutorOptions {
     /// Reports are byte-identical for every setting; the merged hit/miss
     /// counters surface through [`ProgressSink::profile_cache`].
     pub profile_cache: Option<usize>,
+    /// How the run's device reports are aggregated:
+    /// [`ReportMode::Exact`] keeps every per-device sample (O(devices)
+    /// memory), [`ReportMode::Sketch`] folds them into mergeable
+    /// [`crate::QuantileSketch`]es with a surfaced worst-case rank-error
+    /// bound (O(log devices) memory). The mode is stamped into
+    /// [`crate::ShardMeta`], so artifact sets cannot silently mix modes.
+    pub report_mode: ReportMode,
 }
 
 impl Default for ExecutorOptions {
@@ -187,6 +194,7 @@ impl Default for ExecutorOptions {
             threads: 0,
             chunk_size: 8,
             profile_cache: None,
+            report_mode: ReportMode::Exact,
         }
     }
 }

@@ -74,6 +74,7 @@ pub mod progress;
 pub mod report;
 pub mod scenario;
 pub mod shard;
+pub mod sketch;
 
 pub use error::{FleetError, MergeError};
 pub use executor::{
@@ -84,10 +85,12 @@ pub use executor::{
 pub use merge::{merge, merge_stream, MergeAccumulator};
 pub use progress::{ProgressSink, ProgressSource};
 pub use report::{
-    DeviceReport, DistributionSummary, FleetAccumulator, FleetReport, OFFLOAD_HISTOGRAM_BINS,
+    DeviceReport, DistributionSummary, FleetAccumulator, FleetReport, ReportMode, SketchInfo,
+    SketchedReport, OFFLOAD_HISTOGRAM_BINS,
 };
 pub use scenario::{DeviceScenario, ScenarioGenerator, ScenarioMix};
 pub use shard::{ShardMeta, ShardProvenance, ShardReport, ShardSpec, ENGINE_VERSION};
+pub use sketch::{QuantileSketch, DEFAULT_SKETCH_CAPACITY};
 
 use chris_core::{DecisionEngine, Profiler, ProfilingOptions};
 use ppg_data::DatasetBuilder;
@@ -107,6 +110,10 @@ pub struct FleetOutcome {
     /// by backend, model invocations. Identical for any thread count and any
     /// shard partition of the same fleet.
     pub telemetry: MetricsSnapshot,
+    /// Sketch accuracy/footprint diagnostics, `Some` iff the run aggregated
+    /// in [`ReportMode::Sketch`]: the worst-case rank error of the reported
+    /// percentiles, the retained-sample footprint and the compaction count.
+    pub sketch: Option<SketchInfo>,
 }
 
 /// High-level entry point tying the three layers together.
@@ -324,6 +331,7 @@ impl FleetSimulation {
                 engine_version: ENGINE_VERSION.to_string(),
                 master_seed: self.generator.master_seed(),
                 mix: *self.generator.mix(),
+                report_mode: options.report_mode,
                 fleet_devices: spec.devices(),
                 shard_count: spec.shards(),
                 shard_index: index,

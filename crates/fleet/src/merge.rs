@@ -27,7 +27,7 @@
 use telemetry::MetricsSnapshot;
 
 use crate::error::MergeError;
-use crate::report::{FleetAccumulator, FleetReport};
+use crate::report::{FleetAccumulator, FleetReport, ReportMode, SketchInfo};
 use crate::shard::{ShardMeta, ShardReport, ENGINE_VERSION};
 use crate::FleetOutcome;
 
@@ -46,14 +46,44 @@ pub struct MergeAccumulator {
     cursor: u64,
     /// Last non-empty range folded, for overlap diagnostics.
     previous: Option<(u64, u64)>,
+    /// Aggregation mode pinned by the caller; `None` adopts the mode
+    /// declared by the first pushed shard.
+    forced_mode: Option<ReportMode>,
     fleet: FleetAccumulator,
     telemetry: MetricsSnapshot,
 }
 
 impl MergeAccumulator {
-    /// Creates an empty accumulator.
+    /// Creates an empty accumulator that adopts the report mode declared by
+    /// the first pushed shard.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty accumulator pinned to `mode`, regardless of what the
+    /// pushed shards declare. Shards still have to agree with *each other*
+    /// ([`MergeError::ReportModeMismatch`] otherwise) — a forced mode only
+    /// selects how the merger re-aggregates their device reports, which is
+    /// how an exact artifact set can be rolled up as a sketch.
+    pub fn with_mode(mode: ReportMode) -> Self {
+        Self {
+            forced_mode: Some(mode),
+            fleet: FleetAccumulator::with_mode(mode),
+            ..Self::default()
+        }
+    }
+
+    /// The aggregation mode the accumulator folds under. Before the first
+    /// push this is the forced mode, or [`ReportMode::Exact`] by default.
+    pub fn mode(&self) -> ReportMode {
+        self.fleet.mode()
+    }
+
+    /// Sketch accuracy/footprint diagnostics, `Some` iff the accumulator is
+    /// folding in [`ReportMode::Sketch`]. Read before
+    /// [`MergeAccumulator::finalize`], which consumes the accumulator.
+    pub fn sketch_info(&self) -> Option<SketchInfo> {
+        self.fleet.sketch_info()
     }
 
     /// Device-id coverage so far: every id below the cursor has been folded.
@@ -117,6 +147,12 @@ impl MergeAccumulator {
                     found: meta.shard_count,
                 });
             }
+            if meta.report_mode != reference.report_mode {
+                return Err(MergeError::ReportModeMismatch {
+                    expected: reference.report_mode,
+                    found: meta.report_mode,
+                });
+            }
         }
         validate_shard_devices(shard)?;
         if meta.start < self.cursor {
@@ -143,6 +179,15 @@ impl MergeAccumulator {
                     detail: e.to_string(),
                 })?;
 
+        // The first accepted shard decides the fold mode (unless the caller
+        // pinned one); all validation is behind us, so swapping the empty
+        // accumulator here cannot lose samples.
+        if self.reference.is_none() && self.forced_mode.is_none() {
+            let mode = meta.report_mode;
+            if mode != self.fleet.mode() {
+                self.fleet = FleetAccumulator::with_mode(mode);
+            }
+        }
         for device in &shard.devices {
             self.fleet.push(device);
         }
@@ -214,7 +259,8 @@ where
 /// [`MergeError::NoShards`], a provenance mismatch
 /// ([`MergeError::VersionMismatch`], [`MergeError::SeedMismatch`],
 /// [`MergeError::MixMismatch`], [`MergeError::FleetSizeMismatch`],
-/// [`MergeError::ShardCountMismatch`]), an internally inconsistent artifact
+/// [`MergeError::ShardCountMismatch`],
+/// [`MergeError::ReportModeMismatch`]), an internally inconsistent artifact
 /// ([`MergeError::CorruptShard`]) or bad coverage
 /// ([`MergeError::OverlappingShards`], [`MergeError::MissingDevices`]).
 pub fn merge(mut shards: Vec<ShardReport>) -> Result<FleetOutcome, MergeError> {
@@ -256,6 +302,12 @@ pub fn merge(mut shards: Vec<ShardReport>) -> Result<FleetOutcome, MergeError> {
                 found: meta.shard_count,
             });
         }
+        if meta.report_mode != reference.report_mode {
+            return Err(MergeError::ReportModeMismatch {
+                expected: reference.report_mode,
+                found: meta.report_mode,
+            });
+        }
         validate_shard_devices(shard)?;
     }
 
@@ -276,11 +328,13 @@ pub fn merge(mut shards: Vec<ShardReport>) -> Result<FleetOutcome, MergeError> {
         devices.extend(shard.devices);
     }
     let telemetry = accumulator.telemetry().clone();
+    let sketch = accumulator.sketch_info();
     let report = accumulator.finalize()?;
     Ok(FleetOutcome {
         report,
         devices,
         telemetry,
+        sketch,
     })
 }
 
@@ -359,6 +413,7 @@ mod tests {
                 engine_version: ENGINE_VERSION.to_string(),
                 master_seed: 42,
                 mix: ScenarioMix::balanced(),
+                report_mode: ReportMode::Exact,
                 fleet_devices,
                 shard_count,
                 shard_index: index,
@@ -540,6 +595,47 @@ mod tests {
                 .telemetry()
                 .counter_value("chris_windows_total", &[]),
             Some(10)
+        );
+    }
+
+    #[test]
+    fn sketch_mode_shards_merge_to_the_direct_sketch_fold() {
+        let mut a = shard(8, 2, 0, 0, 4);
+        let mut b = shard(8, 2, 1, 4, 8);
+        a.meta.report_mode = ReportMode::Sketch;
+        b.meta.report_mode = ReportMode::Sketch;
+        let merged = merge(vec![a.clone(), b]).unwrap();
+        let direct: Vec<_> = (0..8).map(device).collect();
+        assert_eq!(
+            merged.report,
+            FleetReport::from_devices_with_mode(&direct, ReportMode::Sketch)
+        );
+        assert!(merged.sketch.is_some());
+
+        // Mixed-mode artifact sets are refused, batch and streaming alike,
+        // and the failed push leaves the accumulator unchanged.
+        let exact = shard(8, 2, 1, 4, 8);
+        let mismatch = MergeError::ReportModeMismatch {
+            expected: ReportMode::Sketch,
+            found: ReportMode::Exact,
+        };
+        assert_eq!(merge(vec![a.clone(), exact.clone()]).unwrap_err(), mismatch);
+        let mut accumulator = MergeAccumulator::new();
+        accumulator.push(&a).unwrap();
+        assert_eq!(accumulator.mode(), ReportMode::Sketch);
+        assert_eq!(accumulator.push(&exact).unwrap_err(), mismatch);
+        assert_eq!(accumulator.cursor(), 4);
+
+        // A forced mode re-aggregates an exact artifact set as a sketch.
+        let mut forced = MergeAccumulator::with_mode(ReportMode::Sketch);
+        assert_eq!(forced.mode(), ReportMode::Sketch);
+        for piece in [shard(8, 2, 0, 0, 4), shard(8, 2, 1, 4, 8)] {
+            forced.push(&piece).unwrap();
+        }
+        assert!(forced.sketch_info().is_some());
+        assert_eq!(
+            forced.finalize().unwrap(),
+            FleetReport::from_devices_with_mode(&direct, ReportMode::Sketch)
         );
     }
 

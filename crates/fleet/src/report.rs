@@ -11,9 +11,20 @@
 //! fleet's report is byte-identical no matter how many threads produced the
 //! device reports, and, because [`crate::merge`] feeds id-ordered shard
 //! artifacts through the same accumulator, no matter how many *processes or
-//! hosts* produced them either. Percentiles are exact nearest-rank order
-//! statistics with the rank computed in integer arithmetic
-//! ([`DistributionSummary::nearest_rank_index`]).
+//! hosts* produced them either.
+//!
+//! Aggregation runs in one of two [`ReportMode`]s:
+//!
+//! * [`ReportMode::Exact`] (the default): percentiles are exact nearest-rank
+//!   order statistics with the rank computed in integer arithmetic
+//!   ([`DistributionSummary::nearest_rank_index`]), at the cost of three
+//!   `f64` samples retained per device — O(devices) memory,
+//! * [`ReportMode::Sketch`]: each quantity streams into a deterministic
+//!   [`crate::sketch::QuantileSketch`], so the accumulator retains
+//!   O(capacity · log devices) samples and the report's percentiles carry a
+//!   surfaced worst-case rank-error bound ([`SketchInfo`]). Sketch-mode
+//!   reports keep the same byte-identity guarantee: any tiling of the fleet
+//!   into shards, merged in any order, serializes identically.
 
 use std::collections::BTreeMap;
 
@@ -21,10 +32,86 @@ use chris_core::config::EnergyAccounting;
 use chris_core::decision::UserConstraint;
 use hw_sim::units::Energy;
 use serde::{Deserialize, Serialize};
+use telemetry::Stability;
+
+use crate::sketch::{
+    QuantileSketch, SKETCH_COMPACTIONS_HELP, SKETCH_COMPACTIONS_SERIES, SKETCH_RETAINED_HELP,
+    SKETCH_RETAINED_SERIES,
+};
 
 /// Number of bins of the offload-fraction histogram (equal width over
 /// `[0, 1]`).
 pub const OFFLOAD_HISTOGRAM_BINS: usize = 10;
+
+/// How fleet-level distributions are aggregated (see the [module
+/// docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReportMode {
+    /// Exact nearest-rank order statistics; three `f64` samples retained per
+    /// device. The default.
+    #[default]
+    Exact,
+    /// Deterministic mergeable quantile sketches; O(log devices) retained
+    /// samples, percentiles within a surfaced worst-case rank-error bound.
+    Sketch,
+}
+
+impl ReportMode {
+    /// Looks a mode up by CLI name (`exact`, `sketch`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "exact" => Some(Self::Exact),
+            "sketch" => Some(Self::Sketch),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of the mode.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Exact => "exact",
+            Self::Sketch => "sketch",
+        }
+    }
+
+    /// The names accepted by [`ReportMode::from_name`].
+    pub const NAMES: [&'static str; 2] = ["exact", "sketch"];
+}
+
+/// Accuracy and footprint annotation of a sketch-mode aggregation: one
+/// record covers all three sketched quantities (MAE, watch energy, battery
+/// life), whose compaction schedules are identical because they see the same
+/// device-id sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SketchInfo {
+    /// Worst-case absolute rank error of any reported percentile, in device
+    /// ranks: the value reported as the `p`th percentile has true rank
+    /// within `max_rank_error` of the exact nearest rank.
+    pub max_rank_error: u64,
+    /// [`SketchInfo::max_rank_error`] as a fraction of the fleet (zero for
+    /// an empty fleet).
+    pub rank_error_fraction: f64,
+    /// Samples retained across the three sketches — the aggregation's
+    /// memory footprint, O(log devices) instead of the exact mode's
+    /// O(devices).
+    pub retained_samples: usize,
+    /// Sketch compactions performed while aggregating.
+    pub compactions: u64,
+}
+
+/// Sketch-mode report envelope: what `fleet --report-mode sketch --json` and
+/// a sketch-mode `fleet-merge --json` print — the aggregate report together
+/// with the sketch's error-bound annotation, so a consumer can never mistake
+/// sketched percentiles for exact ones. (Exact-mode output stays a bare
+/// [`FleetReport`], byte-identical to every previous release.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SketchedReport {
+    /// Accuracy and footprint of the sketch aggregation.
+    pub sketch: SketchInfo,
+    /// The aggregate report; its three [`DistributionSummary`] percentiles
+    /// are sketch estimates within [`SketchInfo::max_rank_error`] ranks.
+    pub report: FleetReport,
+}
 
 /// Distilled outcome of one device's simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -136,19 +223,25 @@ const EMPTY_SUMMARY: DistributionSummary = DistributionSummary {
 
 /// Offload-histogram bin of one device's offload fraction.
 ///
-/// NaN is handled explicitly instead of relying on the silent `as usize`
-/// saturation: a NaN fraction (impossible for reports produced by the
-/// executor, whose fractions are ratios of window counts) trips a debug
-/// assertion, and in release builds is deterministically clamped into bin 0 —
-/// the same "make NaN a loud, deterministic policy" treatment the decision
-/// engine applies with `total_cmp`.
+/// Every non-fraction is handled explicitly instead of relying on the silent
+/// `as usize` saturation: a fraction outside `[0, 1]` — NaN, negative, or
+/// infinite (impossible for reports produced by the executor, whose
+/// fractions are ratios of window counts) — trips a debug assertion, and in
+/// release builds is deterministically clamped: NaN and negatives into bin
+/// 0, values at or above 1 into the last bin — the same "make bad floats a
+/// loud, deterministic policy" treatment the decision engine applies with
+/// `total_cmp`.
 fn offload_bin(fraction: f32) -> usize {
     debug_assert!(
-        !fraction.is_nan(),
-        "device offload_fraction is NaN; upstream fraction accounting is broken"
+        fraction.is_finite() && (0.0..=1.0).contains(&fraction),
+        "device offload_fraction {fraction} outside [0, 1]; \
+         upstream fraction accounting is broken"
     );
-    if fraction.is_nan() {
+    if fraction.is_nan() || fraction < 0.0 {
         return 0;
+    }
+    if fraction >= 1.0 {
+        return OFFLOAD_HISTOGRAM_BINS - 1;
     }
     ((f64::from(fraction) * OFFLOAD_HISTOGRAM_BINS as f64) as usize).min(OFFLOAD_HISTOGRAM_BINS - 1)
 }
@@ -158,21 +251,24 @@ fn offload_bin(fraction: f32) -> usize {
 /// to [`FleetReport::from_devices`] over the same sequence (which is itself
 /// implemented as a fold through this type, so the two can never drift).
 ///
-/// The accumulator keeps only what the final report needs: three `f64`
-/// order-statistic samples per device (MAE, watch energy, battery life) plus
-/// fixed-size running reductions — not the `DeviceReport`s themselves. That
-/// is what lets [`crate::merge`] consume shard artifacts incrementally: each
-/// artifact is folded and dropped, and peak memory is one artifact plus the
-/// per-device scalars instead of every artifact at once.
+/// The accumulator keeps only what the final report needs — in
+/// [`ReportMode::Exact`] three `f64` order-statistic samples per device
+/// (MAE, watch energy, battery life), in [`ReportMode::Sketch`] three
+/// O(log devices) [`QuantileSketch`]es — plus fixed-size running reductions,
+/// never the `DeviceReport`s themselves. That is what lets [`crate::merge`]
+/// consume shard artifacts incrementally: each artifact is folded and
+/// dropped, and peak memory is one artifact plus the retained samples
+/// instead of every artifact at once.
 ///
 /// All floating-point reductions happen in push order, so feeding devices in
 /// id order reproduces the fixed reduction order the byte-identity guarantee
-/// of sharded execution rests on.
+/// of sharded execution rests on. Sketch mode is *additionally* invariant to
+/// how the id range was tiled: sketches are keyed to absolute device ids, so
+/// merged shard sketches canonicalize to the single-process state byte for
+/// byte (see [`crate::sketch`]).
 #[derive(Debug, Clone)]
 pub struct FleetAccumulator {
-    maes: Vec<f64>,
-    watch_energies: Vec<f64>,
-    battery_lives: Vec<f64>,
+    samples: SampleStore,
     total_windows: usize,
     offloaded_windows: f64,
     disconnected_windows: f64,
@@ -184,14 +280,65 @@ pub struct FleetAccumulator {
     accounting_mix: BTreeMap<String, usize>,
 }
 
+/// Per-quantity sample storage of one [`FleetAccumulator`], switched by
+/// [`ReportMode`].
+#[derive(Debug, Clone)]
+enum SampleStore {
+    /// Full order-statistic samples: O(devices) memory, exact percentiles.
+    Exact {
+        maes: Vec<f64>,
+        watch_energies: Vec<f64>,
+        battery_lives: Vec<f64>,
+    },
+    /// Quantile sketches: O(log devices) memory, bounded rank error.
+    Sketch {
+        maes: QuantileSketch,
+        watch_energies: QuantileSketch,
+        battery_lives: QuantileSketch,
+    },
+}
+
+impl SampleStore {
+    fn new(mode: ReportMode, sketch_capacity: usize) -> Self {
+        match mode {
+            ReportMode::Exact => Self::Exact {
+                maes: Vec::new(),
+                watch_energies: Vec::new(),
+                battery_lives: Vec::new(),
+            },
+            ReportMode::Sketch => Self::Sketch {
+                maes: QuantileSketch::with_capacity(sketch_capacity),
+                watch_energies: QuantileSketch::with_capacity(sketch_capacity),
+                battery_lives: QuantileSketch::with_capacity(sketch_capacity),
+            },
+        }
+    }
+}
+
 impl FleetAccumulator {
-    /// Creates an empty accumulator; finalizing it immediately yields the
-    /// same all-zero report as `FleetReport::from_devices(&[])`.
+    /// Creates an empty exact-mode accumulator; finalizing it immediately
+    /// yields the same all-zero report as `FleetReport::from_devices(&[])`.
     pub fn new() -> Self {
+        Self::with_mode(ReportMode::Exact)
+    }
+
+    /// Creates an empty accumulator in the given [`ReportMode`] (sketch mode
+    /// at [`crate::sketch::DEFAULT_SKETCH_CAPACITY`]).
+    pub fn with_mode(mode: ReportMode) -> Self {
+        Self::build(mode, crate::sketch::DEFAULT_SKETCH_CAPACITY)
+    }
+
+    /// Creates an empty sketch-mode accumulator with an explicit sketch
+    /// capacity — for tests and accuracy/memory tuning. All accumulators
+    /// whose outputs will ever be compared byte-for-byte must share one
+    /// capacity (the production paths always use the default).
+    pub fn sketch_with_capacity(capacity: usize) -> Self {
+        Self::build(ReportMode::Sketch, capacity)
+    }
+
+    fn build(mode: ReportMode, sketch_capacity: usize) -> Self {
         Self {
-            maes: Vec::new(),
-            watch_energies: Vec::new(),
-            battery_lives: Vec::new(),
+            samples: SampleStore::new(mode, sketch_capacity),
             total_windows: 0,
             offloaded_windows: 0.0,
             disconnected_windows: 0.0,
@@ -204,9 +351,54 @@ impl FleetAccumulator {
         }
     }
 
+    /// The aggregation mode the accumulator was created in.
+    pub fn mode(&self) -> ReportMode {
+        match &self.samples {
+            SampleStore::Exact { .. } => ReportMode::Exact,
+            SampleStore::Sketch { .. } => ReportMode::Sketch,
+        }
+    }
+
+    /// The sketch annotation of the devices folded so far; `None` in exact
+    /// mode. Read it before [`FleetAccumulator::finalize`], which consumes
+    /// the accumulator.
+    pub fn sketch_info(&self) -> Option<SketchInfo> {
+        match &self.samples {
+            SampleStore::Exact { .. } => None,
+            SampleStore::Sketch {
+                maes,
+                watch_energies,
+                battery_lives,
+            } => {
+                let max_rank_error = maes
+                    .rank_error_bound()
+                    .max(watch_energies.rank_error_bound())
+                    .max(battery_lives.rank_error_bound());
+                let count = maes.count();
+                Some(SketchInfo {
+                    max_rank_error,
+                    rank_error_fraction: if count == 0 {
+                        0.0
+                    } else {
+                        max_rank_error as f64 / count as f64
+                    },
+                    retained_samples: maes.retained()
+                        + watch_energies.retained()
+                        + battery_lives.retained(),
+                    compactions: maes.compactions()
+                        + watch_energies.compactions()
+                        + battery_lives.compactions(),
+                })
+            }
+        }
+    }
+
     /// Number of devices folded so far.
     pub fn devices(&self) -> usize {
-        self.maes.len()
+        match &self.samples {
+            SampleStore::Exact { maes, .. } => maes.len(),
+            SampleStore::Sketch { maes, .. } => usize::try_from(maes.count()).unwrap_or(usize::MAX),
+        }
     }
 
     /// Total windows across the devices folded so far.
@@ -215,12 +407,30 @@ impl FleetAccumulator {
     }
 
     /// Folds one device into the aggregate. Callers must push devices in
-    /// id order to preserve the byte-identity of the finalized report.
+    /// id order to preserve the byte-identity of the finalized report (in
+    /// sketch mode each device id must additionally be pushed at most once —
+    /// ids are the sketches' dyadic coordinates).
     pub fn push(&mut self, device: &DeviceReport) {
-        self.maes.push(f64::from(device.mae_bpm));
-        self.watch_energies
-            .push(device.avg_watch_energy.as_microjoules());
-        self.battery_lives.push(device.battery_life_hours);
+        match &mut self.samples {
+            SampleStore::Exact {
+                maes,
+                watch_energies,
+                battery_lives,
+            } => {
+                maes.push(f64::from(device.mae_bpm));
+                watch_energies.push(device.avg_watch_energy.as_microjoules());
+                battery_lives.push(device.battery_life_hours);
+            }
+            SampleStore::Sketch {
+                maes,
+                watch_energies,
+                battery_lives,
+            } => {
+                maes.insert(device.device_id, f64::from(device.mae_bpm));
+                watch_energies.insert(device.device_id, device.avg_watch_energy.as_microjoules());
+                battery_lives.insert(device.device_id, device.battery_life_hours);
+            }
+        }
         self.total_windows += device.windows;
         self.offloaded_windows += f64::from(device.offload_fraction) * device.windows as f64;
         self.disconnected_windows +=
@@ -248,16 +458,73 @@ impl FleetAccumulator {
     }
 
     /// Finalizes the aggregate into the population report.
+    ///
+    /// In sketch mode the three [`DistributionSummary`] percentiles are
+    /// sketch estimates (exact `min`/`max`, canonical `mean`) within the
+    /// rank-error bound surfaced by [`FleetAccumulator::sketch_info`], and
+    /// the sketches' compaction/footprint telemetry is emitted to the active
+    /// registry. Both modes time the aggregation into the shared
+    /// [`telemetry::STAGE_DURATION_SERIES`] family (`stage="aggregate"`,
+    /// observational — never embedded in byte-stable artifacts).
     pub fn finalize(self) -> FleetReport {
-        let devices = self.maes.len();
+        let registry = telemetry::active();
+        let _timer = registry
+            .histogram(
+                telemetry::STAGE_DURATION_SERIES,
+                &[("stage", "aggregate")],
+                telemetry::STAGE_DURATION_HELP,
+                Stability::Observational,
+                &telemetry::DURATION_NS_BOUNDS,
+            )
+            .expect("aggregate stage histogram registration cannot fail")
+            .start_timer();
+        if let Some(info) = self.sketch_info() {
+            registry
+                .counter(
+                    SKETCH_COMPACTIONS_SERIES,
+                    &[],
+                    SKETCH_COMPACTIONS_HELP,
+                    Stability::Observational,
+                )
+                .expect("sketch counter registration cannot fail")
+                .add(info.compactions);
+            registry
+                .gauge(
+                    SKETCH_RETAINED_SERIES,
+                    &[],
+                    SKETCH_RETAINED_HELP,
+                    Stability::Observational,
+                )
+                .expect("sketch gauge registration cannot fail")
+                .set_max(i64::try_from(info.retained_samples).unwrap_or(i64::MAX));
+        }
+        let devices = self.devices();
+        let (mae_bpm, watch_energy_uj, battery_life_hours) = match &self.samples {
+            SampleStore::Exact {
+                maes,
+                watch_energies,
+                battery_lives,
+            } => (
+                DistributionSummary::from_values(maes),
+                DistributionSummary::from_values(watch_energies),
+                DistributionSummary::from_values(battery_lives),
+            ),
+            SampleStore::Sketch {
+                maes,
+                watch_energies,
+                battery_lives,
+            } => (
+                maes.summary(),
+                watch_energies.summary(),
+                battery_lives.summary(),
+            ),
+        };
         let mut report = FleetReport {
             devices,
             total_windows: self.total_windows,
-            mae_bpm: DistributionSummary::from_values(&self.maes).unwrap_or(EMPTY_SUMMARY),
-            watch_energy_uj: DistributionSummary::from_values(&self.watch_energies)
-                .unwrap_or(EMPTY_SUMMARY),
-            battery_life_hours: DistributionSummary::from_values(&self.battery_lives)
-                .unwrap_or(EMPTY_SUMMARY),
+            mae_bpm: mae_bpm.unwrap_or(EMPTY_SUMMARY),
+            watch_energy_uj: watch_energy_uj.unwrap_or(EMPTY_SUMMARY),
+            battery_life_hours: battery_life_hours.unwrap_or(EMPTY_SUMMARY),
             offload_histogram: self.offload_histogram,
             offloaded_window_share: 0.0,
             disconnected_window_share: 0.0,
@@ -325,7 +592,15 @@ impl FleetReport {
     /// byte-identical by construction (and locked in by the
     /// `tests/accumulator.rs` property suite).
     pub fn from_devices(devices: &[DeviceReport]) -> Self {
-        let mut accumulator = FleetAccumulator::new();
+        Self::from_devices_with_mode(devices, ReportMode::Exact)
+    }
+
+    /// [`FleetReport::from_devices`] in an explicit [`ReportMode`]; sketch
+    /// mode aggregates through [`QuantileSketch`]es at the default capacity,
+    /// so its summaries match any sharded sketch-mode aggregation of the
+    /// same devices byte for byte.
+    pub fn from_devices_with_mode(devices: &[DeviceReport], mode: ReportMode) -> Self {
+        let mut accumulator = FleetAccumulator::with_mode(mode);
         for device in devices {
             accumulator.push(device);
         }
@@ -474,14 +749,116 @@ mod tests {
         assert_eq!(offload_bin(0.05), 0);
         assert_eq!(offload_bin(0.95), 9);
         assert_eq!(offload_bin(1.0), OFFLOAD_HISTOGRAM_BINS - 1);
-        // NaN is a loud debug assertion; the release-mode policy clamps it
-        // deterministically into bin 0 instead of the silent `as usize` cast.
-        let nan_bin = std::panic::catch_unwind(|| offload_bin(f32::NAN));
-        if cfg!(debug_assertions) {
-            assert!(nan_bin.is_err(), "NaN must trip the debug assertion");
-        } else {
-            assert_eq!(nan_bin.unwrap(), 0);
+        // Any non-fraction is a loud debug assertion; the release-mode
+        // policy clamps deterministically (NaN and negatives into bin 0,
+        // overshoots into the last bin) instead of the silent `as usize`
+        // cast.
+        for (bad, release_bin) in [
+            (f32::NAN, 0),
+            (-0.5, 0),
+            (f32::NEG_INFINITY, 0),
+            (f32::INFINITY, OFFLOAD_HISTOGRAM_BINS - 1),
+            (1.5, OFFLOAD_HISTOGRAM_BINS - 1),
+        ] {
+            let bin = std::panic::catch_unwind(|| offload_bin(bad));
+            if cfg!(debug_assertions) {
+                assert!(
+                    bin.is_err(),
+                    "offload fraction {bad} must trip the debug assertion"
+                );
+            } else {
+                assert_eq!(bin.unwrap(), release_bin, "offload fraction {bad}");
+            }
         }
+    }
+
+    #[test]
+    fn report_mode_names_round_trip() {
+        for name in ReportMode::NAMES {
+            assert_eq!(ReportMode::from_name(name).unwrap().name(), name);
+        }
+        assert_eq!(ReportMode::from_name("nope"), None);
+        assert_eq!(ReportMode::default(), ReportMode::Exact);
+        // The CLI-facing serde form is the plain variant name.
+        let json = serde_json::to_string(&ReportMode::Sketch).unwrap();
+        assert_eq!(json, "\"Sketch\"");
+        let back: ReportMode = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ReportMode::Sketch);
+    }
+
+    #[test]
+    fn sketch_mode_accumulator_matches_its_batch_fold_byte_for_byte() {
+        let devices: Vec<DeviceReport> = (0..600)
+            .map(|i| {
+                device(
+                    i,
+                    3.0 + (i % 37) as f32,
+                    250.0 + i as f64,
+                    (i % 10) as f32 / 10.0,
+                    i % 5 == 0,
+                )
+            })
+            .collect();
+        let batch = FleetReport::from_devices_with_mode(&devices, ReportMode::Sketch);
+        let mut accumulator = FleetAccumulator::with_mode(ReportMode::Sketch);
+        assert_eq!(accumulator.mode(), ReportMode::Sketch);
+        for d in &devices {
+            accumulator.push(d);
+        }
+        assert_eq!(accumulator.devices(), devices.len());
+        let info = accumulator.sketch_info().unwrap();
+        // 600 devices over capacity-256 blocks: two full blocks compacted
+        // once, the rest raw.
+        assert_eq!(info.compactions, 3);
+        assert!(info.retained_samples < 3 * devices.len());
+        let streamed = accumulator.finalize();
+        assert_eq!(streamed, batch);
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&batch).unwrap()
+        );
+        // Everything outside the sketched percentiles is exact and
+        // identical to exact mode.
+        let exact = FleetReport::from_devices(&devices);
+        assert_eq!(streamed.total_windows, exact.total_windows);
+        assert_eq!(streamed.offload_histogram, exact.offload_histogram);
+        assert_eq!(streamed.constraint_mix, exact.constraint_mix);
+        assert_eq!(streamed.mae_bpm.min, exact.mae_bpm.min);
+        assert_eq!(streamed.mae_bpm.max, exact.mae_bpm.max);
+    }
+
+    #[test]
+    fn exact_mode_reports_no_sketch_info() {
+        let accumulator = FleetAccumulator::new();
+        assert_eq!(accumulator.mode(), ReportMode::Exact);
+        assert_eq!(accumulator.sketch_info(), None);
+    }
+
+    #[test]
+    fn empty_sketch_accumulator_finalizes_to_the_all_zero_report() {
+        let accumulator = FleetAccumulator::with_mode(ReportMode::Sketch);
+        let info = accumulator.sketch_info().unwrap();
+        assert_eq!(info.max_rank_error, 0);
+        assert_eq!(info.rank_error_fraction, 0.0);
+        assert_eq!(info.retained_samples, 0);
+        let report = accumulator.finalize();
+        assert_eq!(report, FleetReport::from_devices(&[]));
+    }
+
+    #[test]
+    fn sketched_report_envelope_round_trips() {
+        let devices = vec![device(0, 5.0, 400.0, 0.5, false)];
+        let mut accumulator = FleetAccumulator::with_mode(ReportMode::Sketch);
+        for d in &devices {
+            accumulator.push(d);
+        }
+        let envelope = SketchedReport {
+            sketch: accumulator.sketch_info().unwrap(),
+            report: accumulator.finalize(),
+        };
+        let json = serde_json::to_string(&envelope).unwrap();
+        let back: SketchedReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(envelope, back);
     }
 
     #[test]

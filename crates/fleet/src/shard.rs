@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use telemetry::MetricsSnapshot;
 
 use crate::error::FleetError;
-use crate::report::DeviceReport;
+use crate::report::{DeviceReport, ReportMode};
 use crate::scenario::ScenarioMix;
 
 /// Version stamp embedded in every shard artifact.
@@ -25,10 +25,11 @@ use crate::scenario::ScenarioMix;
 /// version: scenario generation, reduction order and serialization are all
 /// allowed to change between versions, and merging across them would silently
 /// break the byte-identity guarantee. (0.3.0 added
-/// `ScenarioMix::subject_pool` to the artifact format, and 0.4.0 added the
-/// embedded `telemetry` snapshot; artifacts from earlier versions fail
-/// deserialization with a "missing field" error naming the file —
-/// regenerate them with the current binaries.)
+/// `ScenarioMix::subject_pool` to the artifact format, 0.4.0 added the
+/// embedded `telemetry` snapshot, and 0.5.0 added `report_mode` to
+/// [`ShardMeta`]; artifacts from earlier versions fail deserialization with
+/// a "missing field" error naming the file — regenerate them with the
+/// current binaries.)
 pub const ENGINE_VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// Partition of a fleet's device-id range `0..devices` into contiguous
@@ -106,6 +107,11 @@ pub struct ShardMeta {
     pub master_seed: u64,
     /// Scenario mix the fleet was generated with.
     pub mix: ScenarioMix,
+    /// Aggregation mode the shard's producer ran under. Merging mixed-mode
+    /// artifact sets is refused: sketch and exact runs summarize
+    /// distributions differently, so a mixed merge could not reproduce
+    /// either single-process result.
+    pub report_mode: ReportMode,
     /// Total number of devices in the fleet this shard belongs to.
     pub fleet_devices: u64,
     /// Number of shards the fleet was split into.
@@ -223,6 +229,7 @@ mod tests {
                 engine_version: ENGINE_VERSION.to_string(),
                 master_seed: 42,
                 mix: ScenarioMix::balanced(),
+                report_mode: ReportMode::Exact,
                 fleet_devices: 4,
                 shard_count: 2,
                 shard_index: 1,

@@ -7,7 +7,7 @@
 
 use chris_core::config::EnergyAccounting;
 use chris_core::decision::UserConstraint;
-use fleet::{FleetAccumulator, FleetReport};
+use fleet::{FleetAccumulator, FleetReport, ReportMode};
 use hw_sim::units::Energy;
 use proptest::prelude::*;
 
@@ -96,6 +96,25 @@ proptest! {
             serde_json::to_string(&streamed).unwrap(),
             serde_json::to_string(&batch).unwrap()
         );
+
+        // The same lock holds in sketch mode — streamed sketch aggregation
+        // is byte-identical to the batch sketch fold, and everything
+        // non-percentile matches the exact report.
+        let sketch_batch = FleetReport::from_devices_with_mode(&devices, ReportMode::Sketch);
+        let mut sketch_accumulator = FleetAccumulator::with_mode(ReportMode::Sketch);
+        for d in &devices {
+            sketch_accumulator.push(d);
+        }
+        prop_assert_eq!(sketch_accumulator.sketch_info().is_some(), true);
+        let sketch_streamed = sketch_accumulator.finalize();
+        prop_assert_eq!(&sketch_streamed, &sketch_batch);
+        prop_assert_eq!(
+            serde_json::to_string(&sketch_streamed).unwrap(),
+            serde_json::to_string(&sketch_batch).unwrap()
+        );
+        prop_assert_eq!(sketch_streamed.total_windows, batch.total_windows);
+        prop_assert_eq!(&sketch_streamed.offload_histogram, &batch.offload_histogram);
+        prop_assert_eq!(sketch_streamed.constraint_violations, batch.constraint_violations);
     }
 }
 

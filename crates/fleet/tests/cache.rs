@@ -18,6 +18,7 @@ fn options(threads: usize, profile_cache: Option<usize>) -> ExecutorOptions {
         threads,
         chunk_size: 2,
         profile_cache,
+        ..ExecutorOptions::default()
     }
 }
 

@@ -5,8 +5,8 @@
 //! one at a time.
 
 use fleet::{
-    merge, merge_stream, FleetSimulation, MergeAccumulator, MergeError, ScenarioMix, ShardReport,
-    ShardSpec,
+    merge, merge_stream, FleetSimulation, MergeAccumulator, MergeError, ReportMode, ScenarioMix,
+    ShardReport, ShardSpec,
 };
 
 const DEVICES: u64 = 8;
@@ -128,6 +128,35 @@ fn mismatched_shard_count_is_rejected() {
             found: SHARDS,
         }
     );
+}
+
+#[test]
+fn mismatched_report_mode_is_rejected() {
+    // Batch merge: the upfront provenance sweep catches the mixed mode.
+    let mut shards = artifacts();
+    shards[2].meta.report_mode = ReportMode::Sketch;
+    assert_eq!(
+        merge(shards).unwrap_err(),
+        MergeError::ReportModeMismatch {
+            expected: ReportMode::Exact,
+            found: ReportMode::Sketch,
+        }
+    );
+
+    // Streaming merge: the push rejects it and leaves the fold untouched.
+    let mut shards = artifacts();
+    shards[1].meta.report_mode = ReportMode::Sketch;
+    let mut accumulator = MergeAccumulator::new();
+    accumulator.push(&shards[0]).unwrap();
+    assert_eq!(
+        accumulator.push(&shards[1]).unwrap_err(),
+        MergeError::ReportModeMismatch {
+            expected: ReportMode::Exact,
+            found: ReportMode::Sketch,
+        }
+    );
+    assert_eq!(accumulator.cursor(), 2);
+    assert_eq!(accumulator.devices(), 2);
 }
 
 #[test]

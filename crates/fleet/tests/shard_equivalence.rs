@@ -6,7 +6,7 @@
 
 use std::collections::BTreeSet;
 
-use fleet::{merge, FleetSimulation, ScenarioMix, ShardSpec};
+use fleet::{merge, ExecutorOptions, FleetSimulation, ReportMode, ScenarioMix, ShardSpec};
 use proptest::prelude::*;
 
 proptest! {
@@ -74,5 +74,59 @@ proptest! {
         let merged_json = serde_json::to_string_pretty(&merged.report).unwrap();
         let single_json = serde_json::to_string_pretty(&single.report).unwrap();
         prop_assert_eq!(merged_json, single_json);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// The byte-identity guarantee survives sketch mode: merging
+    /// sketch-mode shard artifacts of an arbitrary tiling — in range order
+    /// or reversed — serializes byte-identically to the sketch-mode
+    /// single-process run.
+    #[test]
+    fn sketch_mode_merge_is_byte_identical_to_single_process(
+        master_seed in 0u64..1000,
+        devices in 1u64..30,
+        shards in 1u32..=6,
+        threads in 1usize..=4,
+    ) {
+        let options = ExecutorOptions {
+            report_mode: ReportMode::Sketch,
+            ..ExecutorOptions::default()
+        };
+        let simulation = FleetSimulation::new(master_seed, ScenarioMix::balanced()).unwrap();
+        let single = simulation.run_with_options(devices, &options, None).unwrap();
+        prop_assert!(single.sketch.is_some());
+
+        let spec = ShardSpec::new(devices, shards).unwrap();
+        let threaded = ExecutorOptions { threads, ..options };
+        let mut artifacts = Vec::new();
+        for index in 0..shards {
+            let shard = simulation
+                .run_shard_with_options(&spec, index, &threaded, None)
+                .unwrap();
+            prop_assert_eq!(shard.meta.report_mode, ReportMode::Sketch);
+            // Sketch-mode artifacts survive the JSON round trip exactly.
+            let json = serde_json::to_string(&shard).unwrap();
+            let back: fleet::ShardReport = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(&back, &shard);
+            artifacts.push(back);
+        }
+
+        let mut reversed = artifacts.clone();
+        reversed.reverse();
+        let merged = merge(artifacts).unwrap();
+        let merged_reversed = merge(reversed).unwrap();
+
+        for outcome in [&merged, &merged_reversed] {
+            prop_assert_eq!(&outcome.devices, &single.devices);
+            prop_assert_eq!(&outcome.report, &single.report);
+            prop_assert_eq!(&outcome.sketch, &single.sketch);
+            prop_assert_eq!(
+                serde_json::to_string_pretty(&outcome.report).unwrap(),
+                serde_json::to_string_pretty(&single.report).unwrap()
+            );
+        }
     }
 }

@@ -85,9 +85,20 @@ impl Gauge {
     }
 
     /// Subtracts `d` (saturating).
+    ///
+    /// Saturation applies to the *subtraction on the cell value*, not to a
+    /// pre-negation of `d`: `d.saturating_neg()` would map `i64::MIN` to
+    /// `i64::MAX` and turn the most negative delta into an off-by-one add.
     #[inline]
     pub fn sub(&self, d: i64) {
-        self.add(d.saturating_neg());
+        if !self.enabled {
+            return;
+        }
+        let _ = self
+            .cell
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(d))
+            });
     }
 
     /// Raises the gauge to `v` if it is currently lower.

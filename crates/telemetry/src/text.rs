@@ -69,11 +69,15 @@ pub fn render_text(snapshot: &MetricsSnapshot) -> String {
                 cumulative
             ));
         }
+        // `observe()` bumps bucket and count as independent relaxed atomics,
+        // so a snapshot taken mid-observation can hold a `count` smaller
+        // than a finite cumulative bucket. Clamp the rendered `+Inf` line so
+        // the exposition is always a valid monotone CDF.
         lines.push(format!(
             "{}_bucket{} {}",
             sample.name,
             label_block(&sample.labels, Some(("le", "+Inf"))),
-            sample.count
+            sample.count.max(cumulative)
         ));
         lines.push(format!(
             "{}_sum{} {}",
@@ -191,9 +195,7 @@ fn validate_name_token(name: &str) -> Result<(), String> {
 }
 
 fn parse_sample(line: &str) -> Result<Sample, String> {
-    let name_end = line
-        .find(['{', ' '])
-        .ok_or("sample line needs a value")?;
+    let name_end = line.find(['{', ' ']).ok_or("sample line needs a value")?;
     let name = &line[..name_end];
     validate_name_token(name)?;
     let mut labels: Vec<(String, String)> = Vec::new();

@@ -3,8 +3,8 @@
 //! snapshot merging, and scope semantics.
 
 use telemetry::{
-    parse_exposition, render_text, sample_value, MetricsSnapshot, Registry, Stability,
-    TelemetryError, DURATION_NS_BOUNDS,
+    parse_exposition, render_text, sample_value, HistogramSample, MetricsSnapshot, Registry,
+    Stability, TelemetryError, DURATION_NS_BOUNDS,
 };
 
 #[test]
@@ -34,6 +34,68 @@ fn gauges_support_add_sub_and_running_max() {
     assert_eq!(g.value(), 10);
     g.set(-2);
     assert_eq!(g.value(), -2);
+}
+
+#[test]
+fn gauge_sub_of_i64_min_saturates_instead_of_adding_max() {
+    let registry = Registry::new();
+    let g = registry
+        .gauge("extreme", &[], "saturation probe", Stability::Observational)
+        .unwrap();
+    // Subtracting the most negative delta must behave like
+    // `v.saturating_sub(i64::MIN)`. The old `d.saturating_neg()` pre-negation
+    // collapsed `i64::MIN` to `i64::MAX` and produced `i64::MAX - 5` here.
+    g.set(-5);
+    g.sub(i64::MIN);
+    assert_eq!(g.value(), i64::MAX - 4);
+    g.set(10);
+    g.sub(i64::MIN);
+    assert_eq!(g.value(), i64::MAX);
+    // The ordinary path is unchanged.
+    g.set(7);
+    g.sub(3);
+    assert_eq!(g.value(), 4);
+    g.set(i64::MIN);
+    g.sub(1);
+    assert_eq!(g.value(), i64::MIN);
+}
+
+#[test]
+fn torn_histogram_snapshot_still_renders_a_monotone_cdf() {
+    // `observe()` bumps bucket and count as independent relaxed atomics, so
+    // a concurrent snapshot can capture the bucket increment but not the
+    // count increment: 3 + 2 = 5 bucketed observations, count still 4.
+    let mut snapshot = MetricsSnapshot::default();
+    snapshot.histograms.push(HistogramSample {
+        name: "chris_torn_ns".to_string(),
+        labels: Vec::new(),
+        help: "torn snapshot probe".to_string(),
+        stability: Stability::Observational,
+        bounds: vec![250, 1_000],
+        buckets: vec![3, 2],
+        sum: 900,
+        count: 4,
+    });
+    let samples = parse_exposition(&render_text(&snapshot)).unwrap();
+    // The +Inf line is clamped up to the last finite cumulative bucket...
+    assert_eq!(
+        sample_value(&samples, "chris_torn_ns_bucket{le=\"+Inf\"}"),
+        Some(5.0)
+    );
+    assert_eq!(
+        sample_value(&samples, "chris_torn_ns_bucket{le=\"1000\"}"),
+        Some(5.0)
+    );
+    // ...while _count still reports what the atomic held.
+    assert_eq!(sample_value(&samples, "chris_torn_ns_count"), Some(4.0));
+
+    // A consistent snapshot is untouched: +Inf equals count.
+    snapshot.histograms[0].count = 6;
+    let samples = parse_exposition(&render_text(&snapshot)).unwrap();
+    assert_eq!(
+        sample_value(&samples, "chris_torn_ns_bucket{le=\"+Inf\"}"),
+        Some(6.0)
+    );
 }
 
 #[test]
