@@ -132,7 +132,11 @@ fn main() -> ExitCode {
 
     match &args.out {
         Some(path) => {
-            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            // Atomic write: a killed shard run leaves either no artifact or a
+            // complete one, so spool/merge consumers never see torn JSON.
+            if let Err(e) =
+                fleetd::write_atomic(std::path::Path::new(path), format!("{json}\n").as_bytes())
+            {
                 eprintln!("writing {path} failed: {e}");
                 return ExitCode::FAILURE;
             }

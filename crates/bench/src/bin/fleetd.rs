@@ -1,0 +1,108 @@
+//! The fleet-as-a-service daemon binary.
+//!
+//! Serves the [`fleetd`] HTTP API over a spool directory: `POST /jobs`
+//! schedules sharded fleet simulations on a worker pool, `GET /metrics`
+//! scrapes the live process registry, and `POST /shutdown` drains. A daemon
+//! killed mid-job resumes from its spooled shard checkpoints on restart and
+//! produces a final report byte-identical to `fleet --json`.
+//!
+//! ```text
+//! fleetd --spool /var/lib/fleetd --workers 4 --addr 127.0.0.1:8080
+//! fleetd --spool spool --port-file fleetd.port   # ephemeral port, written to the file
+//! ```
+
+use std::process::ExitCode;
+
+use chris_bench::fleet_cli;
+use fleetd::{Daemon, DaemonConfig};
+
+struct Args {
+    config: DaemonConfig,
+    /// Write the bound address (one `host:port` line) to this path after
+    /// binding — how scripts discover an ephemeral port race-free.
+    port_file: Option<String>,
+}
+
+const USAGE: &str = "usage: fleetd --spool DIR [--addr HOST:PORT] [--workers N] \
+     [--queue-depth N] [--port-file PATH]\n\
+       --spool DIR     job spool directory: specs, shard checkpoints, final reports\n\
+                       (created if missing; re-scanned on startup to resume killed jobs)\n\
+       --addr HOST:PORT  bind address (default 127.0.0.1:0 = ephemeral port)\n\
+       --workers N     worker threads running shards (default 2)\n\
+       --queue-depth N max jobs queued or running before 429 (default 8)\n\
+       --port-file PATH  after binding, atomically write the bound address to PATH";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        config: DaemonConfig::default(),
+        port_file: None,
+    };
+    let mut spool_given = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--spool" => {
+                args.config.spool = fleet_cli::flag_value(&flag, &mut it)?.into();
+                spool_given = true;
+            }
+            "--addr" => args.config.addr = fleet_cli::flag_value(&flag, &mut it)?,
+            "--workers" => args.config.workers = fleet_cli::parse_value(&flag, &mut it)?,
+            "--queue-depth" => args.config.queue_depth = fleet_cli::parse_value(&flag, &mut it)?,
+            "--port-file" => args.port_file = Some(fleet_cli::flag_value(&flag, &mut it)?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if !spool_given {
+        return Err(format!("missing required --spool DIR\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let daemon = match Daemon::bind(&args.config) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("starting fleetd failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match daemon.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("reading the bound address failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &args.port_file {
+        if let Err(e) =
+            fleetd::write_atomic(std::path::Path::new(path), format!("{addr}\n").as_bytes())
+        {
+            eprintln!("writing the port file {path} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "fleetd: listening on {addr} (spool: {}, workers: {})",
+        args.config.spool.display(),
+        args.config.workers.max(1),
+    );
+
+    if let Err(e) = daemon.run() {
+        eprintln!("fleetd accept loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("fleetd: drained and stopped");
+    ExitCode::SUCCESS
+}

@@ -102,6 +102,10 @@ pub fn parse_metrics(
 /// Prometheus text exposition to the sidecar file, compact JSON to stderr.
 /// Never writes to stdout.
 ///
+/// The sidecar file is written crash-safely ([`fleetd::write_atomic`]): a
+/// scraper or a `promcheck` race against a dying process reads either the
+/// previous exposition or the complete new one, never a truncated file.
+///
 /// # Errors
 ///
 /// Returns a usage-style message when writing or serialization fails.
@@ -110,8 +114,11 @@ pub fn emit_metrics(
     snapshot: &telemetry::MetricsSnapshot,
 ) -> Result<(), String> {
     if let Some(path) = &args.out {
-        std::fs::write(path, telemetry::render_text(snapshot))
-            .map_err(|e| format!("writing {path} failed: {e}"))?;
+        fleetd::write_atomic(
+            std::path::Path::new(path),
+            telemetry::render_text(snapshot).as_bytes(),
+        )
+        .map_err(|e| format!("writing {path} failed: {e}"))?;
     }
     if args.json {
         let json = serde_json::to_string(snapshot)
@@ -211,14 +218,17 @@ where
 ///
 /// Lines go to **stderr** so a redirected `--json` report on stdout stays
 /// byte-identical with or without progress. To keep huge fleets from
-/// drowning the terminal, a line is printed roughly every 1/32nd of the
-/// device range (at least every device for small fleets) plus one final
-/// line when the last device completes.
+/// drowning the terminal, device lines are throttled to one per
+/// `ceil(total/32)` completed devices — a hard cap of 33 lines per run (32
+/// step lines plus the guaranteed final-totals line) no matter how many
+/// devices the fleet has. The final line (`devices total/total`) is always
+/// printed.
 pub struct StderrProgress {
     total_devices: u64,
     step: u64,
     devices_done: AtomicU64,
     windows_done: AtomicU64,
+    lines_emitted: AtomicU64,
     cache_reported: std::sync::atomic::AtomicBool,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -232,9 +242,10 @@ impl StderrProgress {
     pub fn new(total_devices: u64) -> Self {
         Self {
             total_devices,
-            step: (total_devices / 32).max(1),
+            step: total_devices.div_ceil(32).max(1),
             devices_done: AtomicU64::new(0),
             windows_done: AtomicU64::new(0),
+            lines_emitted: AtomicU64::new(0),
             cache_reported: std::sync::atomic::AtomicBool::new(false),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
@@ -245,6 +256,12 @@ impl StderrProgress {
     /// Devices completed so far.
     pub fn devices_done(&self) -> u64 {
         self.devices_done.load(Ordering::Relaxed)
+    }
+
+    /// Device-progress lines printed so far (excluding the one-off
+    /// profile-cache line) — what the throttle cap bounds.
+    pub fn progress_lines(&self) -> u64 {
+        self.lines_emitted.load(Ordering::Relaxed)
     }
 
     /// Windows processed so far, across all devices.
@@ -287,6 +304,7 @@ impl ProgressSink for StderrProgress {
                 .print_lock
                 .lock()
                 .expect("progress printing never panics");
+            self.lines_emitted.fetch_add(1, Ordering::Relaxed);
             // Fresh snapshot under the lock: a worker that lost the print
             // race reports the newer totals instead of a stale, smaller
             // count.
@@ -486,6 +504,38 @@ mod tests {
         sink.device_completed(3, 15);
         assert_eq!(sink.devices_done(), 1);
         assert_eq!(sink.windows_done(), 15);
+    }
+
+    #[test]
+    fn stderr_progress_is_throttled_to_a_hard_line_cap() {
+        // Small fleets may print every device but never more than total.
+        for total in [1u64, 2, 31, 32, 33] {
+            let sink = StderrProgress::new(total);
+            for id in 0..total {
+                sink.device_completed(id, 1);
+            }
+            assert!(
+                sink.progress_lines() <= total.min(33),
+                "total {total}: {} lines",
+                sink.progress_lines()
+            );
+            assert!(sink.progress_lines() >= 1, "final line always prints");
+        }
+        // Large fleets: at most 32 step lines plus the final-totals line,
+        // regardless of size.
+        for total in [64u64, 1000, 4096, 100_001] {
+            let sink = StderrProgress::new(total);
+            for id in 0..total {
+                sink.device_completed(id, 0);
+            }
+            let lines = sink.progress_lines();
+            assert!(lines <= 33, "total {total}: {lines} lines exceed the cap");
+            assert!(
+                lines >= 30,
+                "total {total}: {lines} lines undershoot 1/32 granularity"
+            );
+            assert_eq!(sink.devices_done(), total, "final totals are complete");
+        }
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! End-to-end conformance of the `fleetd` daemon binary: HTTP-submitted jobs
+//! must reproduce the CLI's reports byte-for-byte (exact and sketch), resume
+//! from pre-seeded spool artifacts without re-running them, and survive
+//! `kill -9` mid-job with a byte-identical report after restart.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output};
+use std::time::Duration;
+
+fn run_ok(binary: &str, args: &[&str]) -> Output {
+    let output = Command::new(binary)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("running {binary} failed: {e}"));
+    assert!(
+        output.status.success(),
+        "{binary} {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chris-fleetd-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A running `fleetd` child process; killed on drop so a failing test never
+/// leaks a daemon.
+struct DaemonProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl DaemonProc {
+    /// Starts the daemon over `spool` and waits for its port file.
+    fn start(spool: &Path, workers: u32, port_file: &Path) -> Self {
+        let _ = std::fs::remove_file(port_file);
+        let child = Command::new(env!("CARGO_BIN_EXE_fleetd"))
+            .args([
+                "--spool",
+                spool.to_str().unwrap(),
+                "--workers",
+                &workers.to_string(),
+                "--port-file",
+                port_file.to_str().unwrap(),
+            ])
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawning fleetd");
+        // Hand the child to a DaemonProc straight away: its Drop kills and
+        // reaps the process even if the port-file wait below panics.
+        let mut daemon = Self {
+            child,
+            addr: ([127, 0, 0, 1], 0).into(),
+        };
+        for _ in 0..2000 {
+            if let Ok(text) = std::fs::read_to_string(port_file) {
+                if let Ok(addr) = text.trim().parse() {
+                    daemon.addr = addr;
+                    return daemon;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("fleetd never wrote its port file");
+    }
+
+    /// One HTTP request; `body` implies `Content-Length`.
+    fn request(&self, method: &str, target: &str, body: Option<&str>) -> (u16, Vec<u8>) {
+        let mut stream = TcpStream::connect(self.addr).expect("connecting to fleetd");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut text = format!("{method} {target} HTTP/1.1\r\nHost: fleetd\r\n");
+        if let Some(body) = body {
+            text.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        text.push_str("\r\n");
+        if let Some(body) = body {
+            text.push_str(body);
+        }
+        stream.write_all(text.as_bytes()).expect("sending");
+        let mut bytes = Vec::new();
+        stream.read_to_end(&mut bytes).expect("reading");
+        let split = bytes
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("response separator");
+        let status: u16 = std::str::from_utf8(&bytes[..split])
+            .unwrap()
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        (status, bytes[split + 4..].to_vec())
+    }
+
+    fn submit(&self, spec: &str) -> u64 {
+        let (status, body) = self.request("POST", "/jobs", Some(spec));
+        let text = String::from_utf8_lossy(&body);
+        assert_eq!(status, 202, "submit: {text}");
+        text.split("\"id\":")
+            .nth(1)
+            .expect("status has an id")
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .expect("id parses")
+    }
+
+    fn wait_done(&self, id: u64) {
+        for _ in 0..6000 {
+            let (status, body) = self.request("GET", &format!("/jobs/{id}"), None);
+            assert_eq!(status, 200);
+            let text = String::from_utf8_lossy(&body);
+            if text.contains("\"state\":\"done\"") {
+                return;
+            }
+            assert!(
+                !text.contains("\"state\":\"failed\""),
+                "job {id} failed: {text}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("job {id} did not finish");
+    }
+
+    fn report(&self, id: u64) -> Vec<u8> {
+        let (status, body) = self.request("GET", &format!("/jobs/{id}/report"), None);
+        assert_eq!(status, 200, "report: {}", String::from_utf8_lossy(&body));
+        body
+    }
+
+    fn shutdown(mut self) {
+        let (status, _) = self.request("POST", "/shutdown", None);
+        assert_eq!(status, 200);
+        let _ = self.child.wait();
+    }
+
+    fn kill_dash_nine(&mut self) {
+        self.child.kill().expect("SIGKILL");
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for DaemonProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn http_reports_match_the_cli_byte_for_byte() {
+    let dir = temp_dir("bytes");
+    let daemon = DaemonProc::start(&dir.join("spool"), 2, &dir.join("fleetd.port"));
+
+    // Exact mode: the 64-device golden job must serve the committed fixture
+    // byte-for-byte — the same bytes `fleet --json` prints.
+    let exact = daemon.submit(
+        r#"{"devices": 64, "seed": 42, "mix": "balanced", "threads": 2, "shards": 4, "report_mode": "exact"}"#,
+    );
+    daemon.wait_done(exact);
+    let fixture = std::fs::read(
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../fleet/tests/fixtures/fleet-64-balanced-seed42.json"),
+    )
+    .expect("golden fixture");
+    assert_eq!(
+        daemon.report(exact),
+        fixture,
+        "HTTP exact report differs from the golden CLI fixture"
+    );
+
+    // Sketch mode: byte-identical to a fresh `fleet --json --report-mode
+    // sketch` run of the same spec.
+    let sketch = daemon.submit(
+        r#"{"devices": 24, "seed": 7, "threads": 2, "shards": 3, "report_mode": "sketch"}"#,
+    );
+    daemon.wait_done(sketch);
+    let cli = run_ok(
+        env!("CARGO_BIN_EXE_fleet"),
+        &[
+            "--devices",
+            "24",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+            "--report-mode",
+            "sketch",
+            "--json",
+        ],
+    );
+    assert_eq!(
+        daemon.report(sketch),
+        cli.stdout,
+        "HTTP sketch report differs from the CLI"
+    );
+
+    daemon.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn daemon_resumes_from_a_preseeded_spool_without_rerunning_shards() {
+    let dir = temp_dir("preseed");
+    let spool = dir.join("spool");
+
+    // Fabricate what a killed daemon would have left behind: job 1's spec
+    // plus shard 0's checkpoint — written by the ordinary `fleet-shard`
+    // binary, because daemon checkpoints ARE ordinary shard artifacts.
+    let mut spec = fleetd::JobSpec::new(24);
+    spec.seed = 42;
+    spec.shards = 3;
+    spec.threads = 2;
+    let job_dir = spool.join("job-1");
+    std::fs::create_dir_all(&job_dir).unwrap();
+    std::fs::write(job_dir.join("spec.json"), spec.to_json()).unwrap();
+    let artifact = job_dir.join("shard-00000.json");
+    run_ok(
+        env!("CARGO_BIN_EXE_fleet-shard"),
+        &[
+            "--devices",
+            "24",
+            "--shards",
+            "3",
+            "--shard-index",
+            "0",
+            "--seed",
+            "42",
+            "--threads",
+            "2",
+            "--out",
+            artifact.to_str().unwrap(),
+        ],
+    );
+    let artifact_bytes = std::fs::read(&artifact).unwrap();
+
+    // The daemon must adopt the job on startup, re-run only shards 1 and 2,
+    // and serve the exact single-process report.
+    let daemon = DaemonProc::start(&spool, 1, &dir.join("fleetd.port"));
+    daemon.wait_done(1);
+    let cli = run_ok(
+        env!("CARGO_BIN_EXE_fleet"),
+        &[
+            "--devices",
+            "24",
+            "--seed",
+            "42",
+            "--threads",
+            "2",
+            "--json",
+        ],
+    );
+    assert_eq!(daemon.report(1), cli.stdout, "resumed report byte identity");
+    assert_eq!(
+        std::fs::read(&artifact).unwrap(),
+        artifact_bytes,
+        "the pre-seeded checkpoint was reused, not re-run"
+    );
+
+    daemon.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn kill_dash_nine_then_restart_serves_a_byte_identical_report() {
+    let dir = temp_dir("kill9");
+    let spool = dir.join("spool");
+    let mut daemon = DaemonProc::start(&spool, 1, &dir.join("fleetd.port"));
+    let id = daemon.submit(r#"{"devices": 48, "seed": 13, "shards": 4, "threads": 1}"#);
+
+    // Kill without ceremony once the job is underway. Whether any shard had
+    // checkpointed yet is timing-dependent — and must not matter.
+    for _ in 0..1000 {
+        let (_, body) = daemon.request("GET", &format!("/jobs/{id}"), None);
+        if String::from_utf8_lossy(&body).contains("\"state\":\"running\"") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    daemon.kill_dash_nine();
+
+    let revived = DaemonProc::start(&spool, 2, &dir.join("fleetd.port"));
+    revived.wait_done(id);
+    let cli = run_ok(
+        env!("CARGO_BIN_EXE_fleet"),
+        &[
+            "--devices",
+            "48",
+            "--seed",
+            "13",
+            "--threads",
+            "2",
+            "--json",
+        ],
+    );
+    assert_eq!(
+        revived.report(id),
+        cli.stdout,
+        "post-crash report byte identity"
+    );
+    revived.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

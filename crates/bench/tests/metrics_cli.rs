@@ -80,6 +80,44 @@ fn observability_flags_never_change_the_stdout_artifact() {
 }
 
 #[test]
+fn progress_lines_are_throttled_to_the_hard_cap() {
+    // 100 devices with a 1/32 step would previously print up to 100 lines;
+    // the throttle caps device-progress lines at 33 (32 steps + the
+    // guaranteed final totals) while stdout stays the report alone.
+    let output = run_ok(
+        env!("CARGO_BIN_EXE_fleet"),
+        &[
+            "--devices",
+            "100",
+            "--seed",
+            SEED,
+            "--threads",
+            "4",
+            "--progress",
+            "--json",
+        ],
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let lines: Vec<&str> = stderr
+        .lines()
+        .filter(|line| line.starts_with("progress: devices "))
+        .collect();
+    assert!(
+        lines.len() <= 33,
+        "{} progress lines exceed the cap:\n{stderr}",
+        lines.len()
+    );
+    assert!(
+        lines.iter().any(|line| line.contains("devices 100/100")),
+        "final totals line missing:\n{stderr}"
+    );
+    assert!(
+        output.stdout.starts_with(b"{"),
+        "stdout is still the report"
+    );
+}
+
+#[test]
 fn fleet_metrics_exposition_carries_the_run_counters() {
     let dir = temp_dir("exposition");
     let path = dir.join("fleet.prom");

@@ -33,6 +33,11 @@ pub enum FleetError {
     Hardware(hw_sim::HwError),
     /// Merging shard reports failed.
     Merge(MergeError),
+    /// The run was cancelled cooperatively via
+    /// [`crate::progress::ProgressSink::should_cancel`] before every device
+    /// finished. No partial report is produced: callers either retry the
+    /// whole range or resume from previously persisted shard artifacts.
+    Cancelled,
 }
 
 impl fmt::Display for FleetError {
@@ -50,6 +55,7 @@ impl fmt::Display for FleetError {
             FleetError::Chris(e) => write!(f, "runtime error: {e}"),
             FleetError::Hardware(e) => write!(f, "hardware error: {e}"),
             FleetError::Merge(e) => write!(f, "shard merge error: {e}"),
+            FleetError::Cancelled => write!(f, "the run was cancelled before completion"),
         }
     }
 }
@@ -64,6 +70,7 @@ impl std::error::Error for FleetError {
             FleetError::Merge(e) => Some(e),
             FleetError::EmptyFleet
             | FleetError::ZeroShards
+            | FleetError::Cancelled
             | FleetError::ShardIndexOutOfRange { .. } => None,
         }
     }
@@ -247,6 +254,8 @@ mod tests {
     fn display_and_sources() {
         use std::error::Error;
         assert!(FleetError::EmptyFleet.to_string().contains("no devices"));
+        assert!(FleetError::Cancelled.to_string().contains("cancelled"));
+        assert!(FleetError::Cancelled.source().is_none());
         let e = FleetError::for_device(7, chris_core::ChrisError::EmptyWorkload.into());
         assert!(e.to_string().contains("device 7"));
         assert!(e.source().is_some());

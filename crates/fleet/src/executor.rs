@@ -535,7 +535,12 @@ fn run_supply(
         let _scope = telemetry::scoped(&batch);
         let mut cache = options.profile_cache.map(WindowCache::new);
         let reports = (0..count)
-            .map(|index| simulate_index(supply, index, zoo, engine, sink, cache.as_mut()))
+            .map(|index| {
+                if cancel_requested(sink) {
+                    return Err(FleetError::Cancelled);
+                }
+                simulate_index(supply, index, zoo, engine, sink, cache.as_mut())
+            })
             .collect();
         if let Some(cache) = &cache {
             record_cache_events(&batch, cache);
@@ -604,8 +609,11 @@ fn run_supply_parallel(
                 // Compare-exchange claims instead of `fetch_add`: the cursor
                 // never moves past `count`, so id ranges near `u64::MAX`
                 // cannot overflow it.
-                while let Some(claimed) = claim_chunk(&cursor, count, chunk) {
+                'claims: while let Some(claimed) = claim_chunk(&cursor, count, chunk) {
                     for index in claimed {
+                        if cancel_requested(sink) {
+                            break 'claims;
+                        }
                         local.push((
                             index,
                             simulate_index(supply, index, zoo, engine, sink, cache.as_mut()),
@@ -630,8 +638,24 @@ fn run_supply_parallel(
         .into_inner()
         .expect("all workers joined before the lock is consumed");
     merged.sort_by_key(|&(index, _)| index);
+    if (merged.len() as u64) < count {
+        // Workers stopped claiming before the cursor was exhausted — the
+        // sink requested cancellation. A device failure observed before the
+        // cancellation point still wins (lowest index, deterministic), so a
+        // real error is never masked as a mere cancellation.
+        for (_, result) in merged {
+            result?;
+        }
+        return Err(FleetError::Cancelled);
+    }
     debug_assert_eq!(merged.len() as u64, count);
     merged.into_iter().map(|(_, result)| result).collect()
+}
+
+/// Whether the sink (if any) has asked the run to stop. Polled between
+/// devices, so cancellation lands on a device boundary.
+fn cancel_requested(sink: Option<&dyn ProgressSink>) -> bool {
+    sink.is_some_and(ProgressSink::should_cancel)
 }
 
 /// Claims the next chunk of work-item indices, or `None` when the supply is
@@ -782,6 +806,80 @@ mod tests {
             Some(u64::MAX - 3..u64::MAX)
         );
         assert!(claim_chunk(&cursor, u64::MAX, 8).is_none());
+    }
+
+    #[test]
+    fn cancellation_aborts_at_a_device_boundary() {
+        use std::sync::atomic::AtomicUsize;
+
+        /// Sink that requests cancellation once `after` devices completed.
+        struct CancelAfter {
+            after: usize,
+            completed: AtomicUsize,
+        }
+
+        impl ProgressSink for CancelAfter {
+            fn windows_processed(&self, _device_id: u64, _count: usize) {}
+
+            fn device_completed(&self, _device_id: u64, _windows: usize) {
+                self.completed.fetch_add(1, Ordering::Relaxed);
+            }
+
+            fn should_cancel(&self) -> bool {
+                self.completed.load(Ordering::Relaxed) >= self.after
+            }
+        }
+
+        let zoo = ModelZoo::paper_setup();
+        let engine = shared_engine(&zoo);
+        let scenarios: Vec<_> = ScenarioGenerator::new(9, ScenarioMix::balanced())
+            .scenarios(8)
+            .collect();
+        // Both executor arms must honor the hook: with 4 workers over
+        // 2-device chunks, every worker re-polls before its second device,
+        // so at most `threads` devices complete after the request.
+        for threads in [1usize, 4] {
+            let sink = CancelAfter {
+                after: 2,
+                completed: AtomicUsize::new(0),
+            };
+            let result = run_fleet_with_progress(
+                &scenarios,
+                &zoo,
+                &engine,
+                &ExecutorOptions {
+                    threads,
+                    chunk_size: 2,
+                    ..ExecutorOptions::default()
+                },
+                Some(&sink),
+            );
+            assert!(
+                matches!(result, Err(FleetError::Cancelled)),
+                "threads={threads}: expected Cancelled, got {result:?}"
+            );
+            let completed = sink.completed.load(Ordering::Relaxed);
+            assert!(
+                (2..8).contains(&completed),
+                "threads={threads}: cancellation should stop the run partway, \
+                 completed={completed}"
+            );
+        }
+
+        // A sink that cancels immediately aborts before any device runs.
+        let sink = CancelAfter {
+            after: 0,
+            completed: AtomicUsize::new(0),
+        };
+        let result = run_fleet_with_progress(
+            &scenarios,
+            &zoo,
+            &engine,
+            &ExecutorOptions::default(),
+            Some(&sink),
+        );
+        assert!(matches!(result, Err(FleetError::Cancelled)));
+        assert_eq!(sink.completed.load(Ordering::Relaxed), 0);
     }
 
     #[test]

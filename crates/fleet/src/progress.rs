@@ -32,6 +32,17 @@ pub trait ProgressSink: Sync {
     fn profile_cache(&self, hits: u64, misses: u64) {
         let _ = (hits, misses);
     }
+
+    /// Cooperative cancellation hook, polled by the executor between devices
+    /// (before each device starts, and before a worker claims its next
+    /// chunk). Returning `true` makes the run abort at the next device
+    /// boundary with [`crate::FleetError::Cancelled`] instead of producing a
+    /// partial report — in-flight devices finish their current window stream
+    /// first, so cancellation never tears a device mid-simulation. Default:
+    /// never cancel, which keeps plain progress sinks byte-invisible.
+    fn should_cancel(&self) -> bool {
+        false
+    }
 }
 
 /// [`WindowSource`] adapter that reports every pulled window to a

@@ -1,0 +1,59 @@
+//! # fleetd — fleet-as-a-service daemon
+//!
+//! A dependency-free HTTP/1.1 daemon turning the `fleet` crate's sharded
+//! simulation engine into a long-running service: clients `POST` job specs,
+//! a worker pool runs the shards through the ordinary fleet executor,
+//! progress is observable live, the process metrics registry is scraped at
+//! `GET /metrics`, and the final report body is **byte-identical** to what
+//! the `fleet --json` CLI prints for the same spec — for both exact and
+//! sketched aggregation.
+//!
+//! Every completed shard is checkpointed into a per-job spool directory as
+//! an ordinary [`fleet::ShardReport`] artifact. A killed daemon restarted
+//! over the same spool re-admits those artifacts through the same provenance
+//! gate `fleet-merge` uses and re-runs only the missing ranges — crash
+//! recovery is just the sharded-merge workflow applied to the daemon's own
+//! directory.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`http`] | hand-rolled HTTP/1.1 parsing over `std::net`, hard limits, typed errors |
+//! | [`job`] | job specs (serde), states, live status |
+//! | [`scheduler`] | bounded queue, worker pool, merge-and-persist |
+//! | [`server`] | accept loop, routing, graceful drain / abort shutdown |
+//! | [`spool`] | crash-safe artifact writes, provenance gate, recovery scan |
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use fleetd::{Daemon, DaemonConfig};
+//!
+//! let dir = std::env::temp_dir().join(format!("fleetd-doc-{}", std::process::id()));
+//! let config = DaemonConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     spool: dir.clone(),
+//!     workers: 1,
+//!     queue_depth: 2,
+//! };
+//! let daemon = Daemon::bind(&config).unwrap();
+//! let addr = daemon.local_addr().unwrap();
+//! assert_ne!(addr.port(), 0);
+//! // `daemon.run()` would now serve requests until POST /shutdown.
+//! drop(daemon);
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod job;
+pub mod scheduler;
+pub mod server;
+pub mod spool;
+
+pub use http::{Request, Response};
+pub use job::{JobSpec, JobState, JobStatus};
+pub use scheduler::{ReportOutcome, Scheduler, SubmitError};
+pub use server::{Daemon, DaemonConfig, DaemonError};
+pub use spool::{write_atomic, Spool};

@@ -1,0 +1,151 @@
+//! Shared helpers for fleetd integration tests: boot a real daemon on an
+//! ephemeral port and speak raw HTTP/1.1 to it over `TcpStream`.
+#![allow(dead_code)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use fleetd::{Daemon, DaemonConfig};
+
+/// A live daemon under test plus everything needed to talk to and stop it.
+pub struct TestDaemon {
+    /// The bound (ephemeral) address.
+    pub addr: SocketAddr,
+    /// The spool root, unique per test.
+    pub spool: PathBuf,
+    handle: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestDaemon {
+    /// Boots a daemon with a fresh spool named after `tag`.
+    pub fn start(tag: &str, workers: usize, queue_depth: usize) -> Self {
+        let spool = std::env::temp_dir().join(format!("fleetd-it-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&spool);
+        Self::start_on(spool, workers, queue_depth)
+    }
+
+    /// Boots a daemon over an existing spool (the restart/recovery path).
+    pub fn start_on(spool: PathBuf, workers: usize, queue_depth: usize) -> Self {
+        let config = DaemonConfig {
+            addr: "127.0.0.1:0".into(),
+            spool: spool.clone(),
+            workers,
+            queue_depth,
+        };
+        let daemon = Daemon::bind(&config).expect("binding the test daemon");
+        let addr = daemon.local_addr().expect("bound address");
+        let handle = std::thread::spawn(move || daemon.run());
+        Self {
+            addr,
+            spool,
+            handle: Some(handle),
+        }
+    }
+
+    /// Sends raw request bytes, returns `(status, body)` of the response.
+    pub fn raw(&self, request: &[u8]) -> (u16, Vec<u8>) {
+        let mut stream = TcpStream::connect(self.addr).expect("connecting to the daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream.write_all(request).expect("sending the request");
+        read_response(stream)
+    }
+
+    /// Sends raw bytes then half-closes the write side (a truncated
+    /// request), returns the daemon's response.
+    pub fn raw_truncated(&self, request: &[u8]) -> (u16, Vec<u8>) {
+        let mut stream = TcpStream::connect(self.addr).expect("connecting to the daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream.write_all(request).expect("sending the request");
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-closing");
+        read_response(stream)
+    }
+
+    /// A well-formed request; `body` implies `Content-Length`.
+    pub fn request(&self, method: &str, target: &str, body: Option<&str>) -> (u16, String) {
+        let mut text = format!("{method} {target} HTTP/1.1\r\nHost: fleetd\r\n");
+        if let Some(body) = body {
+            text.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        text.push_str("\r\n");
+        if let Some(body) = body {
+            text.push_str(body);
+        }
+        let (status, bytes) = self.raw(text.as_bytes());
+        (status, String::from_utf8_lossy(&bytes).into_owned())
+    }
+
+    /// Polls `GET /jobs/{id}` until the job reports a terminal state.
+    pub fn wait_done(&self, id: u64) -> String {
+        for _ in 0..6000 {
+            let (status, body) = self.request("GET", &format!("/jobs/{id}"), None);
+            assert_eq!(status, 200, "status poll failed: {body}");
+            if body.contains("\"state\":\"done\"") || body.contains("\"state\":\"failed\"") {
+                return body;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("job {id} did not reach a terminal state");
+    }
+
+    /// Drains the daemon via `POST /shutdown` and joins its accept loop.
+    pub fn shutdown(&mut self) {
+        if self.handle.is_none() {
+            return;
+        }
+        let (status, _) = self.request("POST", "/shutdown", None);
+        assert_eq!(status, 200);
+        self.join();
+    }
+
+    /// Joins the accept loop without sending anything (after an
+    /// out-of-band shutdown request).
+    pub fn join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            handle.join().expect("daemon thread").expect("daemon run");
+        }
+    }
+
+    /// Removes the spool directory (call at the end of a passing test).
+    pub fn cleanup(mut self) {
+        self.shutdown();
+        let _ = std::fs::remove_dir_all(&self.spool);
+    }
+}
+
+/// Reads the full `Connection: close` response, returns `(status, body)`.
+fn read_response(mut stream: TcpStream) -> (u16, Vec<u8>) {
+    let mut bytes = Vec::new();
+    stream
+        .read_to_end(&mut bytes)
+        .expect("reading the response");
+    let text_end = bytes
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a header/body separator");
+    let head = std::str::from_utf8(&bytes[..text_end]).expect("headers are UTF-8");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status line has a code")
+        .parse()
+        .expect("status code parses");
+    (status, bytes[text_end + 4..].to_vec())
+}
+
+/// Extracts `"id": N` from a JobStatus JSON body (compact serialization).
+pub fn job_id(body: &str) -> u64 {
+    let tail = body.split("\"id\":").nth(1).expect("status body has an id");
+    tail.chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("id parses")
+}

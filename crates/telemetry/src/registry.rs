@@ -495,6 +495,15 @@ impl Registry {
         self.snapshot_filtered(Some(Stability::Stable))
     }
 
+    /// Snapshots the registry and renders it as Prometheus text exposition in
+    /// one call — the live scrape path of a serving process (e.g. `fleetd`'s
+    /// `GET /metrics`), as opposed to the `--metrics-out` file the one-shot
+    /// CLIs write at exit. Each call observes the registry at that instant;
+    /// two scrapes of a busy process legitimately differ.
+    pub fn exposition(&self) -> String {
+        crate::text::render_text(&self.snapshot())
+    }
+
     fn snapshot_filtered(&self, only: Option<Stability>) -> MetricsSnapshot {
         let store = self
             .inner

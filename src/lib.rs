@@ -100,6 +100,12 @@ pub mod fleet {
     pub use ::fleet::*;
 }
 
+/// Fleet-as-a-service daemon: HTTP job scheduling, live telemetry serving
+/// and checkpoint/resume (re-export of `fleetd`).
+pub mod daemon {
+    pub use ::fleetd::*;
+}
+
 /// Metrics registry, snapshots and Prometheus-text exposition (re-export of
 /// `telemetry`).
 pub mod telemetry {
