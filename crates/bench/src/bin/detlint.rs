@@ -1,0 +1,99 @@
+//! `detlint` — run the workspace determinism & concurrency lint pass.
+//!
+//! ```text
+//! cargo run --release -p bench --bin detlint -- --deny
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (with `--deny`; without it findings are
+//! reported but the exit stays 0 so exploratory runs compose with shell
+//! pipelines), 2 usage / config / I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    deny: bool,
+    json: bool,
+    files: Vec<String>,
+}
+
+const USAGE: &str = "usage: detlint [--root DIR] [--config FILE] [--deny] [--json] [FILE...]
+
+Lints the workspace (or just FILE..., workspace-relative) against the
+determinism & concurrency rules:
+
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        deny: false,
+        json: false,
+        files: Vec::new(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(iter.next().ok_or("--root needs a directory")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(iter.next().ok_or("--config needs a file")?));
+            }
+            "--deny" => args.deny = true,
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                let mut usage = String::from(USAGE);
+                for rule in detlint::Rule::ALL {
+                    usage.push_str(&format!("  {}  {}\n", rule.name(), rule.summary()));
+                }
+                return Err(usage);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            file => args.files.push(file.replace('\\', "/")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let config = match &args.config {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            detlint::parse_config(&text).map_err(|e| e.to_string())?
+        }
+        None => detlint::load_config(&args.root).map_err(|e| e.to_string())?,
+    };
+    let report = detlint::lint_workspace(&args.root, &args.files, &config)
+        .map_err(|e| format!("lint walk failed: {e}"))?;
+    if args.json {
+        print!("{}", detlint::render_json(&report, &config));
+    } else {
+        print!("{}", detlint::render_text(&report, &config));
+    }
+    // Stale waivers fail a --deny run too: the config must stay truthful.
+    // (Unused waivers are only checked on whole-workspace runs — a partial
+    // file list legitimately leaves most waivers unmatched.)
+    let dirty =
+        !report.findings.is_empty() || (args.files.is_empty() && !report.unused_waivers.is_empty());
+    if args.deny && dirty {
+        eprintln!("detlint: failing (--deny)");
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -255,26 +255,34 @@ impl StderrProgress {
 
     /// Devices completed so far.
     pub fn devices_done(&self) -> u64 {
+        // relaxed: single-cell monotone counter read for display.
         self.devices_done.load(Ordering::Relaxed)
     }
 
     /// Device-progress lines printed so far (excluding the one-off
     /// profile-cache line) — what the throttle cap bounds.
     pub fn progress_lines(&self) -> u64 {
+        // relaxed: single-cell monotone counter read for display.
         self.lines_emitted.load(Ordering::Relaxed)
     }
 
     /// Windows processed so far, across all devices.
     pub fn windows_done(&self) -> u64 {
+        // relaxed: single-cell monotone counter read for display.
         self.windows_done.load(Ordering::Relaxed)
     }
 
     /// Profiling-window cache totals of the finished run, when the executor
     /// reported them (`--profile-cache` runs only): `(hits, misses)`.
     pub fn cache_stats(&self) -> Option<(u64, u64)> {
-        self.cache_reported.load(Ordering::Relaxed).then(|| {
+        // acquire: pairs with the release store in `profile_cache` — seeing
+        // the flag must also make the hit/miss cells it publishes visible,
+        // or a cross-thread reader could observe `Some((0, 0))`.
+        self.cache_reported.load(Ordering::Acquire).then(|| {
             (
+                // relaxed: ordered by the acquire load of the flag above.
                 self.cache_hits.load(Ordering::Relaxed),
+                // relaxed: ordered by the acquire load of the flag above.
                 self.cache_misses.load(Ordering::Relaxed),
             )
         })
@@ -283,13 +291,20 @@ impl StderrProgress {
 
 impl ProgressSink for StderrProgress {
     fn windows_processed(&self, _device_id: u64, count: usize) {
+        // relaxed: single-cell monotone counter; printed totals are re-read
+        // under `print_lock`, which orders them.
         self.windows_done.fetch_add(count as u64, Ordering::Relaxed);
     }
 
     fn profile_cache(&self, hits: u64, misses: u64) {
+        // relaxed: published by the release store of the flag below; never
+        // read before the flag is seen.
         self.cache_hits.store(hits, Ordering::Relaxed);
+        // relaxed: published by the release store of the flag below.
         self.cache_misses.store(misses, Ordering::Relaxed);
-        self.cache_reported.store(true, Ordering::Relaxed);
+        // release: publishes the two stores above to the acquire load in
+        // `cache_stats` (the torn-snapshot class PR 7 fixed in telemetry).
+        self.cache_reported.store(true, Ordering::Release);
         let _guard = self
             .print_lock
             .lock()
@@ -298,20 +313,27 @@ impl ProgressSink for StderrProgress {
     }
 
     fn device_completed(&self, _device_id: u64, _windows: usize) {
+        // relaxed: RMW atomicity alone makes `done` values unique per
+        // worker, which is all the throttle predicate needs.
         let done = self.devices_done.fetch_add(1, Ordering::Relaxed) + 1;
         if done.is_multiple_of(self.step) || done == self.total_devices {
             let _guard = self
                 .print_lock
                 .lock()
                 .expect("progress printing never panics");
+            // relaxed: written and read only under `print_lock`.
             self.lines_emitted.fetch_add(1, Ordering::Relaxed);
             // Fresh snapshot under the lock: a worker that lost the print
             // race reports the newer totals instead of a stale, smaller
             // count.
             eprintln!(
                 "progress: devices {}/{} windows {}",
+                // relaxed: display snapshot under the print lock; the
+                // final-totals line is exact because every worker's adds
+                // happen-before its own `done == total` print.
                 self.devices_done.load(Ordering::Relaxed),
                 self.total_devices,
+                // relaxed: display snapshot under the print lock, as above.
                 self.windows_done.load(Ordering::Relaxed),
             );
         }
@@ -504,6 +526,33 @@ mod tests {
         sink.device_completed(3, 15);
         assert_eq!(sink.devices_done(), 1);
         assert_eq!(sink.windows_done(), 15);
+    }
+
+    #[test]
+    fn cache_stats_publication_is_acquire_release() {
+        // Regression shape for the torn-snapshot class: the hit/miss cells
+        // are written before the `cache_reported` flag, and `cache_stats`
+        // must never return `Some` with values older than that store. The
+        // release/acquire pairing makes this a guarantee rather than an
+        // accident of x86; this test pins the observable contract across a
+        // real thread boundary.
+        for _ in 0..64 {
+            let sink = std::sync::Arc::new(StderrProgress::new(1));
+            assert_eq!(sink.cache_stats(), None);
+            let writer = {
+                let sink = std::sync::Arc::clone(&sink);
+                std::thread::spawn(move || sink.profile_cache(7, 3))
+            };
+            // Spin until the flag is visible; the values must arrive with it.
+            let stats = loop {
+                if let Some(stats) = sink.cache_stats() {
+                    break stats;
+                }
+                std::hint::spin_loop();
+            };
+            assert_eq!(stats, (7, 3));
+            writer.join().expect("writer thread never panics");
+        }
     }
 
     #[test]

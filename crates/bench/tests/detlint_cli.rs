@@ -1,0 +1,188 @@
+//! End-to-end tests of the `detlint` binary: exit codes, `--json` output
+//! that round-trips through a real JSON parser, waiver suppression via
+//! `--config`, and — the gate CI relies on — the actual workspace linting
+//! clean under the committed `detlint.toml`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use serde::{map_field, Deserialize, Error, Value};
+
+/// The vendored `serde::Value` doesn't implement `Deserialize` itself (the
+/// workspace parses straight into typed structs), so a newtype that captures
+/// the raw tree gives these tests dynamic access to the `--json` document.
+struct Doc(Value);
+
+impl Deserialize for Doc {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Doc(value.clone()))
+    }
+}
+
+/// Looks up `key` in a JSON object, panicking with context on a miss.
+fn field<'a>(value: &'a Value, key: &str) -> &'a Value {
+    let entries = value.as_map().expect("JSON object");
+    map_field(entries, key).unwrap_or_else(|_| panic!("missing field `{key}`"))
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_detlint"))
+        .args(args)
+        .output()
+        .expect("running detlint")
+}
+
+/// The detlint fixture trees, reached from bench's manifest dir.
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../detlint/tests/fixtures")
+        .join(name)
+}
+
+/// The real workspace root.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn temp_file(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("detlint-cli-{name}-{}", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn violations_fail_with_deny_and_name_their_sites() {
+    let root = fixture_root("violating");
+    let output = run(&["--root", root.to_str().unwrap(), "--deny"]);
+    assert_eq!(output.status.code(), Some(1), "deny mode exits 1");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    // Exact file:line diagnostics, one per deliberate violation.
+    for expected in [
+        "crates/fleet/src/lib.rs:4: D1",
+        "crates/fleet/src/lib.rs:11: D2",
+        "crates/fleet/src/lib.rs:15: D3",
+        "crates/fleet/src/lib.rs:23: A1",
+        "crates/fleetd/src/http.rs:5: P1",
+        "crates/fleetd/src/http.rs:7: P1",
+    ] {
+        assert!(
+            stdout.contains(expected),
+            "missing `{expected}` in:\n{stdout}"
+        );
+    }
+
+    // Without --deny the findings are still printed but the exit is 0, so
+    // exploratory runs compose with shell pipelines.
+    let output = run(&["--root", root.to_str().unwrap()]);
+    assert_eq!(output.status.code(), Some(0));
+}
+
+#[test]
+fn json_output_round_trips_and_matches_the_text_run() {
+    let root = fixture_root("violating");
+    let output = run(&["--root", root.to_str().unwrap(), "--json"]);
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let Doc(doc) = serde_json::from_str(&stdout).expect("--json output parses as JSON");
+    assert_eq!(field(&doc, "version").as_u64(), Some(1));
+    let findings = field(&doc, "findings").as_seq().expect("findings array");
+    assert_eq!(findings.len(), 10);
+    // Spot-check the schema of one finding.
+    let first = &findings[0];
+    assert_eq!(field(first, "rule").as_str(), Some("D1"));
+    assert_eq!(
+        field(first, "path").as_str(),
+        Some("crates/fleet/src/lib.rs")
+    );
+    assert_eq!(field(first, "line").as_u64(), Some(4));
+    assert!(field(first, "message").as_str().is_some());
+    assert!(field(first, "snippet").as_str().is_some());
+    // Summary block is consistent with the findings array.
+    let summary = field(&doc, "summary");
+    assert_eq!(field(summary, "findings").as_u64(), Some(10));
+    assert_eq!(field(summary, "files").as_u64(), Some(2));
+    let per_rule = field(&doc, "per_rule");
+    assert_eq!(field(per_rule, "D1").as_u64(), Some(3));
+    assert_eq!(field(per_rule, "P1").as_u64(), Some(3));
+}
+
+#[test]
+fn waivers_and_allow_lists_suppress_via_config_flag() {
+    let root = fixture_root("violating");
+    let config = temp_file(
+        "waive-all",
+        r#"
+[rules.D1]
+allow = ["crates/fleet/src/lib.rs"]
+[rules.D2]
+allow = ["crates/fleet/src/lib.rs"]
+[rules.D3]
+allow = ["crates/fleet/src/lib.rs"]
+[rules.A1]
+allow = ["crates/fleet/src/lib.rs"]
+[rules.P1]
+allow = ["crates/fleetd/src/http.rs"]
+"#,
+    );
+    let output = run(&[
+        "--root",
+        root.to_str().unwrap(),
+        "--config",
+        config.to_str().unwrap(),
+        "--deny",
+    ]);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "fully allowed tree lints clean: {}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    std::fs::remove_file(config).unwrap();
+}
+
+#[test]
+fn stale_waivers_fail_deny_runs() {
+    let root = fixture_root("conforming");
+    let config = temp_file(
+        "stale",
+        "[[waiver]]\nrule = \"D1\"\npath = \"nope.rs\"\nreason = \"matches nothing\"\n",
+    );
+    let output = run(&[
+        "--root",
+        root.to_str().unwrap(),
+        "--config",
+        config.to_str().unwrap(),
+        "--deny",
+    ]);
+    assert_eq!(output.status.code(), Some(1), "stale waiver fails --deny");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("unused waiver"), "stdout: {stdout}");
+    std::fs::remove_file(config).unwrap();
+}
+
+#[test]
+fn clean_tree_and_usage_errors() {
+    let root = fixture_root("conforming");
+    let output = run(&["--root", root.to_str().unwrap(), "--deny"]);
+    assert_eq!(output.status.code(), Some(0));
+
+    // Unknown flags and unparseable configs are usage errors: exit 2.
+    assert_eq!(run(&["--frobnicate"]).status.code(), Some(2));
+    let bad = temp_file("bad-config", "[unknown section\n");
+    let output = run(&["--config", bad.to_str().unwrap()]);
+    assert_eq!(output.status.code(), Some(2));
+    std::fs::remove_file(bad).unwrap();
+}
+
+/// The gate CI enforces: the actual workspace, linted with the committed
+/// `detlint.toml`, is clean under `--deny`.
+#[test]
+fn real_workspace_is_clean_under_the_committed_config() {
+    let root = workspace_root();
+    let output = run(&["--root", root.to_str().unwrap(), "--deny"]);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "workspace must lint clean:\n{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+}

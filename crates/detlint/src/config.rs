@@ -1,0 +1,304 @@
+//! `detlint.toml` parsing: waivers and per-rule scope overrides.
+//!
+//! The linter is dependency-free, so this is a hand-rolled parser for the
+//! small TOML subset the config actually uses: comments, `[rules.<ID>]`
+//! tables with string-array values, and `[[waiver]]` array-of-tables with
+//! string values. Anything outside that subset is a loud [`ConfigError`] —
+//! a config that silently half-parses would waive the wrong things.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::rules::Rule;
+
+/// One committed waiver: a finding matching it is accepted, not reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// The rule this waiver applies to.
+    pub rule: Rule,
+    /// Workspace-relative path the waiver is pinned to (exact match).
+    pub path: String,
+    /// When set, the flagged source line must contain this substring —
+    /// pinning the waiver to a site without being brittle about line
+    /// numbers.
+    pub contains: Option<String>,
+    /// Why the site is acceptable; required so `detlint.toml` reviews like
+    /// documentation.
+    pub reason: String,
+}
+
+/// Parsed `detlint.toml`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    /// All waivers in file order.
+    pub waivers: Vec<Waiver>,
+    /// Per-rule extra allowed path prefixes (e.g. D2's wall-clock modules).
+    pub allow: BTreeMap<Rule, Vec<String>>,
+}
+
+/// A config file the parser refuses to accept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line of the offending construct.
+    pub line: u32,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "detlint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+enum Section {
+    None,
+    RuleAllow(Rule),
+    Waiver,
+}
+
+/// Parses the config text.
+///
+/// # Errors
+///
+/// [`ConfigError`] on any line that is not a comment, blank, a recognized
+/// section header, or a `key = value` pair with a string / string-array
+/// value — including unknown rule ids and waivers missing `rule`, `path` or
+/// `reason`.
+pub fn parse_config(text: &str) -> Result<Config, ConfigError> {
+    let mut config = Config::default();
+    let mut section = Section::None;
+    // Fields of the [[waiver]] currently being read.
+    let mut pending: Option<(u32, BTreeMap<String, String>)> = None;
+
+    let finish_waiver = |pending: &mut Option<(u32, BTreeMap<String, String>)>,
+                         config: &mut Config|
+     -> Result<(), ConfigError> {
+        if let Some((line, fields)) = pending.take() {
+            let field = |name: &str| -> Result<String, ConfigError> {
+                fields.get(name).cloned().ok_or_else(|| ConfigError {
+                    line,
+                    message: format!("[[waiver]] is missing required key `{name}`"),
+                })
+            };
+            let rule_name = field("rule")?;
+            let rule = Rule::from_name(&rule_name).ok_or_else(|| ConfigError {
+                line,
+                message: format!("unknown rule `{rule_name}`"),
+            })?;
+            config.waivers.push(Waiver {
+                rule,
+                path: field("path")?,
+                contains: fields.get("contains").cloned(),
+                reason: field("reason")?,
+            });
+        }
+        Ok(())
+    };
+
+    for (index, raw) in text.lines().enumerate() {
+        let line_no = (index + 1) as u32;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            finish_waiver(&mut pending, &mut config)?;
+            if header.trim() != "waiver" {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: format!("unknown array-of-tables `[[{header}]]`"),
+                });
+            }
+            section = Section::Waiver;
+            pending = Some((line_no, BTreeMap::new()));
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            finish_waiver(&mut pending, &mut config)?;
+            let header = header.trim();
+            let Some(rule_name) = header.strip_prefix("rules.") else {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: format!("unknown section `[{header}]` (expected `[rules.<ID>]`)"),
+                });
+            };
+            let rule = Rule::from_name(rule_name.trim()).ok_or_else(|| ConfigError {
+                line: line_no,
+                message: format!("unknown rule `{}`", rule_name.trim()),
+            })?;
+            section = Section::RuleAllow(rule);
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ConfigError {
+                line: line_no,
+                message: format!("expected `key = value`, got `{line}`"),
+            });
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match &section {
+            Section::None => {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: "key outside any section".to_string(),
+                });
+            }
+            Section::RuleAllow(rule) => {
+                if key != "allow" {
+                    return Err(ConfigError {
+                        line: line_no,
+                        message: format!("unknown key `{key}` in [rules.{}]", rule.name()),
+                    });
+                }
+                let paths = parse_string_array(value).ok_or_else(|| ConfigError {
+                    line: line_no,
+                    message: "`allow` must be an array of strings".to_string(),
+                })?;
+                config.allow.entry(*rule).or_default().extend(paths);
+            }
+            Section::Waiver => {
+                let text = parse_string(value).ok_or_else(|| ConfigError {
+                    line: line_no,
+                    message: format!("`{key}` must be a double-quoted string"),
+                })?;
+                if !matches!(key, "rule" | "path" | "contains" | "reason") {
+                    return Err(ConfigError {
+                        line: line_no,
+                        message: format!("unknown key `{key}` in [[waiver]]"),
+                    });
+                }
+                if let Some((_, fields)) = &mut pending {
+                    if fields.insert(key.to_string(), text).is_some() {
+                        return Err(ConfigError {
+                            line: line_no,
+                            message: format!("duplicate key `{key}` in [[waiver]]"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    finish_waiver(&mut pending, &mut config)?;
+    Ok(config)
+}
+
+/// Strips a `#` comment that is outside any double-quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a `"..."` TOML string (basic escapes only).
+fn parse_string(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '"' {
+            return None; // an unescaped quote means the suffix-strip lied
+        }
+        if c == '\\' {
+            match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Parses `["a", "b"]` (single-line arrays only — enough for path lists).
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    let inner = value.strip_prefix('[')?.strip_suffix(']')?.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|part| !part.is_empty()) // tolerate a trailing comma
+        .map(parse_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_allow_and_waivers() {
+        let text = r#"
+# Wall-clock modules.
+[rules.D2]
+allow = ["crates/telemetry/src/registry.rs", "crates/bench/src/bin/fleet.rs"]
+
+# A pinned waiver.
+[[waiver]]
+rule = "D3"
+path = "crates/fleet/src/report.rs"
+contains = "OFFLOAD_HISTOGRAM_BINS"
+reason = "clamped deterministically; documented policy"
+
+[[waiver]]
+rule = "A1"
+path = "crates/fleet/src/executor.rs"
+reason = "work-claim cursor"
+"#;
+        let config = parse_config(text).unwrap();
+        assert_eq!(config.allow[&Rule::D2].len(), 2);
+        assert_eq!(config.waivers.len(), 2);
+        assert_eq!(config.waivers[0].rule, Rule::D3);
+        assert_eq!(
+            config.waivers[0].contains.as_deref(),
+            Some("OFFLOAD_HISTOGRAM_BINS")
+        );
+        assert_eq!(config.waivers[1].contains, None);
+    }
+
+    #[test]
+    fn rejects_unknown_rules_sections_and_missing_keys() {
+        assert!(parse_config("[rules.Z9]\nallow = []").is_err());
+        assert!(parse_config("[unknown]\nx = \"y\"").is_err());
+        assert!(parse_config("[[waiver]]\nrule = \"D1\"\npath = \"x\"").is_err()); // no reason
+        assert!(parse_config("[[waiver]]\nrule = \"D1\"\nbogus = \"x\"").is_err());
+        assert!(parse_config("stray = \"value\"").is_err());
+        assert!(parse_config("[[waivers]]\n").is_err());
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let text = "[[waiver]]\nrule = \"D1\"\npath = \"a\"\nreason = \"uses # intentionally\"";
+        let config = parse_config(text).unwrap();
+        assert_eq!(config.waivers[0].reason, "uses # intentionally");
+    }
+
+    #[test]
+    fn empty_config_is_fine() {
+        assert_eq!(
+            parse_config("# only comments\n\n").unwrap(),
+            Config::default()
+        );
+    }
+}

@@ -1,0 +1,562 @@
+//! A minimal, line/comment/string-aware Rust token scanner.
+//!
+//! This is not a full Rust lexer — it is exactly the subset the detlint
+//! rules need: identifiers, punctuation, numeric literals (with a float /
+//! integer distinction), string-ish literals (regular, raw, byte), char
+//! literals vs. lifetimes, and comments (line and nested block), each tagged
+//! with its 1-based source line. Anything inside a comment or a string
+//! produces no tokens, so `// Ordering::Relaxed` or `"HashMap"` can never
+//! trip a rule.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fleet`, `as`, `usize`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `(`, `[`, ...).
+    Punct,
+    /// An integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// A float literal (`1.0`, `2e3`, `0.5f32`).
+    Float,
+    /// A string, raw-string, byte-string or char literal (content dropped).
+    Literal,
+    /// A lifetime (`'a`); kept distinct so `'a` is never a char literal.
+    Lifetime,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokenKind,
+    /// The token text (empty for [`TokenKind::Literal`]).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block) with its span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+}
+
+/// The output of [`lex`]: tokens plus the comments that were skipped.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// All non-comment, non-whitespace tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order (rule A1 reads these).
+    pub comments: Vec<Comment>,
+}
+
+/// Scans `source` into tokens and comments. Never fails: unterminated
+/// strings or comments simply consume the rest of the file (the compiler
+/// will reject such code anyway; the linter stays quiet rather than
+/// guessing).
+pub fn lex(source: &str) -> LexOutput {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: LexOutput,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Self {
+            bytes: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            out: LexOutput::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn run(mut self) -> LexOutput {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'r' | b'b' => {
+                    if !self.raw_or_byte_literal() {
+                        self.ident();
+                    }
+                }
+                b'\'' => self.char_or_lifetime(),
+                _ if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                _ if b.is_ascii_digit() => self.number(),
+                _ if b == b'_' || b.is_ascii_alphabetic() => self.ident(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.out.tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: (b as char).to_string(),
+                        line,
+                    });
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump(); // `//`
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump(); // `/*`
+        let start = self.pos;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    // Exclude the closing `*/` from the text.
+                    if depth == 0 {
+                        let text =
+                            String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                        self.bump();
+                        self.bump();
+                        self.out.comments.push(Comment {
+                            text,
+                            line,
+                            end_line: self.line,
+                        });
+                        return;
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: swallow the rest
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: self.line,
+        });
+    }
+
+    /// Consumes a `"..."` string literal with escape handling.
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Literal,
+            text: String::new(),
+            line,
+        });
+    }
+
+    /// Tries to consume `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`.
+    /// Returns false when the `r`/`b` starts a plain identifier instead.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let mut ahead = 1; // past the leading r/b
+        if self.peek(0) == Some(b'b') && self.peek(1) == Some(b'r') {
+            ahead = 2;
+        }
+        if self.peek(0) == Some(b'b') && self.peek(ahead) == Some(b'\'') {
+            // Byte char literal b'x'.
+            let line = self.line;
+            for _ in 0..=ahead {
+                self.bump();
+            }
+            while let Some(b) = self.bump() {
+                match b {
+                    b'\\' => {
+                        self.bump();
+                    }
+                    b'\'' => break,
+                    _ => {}
+                }
+            }
+            self.out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: String::new(),
+                line,
+            });
+            return true;
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead) == Some(b'#') {
+            hashes += 1;
+            ahead += 1;
+        }
+        if self.peek(ahead) != Some(b'"') {
+            return false;
+        }
+        if hashes > 0 && !matches!(self.peek(0), Some(b'r')) && self.peek(1) != Some(b'r') {
+            // b#"..." is not a literal form; let the ident path handle `b`.
+            return false;
+        }
+        let line = self.line;
+        for _ in 0..=ahead {
+            self.bump(); // prefix, hashes, opening quote
+        }
+        if hashes == 0 {
+            // r"..." / b"...": plain terminator, escapes not special in raw
+            // strings, but b"..." does process escapes; for scanning
+            // purposes treating `\"` as escaped is safe for both (a raw
+            // string containing `\"` simply ends one char later — the
+            // contents are dropped anyway).
+            while let Some(b) = self.bump() {
+                match b {
+                    b'\\' => {
+                        self.bump();
+                    }
+                    b'"' => break,
+                    _ => {}
+                }
+            }
+        } else {
+            // r#"..."#: ends at `"` followed by the same number of hashes.
+            'scan: while let Some(b) = self.bump() {
+                if b == b'"' {
+                    for i in 0..hashes {
+                        if self.peek(i) != Some(b'#') {
+                            continue 'scan;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Literal,
+            text: String::new(),
+            line,
+        });
+        true
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // A lifetime is `'` + ident-start, NOT followed by a closing `'`.
+        if let Some(b) = self.peek(1) {
+            if (b == b'_' || b.is_ascii_alphabetic()) && self.peek(2) != Some(b'\'') {
+                self.bump(); // `'`
+                let start = self.pos;
+                while let Some(b) = self.peek(0) {
+                    if b == b'_' || b.is_ascii_alphanumeric() {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                self.out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text,
+                    line,
+                });
+                return;
+            }
+        }
+        self.bump(); // `'`
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Literal,
+            text: String::new(),
+            line,
+        });
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        let mut float = false;
+        // Hex/octal/binary prefixes can't be floats.
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x') | Some(b'o') | Some(b'b'))
+        {
+            self.bump();
+            self.bump();
+            while let Some(b) = self.peek(0) {
+                if b.is_ascii_alphanumeric() || b == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while let Some(b) = self.peek(0) {
+                if b.is_ascii_digit() || b == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            // A `.` makes it a float only when followed by a digit
+            // (`1.0`), not a method call (`1.max(2)`) or range (`1..2`).
+            if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+                float = true;
+                self.bump();
+                while let Some(b) = self.peek(0) {
+                    if b.is_ascii_digit() || b == b'_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some(b'e') | Some(b'E')) {
+                let sign = usize::from(matches!(self.peek(1), Some(b'+') | Some(b'-')));
+                if self.peek(1 + sign).is_some_and(|b| b.is_ascii_digit()) {
+                    float = true;
+                    for _ in 0..=sign {
+                        self.bump();
+                    }
+                    while let Some(b) = self.peek(0) {
+                        if b.is_ascii_digit() || b == b'_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            // Type suffix (`1f64`, `1.5f32`, `7u64`).
+            let suffix_start = self.pos;
+            while let Some(b) = self.peek(0) {
+                if b.is_ascii_alphanumeric() || b == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let suffix = &self.bytes[suffix_start..self.pos];
+            if suffix.starts_with(b"f32") || suffix.starts_with(b"f64") {
+                float = true;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.tokens.push(Token {
+            kind: if float {
+                TokenKind::Float
+            } else {
+                TokenKind::Int
+            },
+            text,
+            line,
+        });
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'_' || b.is_ascii_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.tokens.push(Token {
+            kind: TokenKind::Ident,
+            text,
+            line,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_tokens() {
+        let out = lex("// HashMap\nlet x = \"HashMap::iter\"; /* Ordering::Relaxed */");
+        assert!(!out.tokens.iter().any(|t| t.text.contains("HashMap")));
+        assert!(!out.tokens.iter().any(|t| t.text.contains("Relaxed")));
+        assert_eq!(out.comments.len(), 2);
+        assert_eq!(out.comments[0].text, " HashMap");
+        assert_eq!(out.comments[0].line, 1);
+        assert_eq!(out.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let out = lex("/* a /* b */ c */ ident");
+        assert_eq!(out.comments.len(), 1);
+        assert_eq!(out.tokens.len(), 1);
+        assert_eq!(out.tokens[0].text, "ident");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_embedded_quotes() {
+        let out = lex(r##"let j = r#"{"a": "b"}"#; next"##);
+        let idents: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        // The `r` prefix is consumed as part of the literal, and nothing
+        // inside the raw string tokenizes.
+        assert_eq!(idents, ["let", "j", "next"].to_vec());
+        assert!(!idents.contains(&"a"));
+    }
+
+    #[test]
+    fn raw_string_prefix_is_consumed() {
+        let out = lex(r##"r#"x"# done"##);
+        assert_eq!(out.tokens.len(), 2);
+        assert_eq!(out.tokens[0].kind, TokenKind::Literal);
+        assert_eq!(out.tokens[1].text, "done");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let out = lex(r#"b"POST /jobs" b'\n' tail"#);
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            2
+        );
+        assert_eq!(out.tokens.last().map(|t| t.text.as_str()), Some("tail"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let out = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn float_vs_int_vs_method_call_on_int() {
+        assert_eq!(
+            kinds("1.0 2 3e4 5f32 0xFF 1.max(2) 1..2"),
+            vec![
+                (TokenKind::Float, "1.0".to_string()),
+                (TokenKind::Int, "2".to_string()),
+                (TokenKind::Float, "3e4".to_string()),
+                (TokenKind::Float, "5f32".to_string()),
+                (TokenKind::Int, "0xFF".to_string()),
+                (TokenKind::Int, "1".to_string()),
+                (TokenKind::Punct, ".".to_string()),
+                (TokenKind::Ident, "max".to_string()),
+                (TokenKind::Punct, "(".to_string()),
+                (TokenKind::Int, "2".to_string()),
+                (TokenKind::Punct, ")".to_string()),
+                (TokenKind::Int, "1".to_string()),
+                (TokenKind::Punct, ".".to_string()),
+                (TokenKind::Punct, ".".to_string()),
+                (TokenKind::Int, "2".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_constructs() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = 2;\n\"str\nstr\"\nlet c = 3;";
+        let out = lex(src);
+        let line_of = |name: &str| {
+            out.tokens
+                .iter()
+                .find(|t| t.text == name)
+                .map(|t| t.line)
+                .unwrap_or(0)
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 4);
+        assert_eq!(line_of("c"), 7);
+        assert_eq!(out.comments[0].line, 2);
+        assert_eq!(out.comments[0].end_line, 3);
+    }
+}

@@ -1,0 +1,465 @@
+//! detlint — the workspace determinism & concurrency lint pass.
+//!
+//! The repo's load-bearing guarantee is that fleet reports are byte-
+//! identical across thread counts, shard tilings, merge orders and daemon
+//! restarts. Three prior PRs each fixed a bug from the same small set of
+//! mechanically-detectable patterns: float `as usize` casts, non-total
+//! float orderings, torn relaxed-atomic snapshots. This crate turns that
+//! recurring bug taxonomy into a compile-time gate:
+//!
+//! | rule | what it denies | where |
+//! |---|---|---|
+//! | D1 | `HashMap`/`HashSet` (randomized iteration) | determinism-critical crates |
+//! | D2 | `Instant::now` / `SystemTime` | everywhere except allowlisted wall-clock modules |
+//! | D3 | `float as int` casts, `partial_cmp().unwrap()` | all production code |
+//! | A1 | `Ordering::Relaxed` without `// relaxed: <reason>` | everywhere, tests included |
+//! | P1 | `unwrap`/`expect`/panic-macros/index panics | fleetd request-handling modules |
+//!
+//! Justified sites get either a `// relaxed: ...` comment (A1) or a
+//! committed waiver in `detlint.toml`. The crate is dependency-free — it
+//! ships its own line/comment/string-aware token scanner
+//! ([`lexer`]) instead of `syn`, consistent with the workspace's
+//! vendored-stubs constraint, and hand-rolls its `--json` output.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use config::{parse_config, Config, ConfigError, Waiver};
+pub use rules::{lint_tokens, Finding, Rule};
+
+/// Crates whose report paths must be deterministic: rule D1's scope.
+const D1_CRATES: [&str; 7] = [
+    "crates/core/src",
+    "crates/fleet/src",
+    "crates/fleetd/src",
+    "crates/ppg-data/src",
+    "crates/ppg-dsp/src",
+    "crates/ppg-models/src",
+    "crates/telemetry/src",
+];
+
+/// fleetd modules that serve connections: rule P1's scope.
+const P1_FILES: [&str; 2] = ["crates/fleetd/src/http.rs", "crates/fleetd/src/server.rs"];
+
+/// How a file participates in linting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Production code: `src/` trees and `src/bin` binaries.
+    Source,
+    /// Integration tests, benches, examples: only A1 applies (annotation
+    /// discipline holds everywhere, but test-local hash maps or unwraps are
+    /// fine).
+    Test,
+}
+
+/// Classifies a workspace-relative path. `None` means the file is out of
+/// scope entirely (vendored stubs, build artifacts).
+pub fn classify(rel: &str) -> Option<FileKind> {
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    if rel.starts_with("vendor/") || rel.starts_with("target/") || rel.contains("/target/") {
+        return None;
+    }
+    // Fixture trees are data, not code — detlint's own self-test fixtures
+    // contain deliberate violations that must not fail the real run.
+    if rel.contains("/tests/fixtures/") {
+        return None;
+    }
+    if rel.starts_with("tests/")
+        || rel.starts_with("examples/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+    {
+        return Some(FileKind::Test);
+    }
+    Some(FileKind::Source)
+}
+
+/// The rules that apply to `rel`, given its kind and the config's extra
+/// allow-paths. Returns `(rule, mask_tests)` pairs.
+pub fn rules_for(rel: &str, kind: FileKind, config: &Config) -> Vec<(Rule, bool)> {
+    let allowed = |rule: Rule| {
+        config.allow.get(&rule).is_some_and(|paths| {
+            paths
+                .iter()
+                .any(|p| rel == p || rel.starts_with(p.as_str()))
+        })
+    };
+    let mut rules = Vec::new();
+    if kind == FileKind::Source {
+        if D1_CRATES.iter().any(|p| rel.starts_with(p)) && !allowed(Rule::D1) {
+            rules.push((Rule::D1, true));
+        }
+        if !allowed(Rule::D2) {
+            rules.push((Rule::D2, true));
+        }
+        if !allowed(Rule::D3) {
+            rules.push((Rule::D3, true));
+        }
+        if P1_FILES.contains(&rel) && !allowed(Rule::P1) {
+            rules.push((Rule::P1, true));
+        }
+    }
+    if !allowed(Rule::A1) {
+        rules.push((Rule::A1, false));
+    }
+    rules
+}
+
+/// The outcome of linting a file set.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unwaived findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings accepted by a waiver.
+    pub waived: Vec<Finding>,
+    /// Indices (into `Config::waivers`) of waivers that matched nothing —
+    /// stale entries worth deleting.
+    pub unused_waivers: Vec<usize>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+/// Lints one file's source text, applying scoping but not waivers.
+pub fn lint_file(rel: &str, source: &str, kind: FileKind, config: &Config) -> Vec<Finding> {
+    let lexed = lexer::lex(source);
+    let mut findings = Vec::new();
+    for (rule, mask_tests) in rules_for(rel, kind, config) {
+        findings.extend(lint_tokens(rel, source, &lexed, &[rule], mask_tests));
+    }
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Splits findings into kept / waived and records which waivers were used.
+pub fn apply_waivers(findings: Vec<Finding>, config: &Config, report: &mut LintReport) {
+    let mut used = vec![false; config.waivers.len()];
+    for finding in findings {
+        let matched = config.waivers.iter().enumerate().find(|(_, w)| {
+            w.rule == finding.rule
+                && w.path == finding.path
+                && w.contains
+                    .as_ref()
+                    .is_none_or(|needle| finding.snippet.contains(needle.as_str()))
+        });
+        match matched {
+            Some((index, _)) => {
+                used[index] = true;
+                report.waived.push(finding);
+            }
+            None => report.findings.push(finding),
+        }
+    }
+    report.unused_waivers = used
+        .iter()
+        .enumerate()
+        .filter(|(_, u)| !**u)
+        .map(|(i, _)| i)
+        .collect();
+}
+
+/// Recursively collects every `.rs` file under `root`, returning sorted
+/// workspace-relative paths — sorted so diagnostics and `--json` output are
+/// themselves deterministic.
+///
+/// # Errors
+///
+/// Propagates directory-walk I/O errors.
+pub fn collect_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" || (dir == *root && name == "vendor") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    files.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints the workspace rooted at `root` (or just `only`, when non-empty)
+/// against `config`, applying waivers.
+///
+/// # Errors
+///
+/// Propagates file-read and directory-walk I/O errors.
+pub fn lint_workspace(root: &Path, only: &[String], config: &Config) -> io::Result<LintReport> {
+    let files = if only.is_empty() {
+        collect_files(root)?
+    } else {
+        only.to_vec()
+    };
+    let mut report = LintReport::default();
+    let mut all = Vec::new();
+    for rel in &files {
+        let Some(kind) = classify(rel) else {
+            continue;
+        };
+        let source = std::fs::read_to_string(root.join(rel))?;
+        report.files += 1;
+        all.extend(lint_file(rel, &source, kind, config));
+    }
+    all.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    apply_waivers(all, config, &mut report);
+    Ok(report)
+}
+
+/// Renders the report as the machine-readable `--json` document.
+pub fn render_json(report: &LintReport, config: &Config) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+            json_string(f.rule.name()),
+            json_string(&f.path),
+            f.line,
+            json_string(&f.message),
+            json_string(&f.snippet),
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    out.push_str(&format!(
+        "  \"summary\": {{\"files\": {}, \"findings\": {}, \"waived\": {}, \"unused_waivers\": {}}},\n",
+        report.files,
+        report.findings.len(),
+        report.waived.len(),
+        report.unused_waivers.len(),
+    ));
+    let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &report.findings {
+        *per_rule.entry(f.rule.name()).or_default() += 1;
+    }
+    out.push_str("  \"per_rule\": {");
+    for (i, (rule, count)) in per_rule.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{}: {}", json_string(rule), count));
+    }
+    out.push_str("},\n");
+    out.push_str("  \"unused_waivers\": [");
+    for (i, &index) in report.unused_waivers.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let w = &config.waivers[index];
+        out.push_str(&format!(
+            "{{\"rule\": {}, \"path\": {}}}",
+            json_string(w.rule.name()),
+            json_string(&w.path)
+        ));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Escapes a string for JSON output (the hand-rolled half of `--json`).
+fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders findings in the human `path:line: rule message` shape.
+pub fn render_text(report: &LintReport, config: &Config) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}: {} {}\n    {}\n",
+            f.path,
+            f.line,
+            f.rule.name(),
+            f.message,
+            f.snippet
+        ));
+    }
+    for &index in &report.unused_waivers {
+        let w = &config.waivers[index];
+        out.push_str(&format!(
+            "warning: unused waiver for {} at {} (reason: {})\n",
+            w.rule.name(),
+            w.path,
+            w.reason
+        ));
+    }
+    out.push_str(&format!(
+        "detlint: {} file(s), {} finding(s), {} waived\n",
+        report.files,
+        report.findings.len(),
+        report.waived.len()
+    ));
+    out
+}
+
+/// Resolves the default config path under `root`, tolerating absence.
+///
+/// # Errors
+///
+/// [`ConfigError`] when the file exists but does not parse.
+pub fn load_config(root: &Path) -> Result<Config, ConfigError> {
+    let path: PathBuf = root.join("detlint.toml");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => parse_config(&text),
+        Err(_) => Ok(Config::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_and_scoping() {
+        assert_eq!(
+            classify("crates/fleet/src/report.rs"),
+            Some(FileKind::Source)
+        );
+        assert_eq!(
+            classify("crates/fleet/tests/cache.rs"),
+            Some(FileKind::Test)
+        );
+        assert_eq!(
+            classify("crates/bench/benches/fleet.rs"),
+            Some(FileKind::Test)
+        );
+        assert_eq!(classify("vendor/serde/src/lib.rs"), None);
+        assert_eq!(classify("crates/fleet/src/data.json"), None);
+        assert_eq!(
+            classify("crates/detlint/tests/fixtures/violating/lib.rs"),
+            None
+        );
+
+        let config = Config::default();
+        let rules: Vec<Rule> = rules_for("crates/fleet/src/report.rs", FileKind::Source, &config)
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect();
+        assert_eq!(rules, vec![Rule::D1, Rule::D2, Rule::D3, Rule::A1]);
+
+        let rules: Vec<Rule> = rules_for("crates/fleetd/src/http.rs", FileKind::Source, &config)
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect();
+        assert!(rules.contains(&Rule::P1));
+
+        // Tests only get A1, and A1 does not mask test code.
+        let rules = rules_for("crates/fleet/tests/cache.rs", FileKind::Test, &config);
+        assert_eq!(rules, vec![(Rule::A1, false)]);
+
+        // bench is not determinism-critical for D1 but D2/D3 still apply.
+        let rules: Vec<Rule> = rules_for("crates/bench/src/lib.rs", FileKind::Source, &config)
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect();
+        assert_eq!(rules, vec![Rule::D2, Rule::D3, Rule::A1]);
+    }
+
+    #[test]
+    fn allow_paths_remove_rules() {
+        let config = parse_config(
+            "[rules.D2]\nallow = [\"crates/telemetry/src/registry.rs\", \"crates/bench/src/bin\"]",
+        )
+        .unwrap();
+        let rules: Vec<Rule> = rules_for(
+            "crates/telemetry/src/registry.rs",
+            FileKind::Source,
+            &config,
+        )
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect();
+        assert!(!rules.contains(&Rule::D2));
+        // Prefix match covers whole directories.
+        let rules: Vec<Rule> =
+            rules_for("crates/bench/src/bin/fleet.rs", FileKind::Source, &config)
+                .into_iter()
+                .map(|(r, _)| r)
+                .collect();
+        assert!(!rules.contains(&Rule::D2));
+    }
+
+    #[test]
+    fn waivers_match_by_rule_path_and_snippet() {
+        let config = parse_config(
+            "[[waiver]]\nrule = \"D1\"\npath = \"a.rs\"\ncontains = \"HashMap\"\nreason = \"r\"\n\
+             [[waiver]]\nrule = \"D1\"\npath = \"b.rs\"\nreason = \"never matches\"",
+        )
+        .unwrap();
+        let finding = Finding {
+            rule: Rule::D1,
+            path: "a.rs".to_string(),
+            line: 3,
+            message: "m".to_string(),
+            snippet: "let m = HashMap::new();".to_string(),
+        };
+        let miss = Finding {
+            rule: Rule::D1,
+            path: "c.rs".to_string(),
+            ..finding.clone()
+        };
+        let mut report = LintReport::default();
+        apply_waivers(vec![finding, miss], &config, &mut report);
+        assert_eq!(report.waived.len(), 1);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].path, "c.rs");
+        assert_eq!(report.unused_waivers, vec![1]);
+    }
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let mut report = LintReport {
+            files: 2,
+            ..Default::default()
+        };
+        report.findings.push(Finding {
+            rule: Rule::P1,
+            path: "x.rs".to_string(),
+            line: 9,
+            message: "quote \" backslash \\ newline".to_string(),
+            snippet: "\tindented".to_string(),
+        });
+        let json = render_json(&report, &Config::default());
+        assert!(json.contains(r#""rule": "P1""#));
+        assert!(json.contains(r#"quote \" backslash \\ newline"#));
+        assert!(json.contains(r#""\tindented""#));
+        assert!(json.contains(r#""findings": 1"#));
+    }
+}

@@ -1,0 +1,700 @@
+//! The determinism & concurrency rules.
+//!
+//! Every rule works on the token stream of one file (see [`crate::lexer`]),
+//! so string literals and comments can never trip a rule, and every finding
+//! carries the exact 1-based source line. The rules are deliberately
+//! lexical: they over-approximate ("any `HashMap` in a determinism-critical
+//! crate") or under-approximate ("a float cast is one whose operand
+//! lexically shows a float") rather than doing type inference — the escape
+//! hatch for justified sites is a committed waiver in `detlint.toml`, not a
+//! smarter analysis.
+
+use crate::lexer::{Comment, LexOutput, Token, TokenKind};
+
+/// The rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// No `HashMap`/`HashSet` in determinism-critical crates: their
+    /// iteration order is randomized per process, the exact bug class that
+    /// breaks byte-identical reports. Use `BTreeMap`/`BTreeSet` or sort.
+    D1,
+    /// No `Instant::now` / `SystemTime` outside allowlisted wall-clock
+    /// modules: wall-clock reads in report paths make output run-dependent.
+    D2,
+    /// No `float as <int>` casts and no `partial_cmp(..).unwrap()/expect()`:
+    /// the silent-saturation and non-total-ordering bug class fixed in PRs
+    /// 4 and 7. Use guarded conversions and `total_cmp`.
+    D3,
+    /// Every `Ordering::Relaxed` must carry a `// relaxed: <reason>`
+    /// justification comment on the same line or the line directly above.
+    A1,
+    /// No `unwrap()`/`expect()`/`panic!`-family/slice-index in fleetd
+    /// request-handling modules: a panic there kills a connection-serving
+    /// thread. Return a typed error response instead.
+    P1,
+}
+
+impl Rule {
+    /// All rules, in id order.
+    pub const ALL: [Rule; 5] = [Rule::D1, Rule::D2, Rule::D3, Rule::A1, Rule::P1];
+
+    /// The rule's id as written in diagnostics and `detlint.toml`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::A1 => "A1",
+            Rule::P1 => "P1",
+        }
+    }
+
+    /// Parses a rule id.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// One-line description used in diagnostics.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::D1 => "hash collections have randomized iteration order",
+            Rule::D2 => "wall-clock read outside an allowlisted module",
+            Rule::D3 => "non-total float ordering / unguarded float-to-int cast",
+            Rule::A1 => "Ordering::Relaxed without a `// relaxed: <reason>` justification",
+            Rule::P1 => "potential panic in a connection-serving request path",
+        }
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// What exactly was flagged.
+    pub message: String,
+    /// The trimmed source line, for waiver `contains` matching and for
+    /// humans reading the diagnostic.
+    pub snippet: String,
+}
+
+/// Runs `rules` over one file's source text. `mask_tests` removes
+/// `#[cfg(test)]`-gated items first (rules that also police tests — A1 —
+/// pass `false`).
+pub fn lint_tokens(
+    path: &str,
+    source: &str,
+    lexed: &LexOutput,
+    rules: &[Rule],
+    mask_tests: bool,
+) -> Vec<Finding> {
+    let lines: Vec<&str> = source.lines().collect();
+    let masked;
+    let tokens: &[Token] = if mask_tests {
+        masked = mask_test_code(&lexed.tokens);
+        &masked
+    } else {
+        &lexed.tokens
+    };
+    let snippet = |line: u32| -> String {
+        lines
+            .get((line as usize).saturating_sub(1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+    let mut findings = Vec::new();
+    for &rule in rules {
+        let hits: Vec<(u32, String)> = match rule {
+            Rule::D1 => rule_d1(tokens),
+            Rule::D2 => rule_d2(tokens),
+            Rule::D3 => rule_d3(tokens),
+            Rule::A1 => rule_a1(tokens, &lexed.comments),
+            Rule::P1 => rule_p1(tokens),
+        };
+        findings.extend(hits.into_iter().map(|(line, message)| Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message,
+            snippet: snippet(line),
+        }));
+    }
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Drops every token inside a `#[cfg(test)]`-annotated brace block (and the
+/// attribute itself). `#[test]`-annotated functions outside such a block are
+/// dropped too. Out-of-line `#[cfg(test)] mod x;` has no body to mask.
+fn mask_test_code(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Punct
+            && tokens[i].text == "#"
+            && matches!(tokens.get(i + 1), Some(t) if t.text == "[")
+        {
+            // Scan the attribute to its matching `]`.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut is_test_attr = false;
+            let mut saw_cfg = false;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "cfg" | "cfg_attr" => saw_cfg = true,
+                    "test" if saw_cfg || j == i + 2 => is_test_attr = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_test_attr {
+                // Skip the attribute, any further attributes, the item
+                // header, and the item's brace block.
+                i = skip_test_item(tokens, j + 1);
+                continue;
+            }
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Starting right after a test attribute, skips to the end of the annotated
+/// item: through any further attributes and header tokens to the first `{`
+/// at nesting depth zero, then past its matching `}`. A `;` before any `{`
+/// ends the item (out-of-line module).
+fn skip_test_item(tokens: &[Token], mut i: usize) -> usize {
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            ";" => return i + 1,
+            "{" => {
+                let mut depth = 0usize;
+                while i < tokens.len() {
+                    match tokens[i].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return i + 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return i;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// D1: any `HashMap` / `HashSet` identifier.
+fn rule_d1(tokens: &[Token]) -> Vec<(u32, String)> {
+    tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident && (t.text == "HashMap" || t.text == "HashSet"))
+        .map(|t| {
+            (
+                t.line,
+                format!(
+                    "`{}` has randomized iteration order; use `BTree{}` or sort explicitly",
+                    t.text,
+                    &t.text[4..]
+                ),
+            )
+        })
+        .collect()
+}
+
+/// D2: `Instant::now` (the call, not the type — `Duration` math on received
+/// instants is fine) and any `SystemTime` use.
+fn rule_d2(tokens: &[Token]) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "SystemTime" {
+            hits.push((
+                t.line,
+                "`SystemTime` is wall-clock state; reports must not depend on it".to_string(),
+            ));
+        }
+        if t.text == "Instant"
+            && matches!(tokens.get(i + 1), Some(c) if c.text == ":")
+            && matches!(tokens.get(i + 2), Some(c) if c.text == ":")
+            && matches!(tokens.get(i + 3), Some(n) if n.text == "now")
+        {
+            hits.push((
+                t.line,
+                "`Instant::now` outside an allowlisted wall-clock module".to_string(),
+            ));
+        }
+    }
+    hits
+}
+
+/// Methods that mark an expression as float-typed for D3's cast check.
+const FLOAT_METHODS: [&str; 22] = [
+    "floor",
+    "ceil",
+    "round",
+    "trunc",
+    "fract",
+    "sqrt",
+    "cbrt",
+    "powf",
+    "powi",
+    "exp",
+    "exp2",
+    "ln",
+    "log",
+    "log2",
+    "log10",
+    "sin",
+    "cos",
+    "tan",
+    "to_degrees",
+    "to_radians",
+    "recip",
+    "hypot",
+];
+
+const INT_TARGETS: [&str; 12] = [
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// D3, part one: `<float expr> as <int>`. The operand of a cast is the
+/// postfix chain directly before `as` (walking back over `.` chains,
+/// `::` paths and balanced `(...)` / `[...]` groups); it is float-typed
+/// when it contains a float literal, an `f32`/`f64` token, or a call of a
+/// float-only method. Part two: `partial_cmp(..)` immediately followed by
+/// `.unwrap()` / `.expect(`, plus `sort_by`-family comparators built on
+/// `partial_cmp` — report once at the `partial_cmp` site.
+fn rule_d3(tokens: &[Token]) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        // `as <int-target>`
+        if t.kind == TokenKind::Ident && t.text == "as" {
+            let Some(target) = tokens.get(i + 1) else {
+                continue;
+            };
+            if !(target.kind == TokenKind::Ident && INT_TARGETS.contains(&target.text.as_str())) {
+                continue;
+            }
+            if i > 0 && operand_is_float(&tokens[..i]) {
+                hits.push((
+                    target.line,
+                    format!(
+                        "float expression cast `as {}` saturates silently; use a guarded \
+                         conversion (round + clamp + typed error) or waive with a bounds proof",
+                        target.text
+                    ),
+                ));
+            }
+        }
+        // `partial_cmp ( ... ) . unwrap / expect`
+        if t.kind == TokenKind::Ident && t.text == "partial_cmp" {
+            let Some(open) = tokens.get(i + 1) else {
+                continue;
+            };
+            if open.text != "(" {
+                continue;
+            }
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if matches!(tokens.get(j + 1), Some(d) if d.text == ".")
+                && matches!(tokens.get(j + 2), Some(m) if m.text == "unwrap" || m.text == "expect")
+            {
+                hits.push((
+                    t.line,
+                    "`partial_cmp(..).unwrap()` is not a total order (NaN panics); \
+                     use `total_cmp`"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    hits
+}
+
+/// Walks the postfix chain ending at `tokens.len()` (the token before `as`)
+/// and reports whether it lexically contains a float indicator. The chain
+/// is one "unit" (a name, literal, or balanced `(..)` / `[..]` group) plus
+/// any `.`-method, `::`-path, call or index links extending it backwards.
+fn operand_is_float(tokens: &[Token]) -> bool {
+    let end = tokens.len();
+    let mut i = end;
+    // Consume one unit per iteration, walking backwards.
+    while let Some(t) = i.checked_sub(1).map(|k| &tokens[k]) {
+        match t.text.as_str() {
+            ")" | "]" => {
+                let (open, close) = if t.text == ")" {
+                    ("(", ")")
+                } else {
+                    ("[", "]")
+                };
+                let mut depth = 0usize;
+                while i > 0 {
+                    let u = &tokens[i - 1];
+                    if u.text == close {
+                        depth += 1;
+                    } else if u.text == open {
+                        depth -= 1;
+                    }
+                    i -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            _ if t.kind == TokenKind::Ident
+                || t.kind == TokenKind::Int
+                || t.kind == TokenKind::Float
+                || t.kind == TokenKind::Literal =>
+            {
+                i -= 1;
+            }
+            _ => break,
+        }
+        // Does the chain continue backwards?
+        let Some(prev) = i.checked_sub(1).map(|k| &tokens[k]) else {
+            break;
+        };
+        if prev.text == "." {
+            i -= 1; // method call / field access link
+        } else if prev.text == ":" && i >= 2 && tokens[i - 2].text == ":" {
+            i -= 2; // `::` path link
+        } else if prev.kind == TokenKind::Ident && matches!(tokens[i].text.as_str(), "(" | "[") {
+            // `name(...)` call or `name[...]` index: loop consumes the name.
+        } else {
+            break;
+        }
+    }
+    operand_contains_float_indicator(&tokens[i..end])
+}
+
+fn operand_contains_float_indicator(operand: &[Token]) -> bool {
+    for (k, t) in operand.iter().enumerate() {
+        match t.kind {
+            TokenKind::Float => return true,
+            TokenKind::Ident => {
+                if t.text == "f32" || t.text == "f64" {
+                    return true;
+                }
+                if FLOAT_METHODS.contains(&t.text.as_str())
+                    && matches!(operand.get(k + 1), Some(n) if n.text == "(")
+                    && k > 0
+                    && operand[k - 1].text == "."
+                {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// A1: each `Ordering::Relaxed` needs a comment containing `relaxed:` on
+/// the same line or the line directly above the one the token sits on.
+fn rule_a1(tokens: &[Token], comments: &[Comment]) -> Vec<(u32, String)> {
+    // Coalesce line comments on consecutive lines into blocks first: a
+    // multi-line `// relaxed: ...` justification lexes as one comment per
+    // line, and the continuation lines must extend the block's reach.
+    let mut blocks: Vec<(u32, u32, bool)> = Vec::new(); // (start, end, justified)
+    for c in comments {
+        let justifies = c.text.to_ascii_lowercase().contains("relaxed:");
+        match blocks.last_mut() {
+            Some((_, end, block_justifies)) if c.line <= *end + 1 => {
+                *end = (*end).max(c.end_line);
+                *block_justifies |= justifies;
+            }
+            _ => blocks.push((c.line, c.end_line, justifies)),
+        }
+    }
+    let justified: Vec<(u32, u32)> = blocks
+        .into_iter()
+        .filter(|&(_, _, justifies)| justifies)
+        .map(|(start, end, _)| (start, end))
+        .collect();
+    let mut hits = Vec::new();
+    let mut last_line = 0u32;
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.kind == TokenKind::Ident && t.text == "Relaxed") {
+            continue;
+        }
+        // Must be the `Ordering::Relaxed` path (or `atomic::Ordering::...`).
+        let is_path = i >= 3
+            && tokens[i - 1].text == ":"
+            && tokens[i - 2].text == ":"
+            && tokens[i - 3].text == "Ordering";
+        if !is_path {
+            continue;
+        }
+        if t.line == last_line {
+            continue; // one justification covers the whole line
+        }
+        last_line = t.line;
+        let ok = justified
+            .iter()
+            .any(|&(start, end)| start == t.line || end == t.line || end + 1 == t.line);
+        if !ok {
+            hits.push((
+                t.line,
+                "`Ordering::Relaxed` without a `// relaxed: <reason>` comment on this \
+                 line or the line above"
+                    .to_string(),
+            ));
+        }
+    }
+    hits
+}
+
+/// Rust keywords that legitimately precede a `[` without forming an index
+/// expression (`return [..]`, `break [..]`, `in [..]`, ...).
+const NON_INDEX_KEYWORDS: [&str; 12] = [
+    "return", "break", "in", "if", "else", "match", "while", "loop", "move", "as", "let", "mut",
+];
+
+/// P1: panics in request-handling paths — `.unwrap()` / `.expect(` calls,
+/// `panic!` / `unreachable!` / `todo!` / `unimplemented!` macros, and index
+/// expressions (`expr[...]`, which panic out of bounds).
+fn rule_p1(tokens: &[Token]) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        match t.text.as_str() {
+            "unwrap" | "expect"
+                if t.kind == TokenKind::Ident
+                    && i > 0
+                    && tokens[i - 1].text == "."
+                    && matches!(tokens.get(i + 1), Some(n) if n.text == "(") =>
+            {
+                hits.push((
+                    t.line,
+                    format!(
+                        "`.{}()` can panic and kill this connection-serving thread; \
+                         return a typed error response instead",
+                        t.text
+                    ),
+                ));
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if t.kind == TokenKind::Ident
+                    && matches!(tokens.get(i + 1), Some(n) if n.text == "!") =>
+            {
+                hits.push((
+                    t.line,
+                    format!("`{}!` in a request path kills the handler thread", t.text),
+                ));
+            }
+            "[" if i > 0 => {
+                let prev = &tokens[i - 1];
+                let is_index = (prev.kind == TokenKind::Ident
+                    && !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()))
+                    || prev.text == ")"
+                    || prev.text == "]";
+                if is_index {
+                    hits.push((
+                        t.line,
+                        "index expression panics out of bounds; use `.get(..)` and handle \
+                         the miss"
+                            .to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(rule: Rule, src: &str, mask_tests: bool) -> Vec<Finding> {
+        lint_tokens("test.rs", src, &lex(src), &[rule], mask_tests)
+    }
+
+    #[test]
+    fn d1_flags_hash_collections_and_masking_spares_tests() {
+        let src = "use std::collections::HashMap;\n\
+                   #[cfg(test)]\nmod tests {\n    fn f() { let s = std::collections::HashSet::new(); }\n}\n";
+        let hits = run(Rule::D1, src, true);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 1);
+        assert!(hits[0].message.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn d2_flags_instant_now_but_not_elapsed_math() {
+        let src =
+            "let t = Instant::now();\nlet d = start.elapsed();\nlet s = SystemTime::UNIX_EPOCH;\n";
+        let hits = run(Rule::D2, src, true);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].line, 1);
+        assert_eq!(hits[1].line, 3);
+    }
+
+    #[test]
+    fn d3_flags_float_casts_not_integer_casts() {
+        let flagged = [
+            "let i = rank.floor() as usize;",
+            "let i = (x * 10.0) as u64;",
+            "let i = (period as f64 * avail).round() as usize;",
+            "let i = value as f64 as i32;",
+        ];
+        for src in flagged {
+            assert_eq!(run(Rule::D3, src, true).len(), 1, "should flag: {src}");
+        }
+        let clean = [
+            "let i = n as usize;",
+            "let i = (mask & 1) as usize;",
+            "let f = n as f64;",
+            "let i = list.len() as u64;",
+            "let i = (idx as u32) as usize;",
+        ];
+        for src in clean {
+            assert!(
+                run(Rule::D3, src, true).is_empty(),
+                "should not flag: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn d3_flags_partial_cmp_unwrap_and_expect_but_not_total_checks() {
+        assert_eq!(
+            run(
+                Rule::D3,
+                "v.sort_by(|a, b| a.partial_cmp(b).unwrap());",
+                true
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            run(
+                Rule::D3,
+                "v.sort_by(|a, b| a.partial_cmp(b).expect(\"finite\"));",
+                true
+            )
+            .len(),
+            1
+        );
+        assert!(run(Rule::D3, "v.sort_by(f64::total_cmp);", true).is_empty());
+        assert!(run(
+            Rule::D3,
+            "if x.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {}",
+            true
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn a1_requires_adjacent_relaxed_comment() {
+        let justified = "// relaxed: monotonic counter, no cross-cell invariants\n\
+                         c.fetch_add(1, Ordering::Relaxed);\n\
+                         d.load(Ordering::Relaxed); // relaxed: observational read\n";
+        assert!(run(Rule::A1, justified, false).is_empty());
+        let bare = "c.fetch_add(1, Ordering::Relaxed);";
+        let hits = run(Rule::A1, bare, false);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 1);
+        // A comment two lines up does not count.
+        let far = "// relaxed: too far away\nlet x = 1;\nc.load(Ordering::Relaxed);";
+        assert_eq!(run(Rule::A1, far, false).len(), 1);
+        // `Relaxed` outside the Ordering path is not this rule's business.
+        assert!(run(Rule::A1, "enum Mode { Relaxed }", false).is_empty());
+        // Two sites on one line share one justification.
+        let fetch_update = "// relaxed: single-cell saturating add\n\
+                            c.fetch_update(Ordering::Relaxed, Ordering::Relaxed, f);";
+        assert!(run(Rule::A1, fetch_update, false).is_empty());
+        // A multi-line justification counts through its continuation lines,
+        // even when only the first line carries the `relaxed:` marker.
+        let multi = "// relaxed: monotone counter; printed totals are re-read\n\
+                     // under the print lock, which orders them.\n\
+                     c.fetch_add(1, Ordering::Relaxed);";
+        assert!(run(Rule::A1, multi, false).is_empty());
+        // But an unrelated comment block between the marker and the site
+        // does not bridge the gap.
+        let bridged = "// relaxed: marker up here\n\
+                       let x = 1;\n\
+                       // plain comment\n\
+                       c.fetch_add(1, Ordering::Relaxed);";
+        assert_eq!(run(Rule::A1, bridged, false).len(), 1);
+    }
+
+    #[test]
+    fn p1_flags_panic_paths_but_not_non_panicking_siblings() {
+        let flagged = [
+            "let v = body.unwrap();",
+            "let v = body.expect(\"always\");",
+            "panic!(\"boom\");",
+            "unreachable!();",
+            "let b = bytes[0];",
+            "let s = &path[1..];",
+            "let x = f()[0];",
+        ];
+        for src in flagged {
+            assert_eq!(run(Rule::P1, src, true).len(), 1, "should flag: {src}");
+        }
+        let clean = [
+            "let v = body.unwrap_or(0);",
+            "let v = body.unwrap_or_else(|| 0);",
+            "let a = [0u8; 1];",
+            "let v: Vec<u8> = vec![];",
+            "return [1, 2];",
+            "for x in [1, 2] {}",
+        ];
+        for src in clean {
+            assert!(
+                run(Rule::P1, src, true).is_empty(),
+                "should not flag: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn test_attribute_masking_handles_test_fns() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn real() { y.unwrap(); }\n";
+        let hits = run(Rule::P1, src, true);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 3);
+    }
+
+    #[test]
+    fn findings_carry_snippets() {
+        let hits = run(Rule::D1, "let m = HashMap::new();", true);
+        assert_eq!(hits[0].snippet, "let m = HashMap::new();");
+    }
+}

@@ -1,0 +1,114 @@
+//! Self-tests over the fixture trees: the violating tree must produce
+//! exactly the expected (rule, file, line) diagnostics, the conforming tree
+//! must be perfectly clean, and waivers must suppress precisely what they
+//! pin.
+
+use std::path::{Path, PathBuf};
+
+use detlint::{lint_workspace, parse_config, Config, LintReport};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint(name: &str, config: &Config) -> LintReport {
+    lint_workspace(&fixture_root(name), &[], config).expect("fixture tree is readable")
+}
+
+/// The full expected diagnostic set of the violating tree, in report order.
+const EXPECTED: &[(&str, &str, u32)] = &[
+    ("D1", "crates/fleet/src/lib.rs", 4),
+    ("D1", "crates/fleet/src/lib.rs", 6),
+    ("D1", "crates/fleet/src/lib.rs", 7),
+    ("D2", "crates/fleet/src/lib.rs", 11),
+    ("D3", "crates/fleet/src/lib.rs", 15),
+    ("D3", "crates/fleet/src/lib.rs", 19),
+    ("A1", "crates/fleet/src/lib.rs", 23),
+    ("P1", "crates/fleetd/src/http.rs", 5),
+    ("P1", "crates/fleetd/src/http.rs", 6),
+    ("P1", "crates/fleetd/src/http.rs", 7),
+];
+
+#[test]
+fn violating_fixture_yields_exact_diagnostics() {
+    let report = lint("violating", &Config::default());
+    let got: Vec<(&str, &str, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.name(), f.path.as_str(), f.line))
+        .collect();
+    assert_eq!(got, EXPECTED);
+    assert!(report.waived.is_empty());
+    assert!(report.unused_waivers.is_empty());
+    // Every finding carries the offending source line as its snippet.
+    for finding in &report.findings {
+        assert!(!finding.snippet.is_empty(), "{finding:?}");
+    }
+}
+
+#[test]
+fn conforming_fixture_is_clean() {
+    let report = lint("conforming", &Config::default());
+    assert_eq!(
+        report.findings,
+        Vec::new(),
+        "the conforming tree must produce zero findings"
+    );
+    assert_eq!(report.files, 2);
+}
+
+#[test]
+fn waivers_suppress_exactly_their_pinned_sites() {
+    let config = parse_config(
+        r#"
+[[waiver]]
+rule = "D3"
+path = "crates/fleet/src/lib.rs"
+contains = "partial_cmp"
+reason = "fixture: pin one of the two D3 sites"
+"#,
+    )
+    .expect("waiver config parses");
+    let report = lint("violating", &config);
+    // The partial_cmp site (line 19) is waived; the cast (line 15) stays.
+    assert_eq!(report.waived.len(), 1);
+    assert_eq!(report.waived[0].line, 19);
+    assert_eq!(report.findings.len(), EXPECTED.len() - 1);
+    assert!(report.findings.iter().all(|f| f.line != 19));
+    assert!(report.unused_waivers.is_empty());
+}
+
+#[test]
+fn allow_lists_remove_whole_rules_and_stale_waivers_are_reported() {
+    let config = parse_config(
+        r#"
+[rules.D1]
+allow = ["crates/fleet/src/lib.rs"]
+
+[[waiver]]
+rule = "P1"
+path = "crates/fleetd/src/server.rs"
+reason = "fixture: matches nothing in this tree"
+"#,
+    )
+    .expect("config parses");
+    let report = lint("violating", &config);
+    assert!(report.findings.iter().all(|f| f.rule.name() != "D1"));
+    assert_eq!(report.findings.len(), EXPECTED.len() - 3);
+    assert_eq!(report.unused_waivers, vec![0]);
+}
+
+#[test]
+fn single_file_runs_restrict_the_scan() {
+    let report = lint_workspace(
+        &fixture_root("violating"),
+        &["crates/fleetd/src/http.rs".to_string()],
+        &Config::default(),
+    )
+    .expect("fixture tree is readable");
+    assert_eq!(report.files, 1);
+    assert!(report.findings.iter().all(|f| f.rule.name() == "P1"));
+    assert_eq!(report.findings.len(), 3);
+}

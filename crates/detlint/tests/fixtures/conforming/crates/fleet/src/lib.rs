@@ -1,0 +1,40 @@
+// Conforming counterpart of the violating fixture: the same jobs done
+// within the rules, plus test-module code exercising the `#[cfg(test)]`
+// mask. Must lint completely clean.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn lookup() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+pub fn bin(value: u64, bounds: &[u64]) -> usize {
+    bounds
+        .iter()
+        .position(|&b| value <= b)
+        .unwrap_or(bounds.len())
+}
+
+pub fn sort(values: &mut [f32]) {
+    values.sort_by(f32::total_cmp);
+}
+
+pub fn bump(counter: &AtomicU64) {
+    // relaxed: single-cell counter with no cross-cell invariants.
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_use_hash_maps_and_index() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m[&1], 2);
+        let rank = 1.5f32;
+        assert_eq!(rank.floor() as usize, 1);
+    }
+}

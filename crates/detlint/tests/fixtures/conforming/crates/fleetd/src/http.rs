@@ -1,0 +1,9 @@
+// Conforming counterpart of the P1 fixture: the same parsing without a
+// single panic path. Must lint completely clean.
+
+pub fn handle(path: &str, bytes: &[u8]) -> Option<u8> {
+    let first = *bytes.first()?;
+    let tail = path.strip_prefix('/')?;
+    let n: u8 = tail.parse().ok()?;
+    first.checked_add(n)
+}

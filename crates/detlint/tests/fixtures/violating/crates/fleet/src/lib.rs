@@ -1,0 +1,24 @@
+// Deliberately violating fixture: every determinism rule fires in this
+// file. Line numbers are pinned by ../../../../fixtures.rs — edit with care.
+
+use std::collections::HashMap;
+
+pub fn lookup() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn bin(fraction: f32, bins: usize) -> usize {
+    (fraction * bins as f32) as usize
+}
+
+pub fn sort(values: &mut [f32]) {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn bump(counter: &std::sync::atomic::AtomicU64) {
+    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}

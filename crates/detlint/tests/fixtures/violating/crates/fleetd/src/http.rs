@@ -1,0 +1,9 @@
+// Deliberately violating P1 fixture: panic paths in a request-handling
+// module. Line numbers are pinned by ../../../../fixtures.rs.
+
+pub fn handle(path: &str, bytes: &[u8]) -> u8 {
+    let first = bytes[0];
+    let tail = &path[1..];
+    let n: u8 = tail.parse().unwrap();
+    first + n
+}

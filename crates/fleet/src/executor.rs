@@ -661,12 +661,17 @@ fn cancel_requested(sink: Option<&dyn ProgressSink>) -> bool {
 /// Claims the next chunk of work-item indices, or `None` when the supply is
 /// exhausted.
 fn claim_chunk(cursor: &AtomicU64, count: u64, chunk: u64) -> Option<Range<u64>> {
+    // relaxed: advisory first read; the CAS below is what claims.
     let mut start = cursor.load(Ordering::Relaxed);
     loop {
         if start >= count {
             return None;
         }
         let end = start.saturating_add(chunk).min(count);
+        // relaxed: the CAS only partitions the index space — ranges are
+        // disjoint by RMW atomicity alone. Work items are read-only shared
+        // state published before the workers were spawned, and results flow
+        // back through channel/join edges, so no payload rides this cursor.
         match cursor.compare_exchange_weak(start, end, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return Some(start..end),
             Err(observed) => start = observed,
@@ -822,10 +827,14 @@ mod tests {
             fn windows_processed(&self, _device_id: u64, _count: usize) {}
 
             fn device_completed(&self, _device_id: u64, _windows: usize) {
+                // relaxed: cross-thread test counter; the assertion below
+                // reads it after the executor joined its workers.
                 self.completed.fetch_add(1, Ordering::Relaxed);
             }
 
             fn should_cancel(&self) -> bool {
+                // relaxed: a stale count only delays cancellation by one
+                // poll — exactly what the test's tolerance range allows.
                 self.completed.load(Ordering::Relaxed) >= self.after
             }
         }
@@ -858,6 +867,7 @@ mod tests {
                 matches!(result, Err(FleetError::Cancelled)),
                 "threads={threads}: expected Cancelled, got {result:?}"
             );
+            // relaxed: read after the executor returned (workers joined).
             let completed = sink.completed.load(Ordering::Relaxed);
             assert!(
                 (2..8).contains(&completed),
@@ -879,6 +889,7 @@ mod tests {
             Some(&sink),
         );
         assert!(matches!(result, Err(FleetError::Cancelled)));
+        // relaxed: read after the executor returned (workers joined).
         assert_eq!(sink.completed.load(Ordering::Relaxed), 0);
     }
 

@@ -133,10 +133,12 @@ mod tests {
 
     impl ProgressSink for CountingSink {
         fn windows_processed(&self, _device_id: u64, count: usize) {
+            // relaxed: single-threaded test counter.
             self.windows.fetch_add(count, Ordering::Relaxed);
         }
 
         fn device_completed(&self, _device_id: u64, _windows: usize) {
+            // relaxed: single-threaded test counter.
             self.devices.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -211,11 +213,14 @@ mod tests {
         }
 
         assert_eq!(
+            // relaxed: single-threaded test assertion.
             visitor_sink.windows.load(Ordering::Relaxed),
+            // relaxed: single-threaded test assertion.
             pull_sink.windows.load(Ordering::Relaxed),
             "the visitor and pull paths must report identical progress totals"
         );
         // Both count the yielded-but-failed window: yield-time counting.
+        // relaxed: single-threaded test assertion.
         assert_eq!(pull_sink.windows.load(Ordering::Relaxed), fail_at + 1);
     }
 
@@ -250,7 +255,9 @@ mod tests {
         }
         assert!(failed);
 
+        // relaxed: single-threaded test assertion.
         assert_eq!(visitor_sink.windows.load(Ordering::Relaxed), 2);
+        // relaxed: single-threaded test assertion.
         assert_eq!(pull_sink.windows.load(Ordering::Relaxed), 2);
     }
 
@@ -269,6 +276,7 @@ mod tests {
             .map(Result::unwrap)
             .collect();
         assert_eq!(observed, expected);
+        // relaxed: single-threaded test assertion.
         assert_eq!(sink.windows.load(Ordering::Relaxed), expected.len());
     }
 }

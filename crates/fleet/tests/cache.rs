@@ -104,8 +104,12 @@ impl ProgressSink for CacheStatsSink {
     fn device_completed(&self, _device_id: u64, _windows: usize) {}
 
     fn profile_cache(&self, hits: u64, misses: u64) {
+        // relaxed: assertions read these after the executor returned, so
+        // the worker join already orders every store.
         self.hits.store(hits, Ordering::Relaxed);
+        // relaxed: ordered by the worker join, as above.
         self.misses.store(misses, Ordering::Relaxed);
+        // relaxed: ordered by the worker join, as above.
         self.calls.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -136,8 +140,11 @@ fn hit_and_miss_counters_account_for_every_device() {
     )
     .unwrap();
     assert_eq!(outcome.len(), 9);
+    // relaxed: post-join test assertion.
     assert_eq!(sink.calls.load(Ordering::Relaxed), 1);
+    // relaxed: post-join test assertion.
     assert_eq!(sink.misses.load(Ordering::Relaxed), 3);
+    // relaxed: post-join test assertion.
     assert_eq!(sink.hits.load(Ordering::Relaxed), 6);
 
     // Capacity 0 stores nothing: every device misses.
@@ -150,7 +157,9 @@ fn hit_and_miss_counters_account_for_every_device() {
         Some(&cold),
     )
     .unwrap();
+    // relaxed: post-join test assertion.
     assert_eq!(cold.misses.load(Ordering::Relaxed), 9);
+    // relaxed: post-join test assertion.
     assert_eq!(cold.hits.load(Ordering::Relaxed), 0);
 
     // Cache disabled: the sink is never called.
@@ -163,6 +172,7 @@ fn hit_and_miss_counters_account_for_every_device() {
         Some(&off),
     )
     .unwrap();
+    // relaxed: post-join test assertion.
     assert_eq!(off.calls.load(Ordering::Relaxed), 0);
 }
 
@@ -193,7 +203,9 @@ fn cohort_mix_hits_the_cache_through_the_full_pipeline() {
     );
     assert_eq!(uncached.devices, cached.devices);
     // One miss per pool slot, one hit per repeat — exact on one thread.
+    // relaxed: post-join test assertion.
     assert_eq!(sink.misses.load(Ordering::Relaxed), pool);
+    // relaxed: post-join test assertion.
     assert_eq!(sink.hits.load(Ordering::Relaxed), devices - pool);
 }
 

@@ -85,12 +85,15 @@ struct CountingSink {
 
 impl ProgressSink for CountingSink {
     fn windows_processed(&self, _device_id: u64, count: usize) {
+        // relaxed: cross-thread test counter, read post-join.
         self.windows.fetch_add(count as u64, Ordering::Relaxed);
     }
 
     fn device_completed(&self, _device_id: u64, windows: usize) {
+        // relaxed: cross-thread test counter, read post-join.
         self.devices.fetch_add(1, Ordering::Relaxed);
         self.completed_windows
+            // relaxed: cross-thread test counter, read post-join.
             .fetch_add(windows as u64, Ordering::Relaxed);
     }
 }
@@ -111,10 +114,13 @@ fn progress_observation_leaves_report_bytes_unchanged() {
     assert_eq!(plain_json, observed_json);
     assert_eq!(plain.devices, observed.devices);
 
+    // relaxed: post-join test assertion.
     assert_eq!(sink.devices.load(Ordering::Relaxed), 12);
     let total_windows: u64 = observed.devices.iter().map(|d| d.windows as u64).sum();
+    // relaxed: post-join test assertion.
     assert_eq!(sink.windows.load(Ordering::Relaxed), total_windows);
     assert_eq!(
+        // relaxed: post-join test assertion.
         sink.completed_windows.load(Ordering::Relaxed),
         total_windows
     );

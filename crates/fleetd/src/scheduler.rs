@@ -92,14 +92,19 @@ impl ProgressSink for JobProgress<'_> {
     fn windows_processed(&self, _device_id: u64, count: usize) {
         self.counters
             .windows_done
+            // relaxed: monotone live-progress counter; status reads are
+            // advisory and never gate control flow.
             .fetch_add(count as u64, Ordering::Relaxed);
     }
 
     fn device_completed(&self, _device_id: u64, _windows: usize) {
+        // relaxed: monotone live-progress counter, as above.
         self.counters.devices_done.fetch_add(1, Ordering::Relaxed);
     }
 
     fn should_cancel(&self) -> bool {
+        // relaxed: one-way abort latch polled between windows; a stale
+        // `false` only delays cancellation by one polling interval.
         self.abort.load(Ordering::Relaxed)
     }
 }
@@ -133,7 +138,10 @@ impl JobRecord {
             spec: self.spec.clone(),
             shards_done: self.shards_done,
             shards_total: self.spec.shards,
+            // relaxed: advisory live-progress snapshot for `GET /jobs`;
+            // terminal states are published by the scheduler mutex instead.
             devices_done: self.counters.devices_done.load(Ordering::Relaxed),
+            // relaxed: advisory live-progress snapshot, as above.
             windows_done: self.counters.windows_done.load(Ordering::Relaxed),
             error: self.error.clone(),
         }
@@ -208,6 +216,8 @@ impl Scheduler {
                             record
                                 .counters
                                 .devices_done
+                                // relaxed: single-threaded recovery scan,
+                                // before any worker exists.
                                 .fetch_add(meta.end - meta.start, Ordering::Relaxed);
                         }
                         None => record.pending.push_back(index),
@@ -262,6 +272,8 @@ impl Scheduler {
     /// which case no job slot is consumed).
     pub fn submit(&self, spec: JobSpec) -> Result<JobStatus, SubmitError> {
         spec.validate().map_err(SubmitError::Invalid)?;
+        // relaxed: one-way drain latch; a submission racing shutdown may
+        // land either side of the drain, both outcomes are correct.
         if self.shutdown.load(Ordering::Relaxed) {
             return Err(SubmitError::Draining);
         }
@@ -341,8 +353,12 @@ impl Scheduler {
     /// the same recovery path as a crash.
     pub fn begin_shutdown(&self, abort: bool) {
         if abort {
+            // relaxed: one-way latch polled by `should_cancel`; no data is
+            // published under it.
             self.abort.store(true, Ordering::Relaxed);
         }
+        // relaxed: one-way latch; the lock/notify below provides the edge
+        // workers actually synchronize on.
         self.shutdown.store(true, Ordering::Relaxed);
         // Take the lock so a worker between its shutdown check and its wait
         // cannot miss the wakeup.
@@ -352,6 +368,7 @@ impl Scheduler {
 
     /// Whether shutdown has begun (new submissions are rejected).
     pub fn is_shutting_down(&self) -> bool {
+        // relaxed: advisory read of a one-way latch.
         self.shutdown.load(Ordering::Relaxed)
     }
 
@@ -368,6 +385,9 @@ impl Scheduler {
     fn next_task(&self) -> Option<Task> {
         let mut state = self.state.lock().expect("scheduler lock");
         loop {
+            // relaxed: checked under the scheduler mutex, which (with the
+            // lock taken in `begin_shutdown`) already orders the latch
+            // against the condvar wait.
             if self.shutdown.load(Ordering::Relaxed) {
                 return None;
             }

@@ -141,6 +141,9 @@ impl Daemon {
     pub fn run(self) -> io::Result<()> {
         let mut handlers = Vec::new();
         for stream in self.listener.incoming() {
+            // relaxed: one-way latch; a stale read costs at most one extra
+            // served connection, and the poison-pill self-connect in
+            // `shutdown` guarantees a fresh accept (and thus a fresh load).
             if self.stop.load(Ordering::Relaxed) {
                 break;
             }
@@ -253,7 +256,11 @@ fn submit(request: &Request, scheduler: &Arc<Scheduler>) -> Response {
 
 /// `GET /jobs/{id}` and `GET /jobs/{id}/report`.
 fn job_route(path: &str, scheduler: &Arc<Scheduler>) -> Response {
-    let rest = &path["/jobs/".len()..];
+    // The router only calls this for `/jobs/`-prefixed paths, but this is a
+    // request-serving path: missing prefix degrades to 404, never a panic.
+    let Some(rest) = path.strip_prefix("/jobs/") else {
+        return Response::error(404, format!("no such endpoint: {path}"));
+    };
     let (id_text, report) = match rest.strip_suffix("/report") {
         Some(id_text) => (id_text, true),
         None => (rest, false),
@@ -302,6 +309,9 @@ fn shutdown(
         }
     };
     scheduler.begin_shutdown(abort);
+    // relaxed: one-way latch (see the matching load in `Daemon::run`); no
+    // data is published under this flag — drain state lives in the
+    // scheduler's mutex.
     stop.store(true, Ordering::Relaxed);
     if let Ok(addr) = local_addr {
         // Poison pill: unblock the accept loop. The accepted connection
@@ -320,10 +330,12 @@ fn shutdown(
     )
 }
 
-/// Serializes `value` into a compact-JSON response.
+/// Serializes `value` into a compact-JSON response. Daemon payload types
+/// serialize infallibly today; if one ever stops, the peer gets a typed 500
+/// instead of a dead connection from a killed handler thread.
 fn json<T: serde::Serialize>(status: u16, value: &T) -> Response {
-    Response::json(
-        status,
-        serde_json::to_string(value).expect("daemon payloads always serialize"),
-    )
+    match serde_json::to_string(value) {
+        Ok(body) => Response::json(status, body),
+        Err(error) => Response::error(500, format!("response serialization failed: {error}")),
+    }
 }

@@ -45,6 +45,8 @@ pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
         ".{}.tmp-{}-{}",
         file_name.to_string_lossy(),
         std::process::id(),
+        // relaxed: RMW atomicity alone makes the ticket unique, which is
+        // all the temp-file name needs.
         SEQUENCE.fetch_add(1, Ordering::Relaxed),
     ));
     std::fs::write(&tmp, contents)?;

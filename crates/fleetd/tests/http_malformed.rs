@@ -88,6 +88,13 @@ fn malformed_requests_get_typed_errors_and_the_daemon_survives() {
             b"POST /shutdown?mode=now HTTP/1.1\r\n\r\n".to_vec(),
             400,
         ),
+        // The echoed request line is >80 bytes of multibyte text, forcing
+        // the display-truncation path to cut on a char boundary.
+        (
+            "multibyte garbage request line",
+            format!("GET /jobs {} HTTP/1.1\r\n\r\n", "é".repeat(60)).into_bytes(),
+            400,
+        ),
         // Spec-level rejections (parsed before any slot is allocated).
         ("unparseable spec JSON", spec_request("{not json"), 400),
         (
@@ -99,6 +106,13 @@ fn malformed_requests_get_typed_errors_and_the_daemon_survives() {
         (
             "unknown spec field",
             spec_request(r#"{"devices": 4, "turbo": true}"#),
+            400,
+        ),
+        // The unknown field name carries a quote and a backslash, which the
+        // error body must escape for the response to stay parseable JSON.
+        (
+            "spec error echoing a quoted field name",
+            spec_request(r#"{"devices": 4, "tur\"bo\\": true}"#),
             400,
         ),
         (
@@ -120,6 +134,13 @@ fn malformed_requests_get_typed_errors_and_the_daemon_survives() {
         assert!(
             text.starts_with(r#"{"error":"#),
             "case `{name}`: typed JSON error, got {text}"
+        );
+        // Not just a prefix check: every error body must parse back into the
+        // typed shape, even when it echoes attacker-controlled text.
+        let parsed: Result<fleetd::http::ErrorBody, _> = serde_json::from_str(&text);
+        assert!(
+            parsed.is_ok(),
+            "case `{name}`: error body is not valid JSON: {text}"
         );
     }
 

@@ -153,8 +153,14 @@ pub fn percentile(values: &[f32], p: f32) -> Result<f32, DspError> {
         });
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
+    // total_cmp, not partial_cmp().expect: a NaN in the input must not be
+    // able to panic a report path (lint rule D3). NaNs sort to the ends
+    // under the IEEE total order instead.
+    sorted.sort_by(f32::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f32;
+    // Bounds proof for the two float→usize casts (waived in detlint.toml):
+    // p ∈ [0, 100] is validated above, so rank ∈ [0, len-1] and both floor
+    // and ceil stay in range.
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f32;

@@ -154,7 +154,10 @@ fn build_tree(
     for &feature in &candidates {
         // Candidate thresholds: midpoints between a handful of quantiles.
         let mut values: Vec<f32> = indices.iter().map(|&i| features[i][feature]).collect();
-        values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+        // total_cmp, not partial_cmp().expect: a NaN feature must not be
+        // able to panic training (lint rule D3); the total order sorts NaNs
+        // to the ends and `dedup` leaves splits unchanged for finite data.
+        values.sort_by(f32::total_cmp);
         values.dedup();
         if values.len() < 2 {
             continue;

@@ -44,6 +44,9 @@ impl Counter {
         }
         let _ = self
             .cell
+            // relaxed: single-cell counter; no other memory is published
+            // under it, and the exposition layer tolerates skew between
+            // cells (PR 7 monotone clamp).
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
                 Some(v.saturating_add(n))
             });
@@ -51,6 +54,8 @@ impl Counter {
 
     /// The current value.
     pub fn value(&self) -> u64 {
+        // relaxed: single-cell read; freshness, not ordering, is all a
+        // metrics scrape can ask of a live counter.
         self.cell.load(Ordering::Relaxed)
     }
 }
@@ -67,6 +72,8 @@ impl Gauge {
     #[inline]
     pub fn set(&self, v: i64) {
         if self.enabled {
+            // relaxed: single-cell gauge write; readers only need some
+            // recent value, never a happens-before edge.
             self.cell.store(v, Ordering::Relaxed);
         }
     }
@@ -79,6 +86,8 @@ impl Gauge {
         }
         let _ = self
             .cell
+            // relaxed: single-cell read-modify-write; RMW atomicity alone
+            // guarantees no lost updates.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
                 Some(v.saturating_add(d))
             });
@@ -96,6 +105,7 @@ impl Gauge {
         }
         let _ = self
             .cell
+            // relaxed: single-cell read-modify-write, as in `add`.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
                 Some(v.saturating_sub(d))
             });
@@ -105,12 +115,15 @@ impl Gauge {
     #[inline]
     pub fn set_max(&self, v: i64) {
         if self.enabled {
+            // relaxed: fetch_max is an atomic RMW; racing maxima converge to
+            // the true maximum regardless of ordering.
             self.cell.fetch_max(v, Ordering::Relaxed);
         }
     }
 
     /// The current value.
     pub fn value(&self) -> i64 {
+        // relaxed: single-cell read, as in `Counter::value`.
         self.cell.load(Ordering::Relaxed)
     }
 }
@@ -141,15 +154,23 @@ impl Histogram {
         if !self.enabled {
             return;
         }
+        // relaxed (all three cells): bucket/sum/count are updated without a
+        // transaction on purpose — a scrape may see count ahead of a bucket,
+        // and the exposition layer re-derives a consistent view by clamping
+        // cumulative buckets monotonically (PR 7). Stronger orderings here
+        // would not close that window, only slow the hot path.
         if let Some(i) = self.core.bounds.iter().position(|&b| value <= b) {
+            // relaxed: see the tearing note above.
             self.core.buckets[i].fetch_add(1, Ordering::Relaxed);
         }
         let _ = self
             .core
             .sum
+            // relaxed: see the tearing note above.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
                 Some(v.saturating_add(value))
             });
+        // relaxed: see the tearing note above.
         self.core.count.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -165,19 +186,24 @@ impl Histogram {
 
     /// Number of observations so far.
     pub fn count(&self) -> u64 {
+        // relaxed: single-cell read for display; see `observe`.
         self.core.count.load(Ordering::Relaxed)
     }
 
     fn absorb_sample(&self, sample: &HistogramSample) {
         for (bucket, add) in self.core.buckets.iter().zip(&sample.buckets) {
+            // relaxed: same per-cell merge discipline as `observe` — the
+            // exposition clamp handles cross-cell skew.
             bucket.fetch_add(*add, Ordering::Relaxed);
         }
         let _ = self
             .core
             .sum
+            // relaxed: see `observe`.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
                 Some(v.saturating_add(sample.sum))
             });
+        // relaxed: see `observe`.
         self.core.count.fetch_add(sample.count, Ordering::Relaxed);
     }
 }
@@ -540,9 +566,14 @@ impl Registry {
                         .core
                         .buckets
                         .iter()
+                        // relaxed: snapshot reads race in-flight `observe`
+                        // calls by design; the exposition clamp repairs
+                        // cross-cell skew, so acquire loads buy nothing.
                         .map(|b| b.load(Ordering::Relaxed))
                         .collect(),
+                    // relaxed: see the bucket note above.
                     sum: h.core.sum.load(Ordering::Relaxed),
+                    // relaxed: see the bucket note above.
                     count: h.core.count.load(Ordering::Relaxed),
                 }),
             }
