@@ -229,9 +229,7 @@ pub struct StderrProgress {
     devices_done: AtomicU64,
     windows_done: AtomicU64,
     lines_emitted: AtomicU64,
-    cache_reported: std::sync::atomic::AtomicBool,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
+    cache: fleet::CachePublication,
     /// Serializes printing; counters are re-read under it so the printed
     /// device counts never go backwards across interleaved workers.
     print_lock: std::sync::Mutex<()>,
@@ -246,9 +244,7 @@ impl StderrProgress {
             devices_done: AtomicU64::new(0),
             windows_done: AtomicU64::new(0),
             lines_emitted: AtomicU64::new(0),
-            cache_reported: std::sync::atomic::AtomicBool::new(false),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
+            cache: fleet::CachePublication::new(),
             print_lock: std::sync::Mutex::new(()),
         }
     }
@@ -275,17 +271,10 @@ impl StderrProgress {
     /// Profiling-window cache totals of the finished run, when the executor
     /// reported them (`--profile-cache` runs only): `(hits, misses)`.
     pub fn cache_stats(&self) -> Option<(u64, u64)> {
-        // acquire: pairs with the release store in `profile_cache` — seeing
-        // the flag must also make the hit/miss cells it publishes visible,
-        // or a cross-thread reader could observe `Some((0, 0))`.
-        self.cache_reported.load(Ordering::Acquire).then(|| {
-            (
-                // relaxed: ordered by the acquire load of the flag above.
-                self.cache_hits.load(Ordering::Relaxed),
-                // relaxed: ordered by the acquire load of the flag above.
-                self.cache_misses.load(Ordering::Relaxed),
-            )
-        })
+        // The acquire/release pairing lives in `fleet::CachePublication`,
+        // where it is exhaustively model-checked
+        // (fleet/tests/interleave_harness.rs).
+        self.cache.stats()
     }
 }
 
@@ -297,14 +286,9 @@ impl ProgressSink for StderrProgress {
     }
 
     fn profile_cache(&self, hits: u64, misses: u64) {
-        // relaxed: published by the release store of the flag below; never
-        // read before the flag is seen.
-        self.cache_hits.store(hits, Ordering::Relaxed);
-        // relaxed: published by the release store of the flag below.
-        self.cache_misses.store(misses, Ordering::Relaxed);
-        // release: publishes the two stores above to the acquire load in
-        // `cache_stats` (the torn-snapshot class PR 7 fixed in telemetry).
-        self.cache_reported.store(true, Ordering::Release);
+        // Release/Acquire publication delegated to the model-checked pair
+        // (the torn-snapshot class PR 7 fixed in telemetry).
+        self.cache.publish(hits, misses);
         let _guard = self
             .print_lock
             .lock()

@@ -61,6 +61,7 @@ fn violations_fail_with_deny_and_name_their_sites() {
         "crates/fleet/src/lib.rs:4: D1",
         "crates/fleet/src/lib.rs:11: D2",
         "crates/fleet/src/lib.rs:15: D3",
+        "crates/fleet/src/lib.rs:22: A2",
         "crates/fleet/src/lib.rs:23: A1",
         "crates/fleetd/src/http.rs:5: P1",
         "crates/fleetd/src/http.rs:7: P1",
@@ -85,7 +86,7 @@ fn json_output_round_trips_and_matches_the_text_run() {
     let Doc(doc) = serde_json::from_str(&stdout).expect("--json output parses as JSON");
     assert_eq!(field(&doc, "version").as_u64(), Some(1));
     let findings = field(&doc, "findings").as_seq().expect("findings array");
-    assert_eq!(findings.len(), 10);
+    assert_eq!(findings.len(), 12);
     // Spot-check the schema of one finding.
     let first = &findings[0];
     assert_eq!(field(first, "rule").as_str(), Some("D1"));
@@ -98,10 +99,11 @@ fn json_output_round_trips_and_matches_the_text_run() {
     assert!(field(first, "snippet").as_str().is_some());
     // Summary block is consistent with the findings array.
     let summary = field(&doc, "summary");
-    assert_eq!(field(summary, "findings").as_u64(), Some(10));
+    assert_eq!(field(summary, "findings").as_u64(), Some(12));
     assert_eq!(field(summary, "files").as_u64(), Some(2));
     let per_rule = field(&doc, "per_rule");
     assert_eq!(field(per_rule, "D1").as_u64(), Some(3));
+    assert_eq!(field(per_rule, "A2").as_u64(), Some(2));
     assert_eq!(field(per_rule, "P1").as_u64(), Some(3));
 }
 
@@ -118,6 +120,8 @@ allow = ["crates/fleet/src/lib.rs"]
 [rules.D3]
 allow = ["crates/fleet/src/lib.rs"]
 [rules.A1]
+allow = ["crates/fleet/src/lib.rs"]
+[rules.A2]
 allow = ["crates/fleet/src/lib.rs"]
 [rules.P1]
 allow = ["crates/fleetd/src/http.rs"]

@@ -13,6 +13,7 @@
 //! | D2 | `Instant::now` / `SystemTime` | everywhere except allowlisted wall-clock modules |
 //! | D3 | `float as int` casts, `partial_cmp().unwrap()` | all production code |
 //! | A1 | `Ordering::Relaxed` without `// relaxed: <reason>` | everywhere, tests included |
+//! | A2 | `std::sync::atomic` outside the `sync` facade | crates shimmed for the interleave model checker |
 //! | P1 | `unwrap`/`expect`/panic-macros/index panics | fleetd request-handling modules |
 //!
 //! Justified sites get either a `// relaxed: ...` comment (A1) or a
@@ -33,10 +34,11 @@ pub use config::{parse_config, Config, ConfigError, Waiver};
 pub use rules::{lint_tokens, Finding, Rule};
 
 /// Crates whose report paths must be deterministic: rule D1's scope.
-const D1_CRATES: [&str; 7] = [
+const D1_CRATES: [&str; 8] = [
     "crates/core/src",
     "crates/fleet/src",
     "crates/fleetd/src",
+    "crates/interleave/src",
     "crates/ppg-data/src",
     "crates/ppg-dsp/src",
     "crates/ppg-models/src",
@@ -45,6 +47,22 @@ const D1_CRATES: [&str; 7] = [
 
 /// fleetd modules that serve connections: rule P1's scope.
 const P1_FILES: [&str; 2] = ["crates/fleetd/src/http.rs", "crates/fleetd/src/server.rs"];
+
+/// Crates whose atomics route through a model-checkable `sync` facade:
+/// rule A2's scope. Their facade modules themselves are the one legal home
+/// for the `std::sync::atomic` path.
+const A2_CRATES: [&str; 3] = [
+    "crates/telemetry/src",
+    "crates/fleet/src",
+    "crates/fleetd/src",
+];
+
+/// The facade modules A2 exempts.
+const A2_FACADES: [&str; 3] = [
+    "crates/telemetry/src/sync.rs",
+    "crates/fleet/src/sync.rs",
+    "crates/fleetd/src/sync.rs",
+];
 
 /// How a file participates in linting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +120,12 @@ pub fn rules_for(rel: &str, kind: FileKind, config: &Config) -> Vec<(Rule, bool)
         }
         if !allowed(Rule::D3) {
             rules.push((Rule::D3, true));
+        }
+        if A2_CRATES.iter().any(|p| rel.starts_with(p))
+            && !A2_FACADES.contains(&rel)
+            && !allowed(Rule::A2)
+        {
+            rules.push((Rule::A2, true));
         }
         if P1_FILES.contains(&rel) && !allowed(Rule::P1) {
             rules.push((Rule::P1, true));
@@ -372,13 +396,32 @@ mod tests {
             .into_iter()
             .map(|(r, _)| r)
             .collect();
-        assert_eq!(rules, vec![Rule::D1, Rule::D2, Rule::D3, Rule::A1]);
+        assert_eq!(
+            rules,
+            vec![Rule::D1, Rule::D2, Rule::D3, Rule::A2, Rule::A1]
+        );
 
         let rules: Vec<Rule> = rules_for("crates/fleetd/src/http.rs", FileKind::Source, &config)
             .into_iter()
             .map(|(r, _)| r)
             .collect();
         assert!(rules.contains(&Rule::P1));
+        assert!(rules.contains(&Rule::A2));
+
+        // The facade modules themselves are exempt from A2 — they are the
+        // one place the std path may (and must) appear.
+        let rules: Vec<Rule> = rules_for("crates/fleet/src/sync.rs", FileKind::Source, &config)
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect();
+        assert!(!rules.contains(&Rule::A2));
+
+        // Unshimmed crates are out of A2's scope entirely.
+        let rules: Vec<Rule> = rules_for("crates/core/src/lib.rs", FileKind::Source, &config)
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect();
+        assert!(!rules.contains(&Rule::A2));
 
         // Tests only get A1, and A1 does not mask test code.
         let rules = rules_for("crates/fleet/tests/cache.rs", FileKind::Test, &config);

@@ -28,6 +28,11 @@ pub enum Rule {
     /// Every `Ordering::Relaxed` must carry a `// relaxed: <reason>`
     /// justification comment on the same line or the line directly above.
     A1,
+    /// No direct `std::sync::atomic` / `core::sync::atomic` paths in crates
+    /// that route their atomics through a model-checkable `sync` facade:
+    /// code importing the std types directly escapes the `interleave`
+    /// model checker's shims, so its interleavings are never explored.
+    A2,
     /// No `unwrap()`/`expect()`/`panic!`-family/slice-index in fleetd
     /// request-handling modules: a panic there kills a connection-serving
     /// thread. Return a typed error response instead.
@@ -36,7 +41,7 @@ pub enum Rule {
 
 impl Rule {
     /// All rules, in id order.
-    pub const ALL: [Rule; 5] = [Rule::D1, Rule::D2, Rule::D3, Rule::A1, Rule::P1];
+    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::A1, Rule::A2, Rule::P1];
 
     /// The rule's id as written in diagnostics and `detlint.toml`.
     pub fn name(self) -> &'static str {
@@ -45,6 +50,7 @@ impl Rule {
             Rule::D2 => "D2",
             Rule::D3 => "D3",
             Rule::A1 => "A1",
+            Rule::A2 => "A2",
             Rule::P1 => "P1",
         }
     }
@@ -61,6 +67,7 @@ impl Rule {
             Rule::D2 => "wall-clock read outside an allowlisted module",
             Rule::D3 => "non-total float ordering / unguarded float-to-int cast",
             Rule::A1 => "Ordering::Relaxed without a `// relaxed: <reason>` justification",
+            Rule::A2 => "direct std atomics in a crate with a model-checkable `sync` facade",
             Rule::P1 => "potential panic in a connection-serving request path",
         }
     }
@@ -113,6 +120,7 @@ pub fn lint_tokens(
             Rule::D2 => rule_d2(tokens),
             Rule::D3 => rule_d3(tokens),
             Rule::A1 => rule_a1(tokens, &lexed.comments),
+            Rule::A2 => rule_a2(tokens),
             Rule::P1 => rule_p1(tokens),
         };
         findings.extend(hits.into_iter().map(|(line, message)| Finding {
@@ -478,6 +486,42 @@ fn rule_a1(tokens: &[Token], comments: &[Comment]) -> Vec<(u32, String)> {
     hits
 }
 
+/// A2: the `std::sync::atomic` / `core::sync::atomic` path anywhere in a
+/// shimmed crate's source. Only the crate's own `sync` facade module (the
+/// scoping in [`crate::rules_for`] exempts it) may name the std module;
+/// everything else must import `crate::sync::atomic`, or the interleave
+/// model checker silently loses sight of those cells. One finding per line.
+fn rule_a2(tokens: &[Token]) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    let mut last_line = 0u32;
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.kind == TokenKind::Ident && (t.text == "std" || t.text == "core")) {
+            continue;
+        }
+        let ident = |k: usize, text: &str| matches!(tokens.get(k), Some(x) if x.kind == TokenKind::Ident && x.text == text);
+        let sep = |k: usize| {
+            matches!(tokens.get(k), Some(x) if x.text == ":")
+                && matches!(tokens.get(k + 1), Some(x) if x.text == ":")
+        };
+        if !(sep(i + 1) && ident(i + 3, "sync") && sep(i + 4) && ident(i + 6, "atomic")) {
+            continue;
+        }
+        if t.line == last_line {
+            continue; // one finding per line, as for A1
+        }
+        last_line = t.line;
+        hits.push((
+            t.line,
+            format!(
+                "direct `{}::sync::atomic` bypasses this crate's model-checkable \
+                 `sync` facade; import `crate::sync::atomic` instead",
+                t.text
+            ),
+        ));
+    }
+    hits
+}
+
 /// Rust keywords that legitimately precede a `[` without forming an index
 /// expression (`return [..]`, `break [..]`, `in [..]`, ...).
 const NON_INDEX_KEYWORDS: [&str; 12] = [
@@ -652,6 +696,38 @@ mod tests {
                        // plain comment\n\
                        c.fetch_add(1, Ordering::Relaxed);";
         assert_eq!(run(Rule::A1, bridged, false).len(), 1);
+    }
+
+    #[test]
+    fn a2_flags_direct_std_atomics_but_not_the_facade() {
+        let flagged = [
+            "use std::sync::atomic::{AtomicU64, Ordering};",
+            "use core::sync::atomic::AtomicBool;",
+            "let c = std::sync::atomic::AtomicUsize::new(0);",
+        ];
+        for src in flagged {
+            let hits = run(Rule::A2, src, true);
+            assert_eq!(hits.len(), 1, "should flag: {src}");
+            assert!(hits[0].message.contains("sync` facade"), "{src}");
+        }
+        // One finding per line even with two paths on it.
+        let doubled = "use std::sync::atomic::AtomicU64; use std::sync::atomic::Ordering;";
+        assert_eq!(run(Rule::A2, doubled, true).len(), 1);
+        let clean = [
+            "use crate::sync::atomic::{AtomicU64, Ordering};",
+            "use std::sync::Arc;",
+            "use std::sync::{Mutex, Condvar};",
+            "pub use interleave::sync::atomic;",
+        ];
+        for src in clean {
+            assert!(
+                run(Rule::A2, src, true).is_empty(),
+                "should not flag: {src}"
+            );
+        }
+        // Test modules may use std atomics directly: they run natively.
+        let masked = "#[cfg(test)]\nmod tests {\n    use std::sync::atomic::AtomicUsize;\n}\n";
+        assert!(run(Rule::A2, masked, true).is_empty());
     }
 
     #[test]

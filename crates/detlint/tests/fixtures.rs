@@ -25,7 +25,9 @@ const EXPECTED: &[(&str, &str, u32)] = &[
     ("D2", "crates/fleet/src/lib.rs", 11),
     ("D3", "crates/fleet/src/lib.rs", 15),
     ("D3", "crates/fleet/src/lib.rs", 19),
+    ("A2", "crates/fleet/src/lib.rs", 22),
     ("A1", "crates/fleet/src/lib.rs", 23),
+    ("A2", "crates/fleet/src/lib.rs", 23),
     ("P1", "crates/fleetd/src/http.rs", 5),
     ("P1", "crates/fleetd/src/http.rs", 6),
     ("P1", "crates/fleetd/src/http.rs", 7),
@@ -56,7 +58,7 @@ fn conforming_fixture_is_clean() {
         Vec::new(),
         "the conforming tree must produce zero findings"
     );
-    assert_eq!(report.files, 2);
+    assert_eq!(report.files, 3);
 }
 
 #[test]

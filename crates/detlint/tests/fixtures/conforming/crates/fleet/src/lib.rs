@@ -3,7 +3,8 @@
 // mask. Must lint completely clean.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 pub fn lookup() -> BTreeMap<u32, u32> {
     BTreeMap::new()

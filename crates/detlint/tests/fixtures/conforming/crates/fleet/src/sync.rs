@@ -1,0 +1,4 @@
+// The crate's model-checkable atomics facade: the one legal home for the
+// `std::sync::atomic` path (rule A2 exempts exactly this file).
+
+pub use std::sync::atomic;

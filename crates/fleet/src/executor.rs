@@ -25,8 +25,9 @@
 
 use std::borrow::Cow;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 use chris_core::runtime::{ChrisRuntime, RuntimeOptions};
 use chris_core::{ChrisError, DecisionEngine, RunReport};
@@ -660,7 +661,14 @@ fn cancel_requested(sink: Option<&dyn ProgressSink>) -> bool {
 
 /// Claims the next chunk of work-item indices, or `None` when the supply is
 /// exhausted.
-fn claim_chunk(cursor: &AtomicU64, count: u64, chunk: u64) -> Option<Range<u64>> {
+///
+/// Invariant (exhaustively model-checked in
+/// `fleet/tests/interleave_harness.rs::executor_cursor_*`): across any set
+/// of concurrently claiming workers, the returned ranges exactly tile
+/// `0..count` — disjoint, gap-free, and never past `count` — even with all
+/// orderings Relaxed and spurious `compare_exchange_weak` failures. Public
+/// so the interleaving harness drives the exact production code path.
+pub fn claim_chunk(cursor: &AtomicU64, count: u64, chunk: u64) -> Option<Range<u64>> {
     // relaxed: advisory first read; the CAS below is what claims.
     let mut start = cursor.load(Ordering::Relaxed);
     loop {

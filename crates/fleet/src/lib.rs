@@ -75,6 +75,7 @@ pub mod report;
 pub mod scenario;
 pub mod shard;
 pub mod sketch;
+pub mod sync;
 
 pub use error::{FleetError, MergeError};
 pub use executor::{
@@ -83,7 +84,7 @@ pub use executor::{
     DEFAULT_PROFILE_CACHE_CAPACITY, PROFILE_CACHE_EVENTS_SERIES,
 };
 pub use merge::{merge, merge_stream, MergeAccumulator};
-pub use progress::{ProgressSink, ProgressSource};
+pub use progress::{CachePublication, ProgressSink, ProgressSource};
 pub use report::{
     DeviceReport, DistributionSummary, FleetAccumulator, FleetReport, ReportMode, SketchInfo,
     SketchedReport, OFFLOAD_HISTOGRAM_BINS,

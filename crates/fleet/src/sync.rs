@@ -1,0 +1,15 @@
+//! Synchronization facade: the single import point for atomics in this
+//! crate.
+//!
+//! Normal builds re-export the real `std::sync::atomic`; under the
+//! `interleave` feature the same paths resolve to the model checker's
+//! shims, so every atomic in the crate becomes exhaustively
+//! model-checkable (see `tests/interleave_harness.rs`). detlint rule A2
+//! enforces that crate code imports atomics from here and nowhere else —
+//! new atomics are model-checkable by construction.
+
+#[cfg(not(feature = "interleave"))]
+pub use std::sync::atomic;
+
+#[cfg(feature = "interleave")]
+pub use interleave::sync::atomic;

@@ -48,12 +48,15 @@
 
 pub mod http;
 pub mod job;
+pub mod latch;
 pub mod scheduler;
 pub mod server;
 pub mod spool;
+pub mod sync;
 
 pub use http::{Request, Response};
 pub use job::{JobSpec, JobState, JobStatus};
+pub use latch::ShutdownLatch;
 pub use scheduler::{ReportOutcome, Scheduler, SubmitError};
 pub use server::{Daemon, DaemonConfig, DaemonError};
 pub use spool::{write_atomic, Spool};

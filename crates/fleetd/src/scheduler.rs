@@ -17,13 +17,15 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::io;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 use fleet::{FleetError, FleetSimulation, MergeAccumulator, ProgressSink};
 use telemetry::Stability;
 
 use crate::job::{JobSpec, JobState, JobStatus};
+use crate::latch::ShutdownLatch;
 use crate::spool::{render_report_body, Spool};
 
 /// Why [`Scheduler::submit`] rejected a job.
@@ -85,7 +87,7 @@ struct JobCounters {
 /// counters and the scheduler's abort flag.
 struct JobProgress<'a> {
     counters: &'a JobCounters,
-    abort: &'a AtomicBool,
+    latch: &'a ShutdownLatch,
 }
 
 impl ProgressSink for JobProgress<'_> {
@@ -103,9 +105,10 @@ impl ProgressSink for JobProgress<'_> {
     }
 
     fn should_cancel(&self) -> bool {
-        // relaxed: one-way abort latch polled between windows; a stale
-        // `false` only delays cancellation by one polling interval.
-        self.abort.load(Ordering::Relaxed)
+        // One-way abort latch polled between windows; a stale `false` only
+        // delays cancellation by one polling interval (model-checked in
+        // fleetd/tests/interleave_harness.rs).
+        self.latch.abort_requested()
     }
 }
 
@@ -167,12 +170,13 @@ pub struct Scheduler {
     work_ready: Condvar,
     spool: Spool,
     queue_depth: usize,
-    /// Workers stop claiming new tasks; in-flight shards finish and
-    /// checkpoint (a clean drain).
-    shutdown: AtomicBool,
-    /// Additionally cancels in-flight shards at the next device boundary via
-    /// [`ProgressSink::should_cancel`]; their ranges re-run after restart.
-    abort: AtomicBool,
+    /// Drain/abort latch: on shutdown, workers stop claiming new tasks and
+    /// in-flight shards finish and checkpoint; in abort mode they are
+    /// additionally cancelled at the next device boundary via
+    /// [`ProgressSink::should_cancel`], and their ranges re-run after
+    /// restart. Single-cell, so an abort request is never observable
+    /// without the drain (see [`ShutdownLatch`]).
+    latch: ShutdownLatch,
 }
 
 impl Scheduler {
@@ -236,8 +240,7 @@ impl Scheduler {
             work_ready: Condvar::new(),
             spool,
             queue_depth,
-            shutdown: AtomicBool::new(false),
-            abort: AtomicBool::new(false),
+            latch: ShutdownLatch::new(),
         })
     }
 
@@ -272,9 +275,11 @@ impl Scheduler {
     /// which case no job slot is consumed).
     pub fn submit(&self, spec: JobSpec) -> Result<JobStatus, SubmitError> {
         spec.validate().map_err(SubmitError::Invalid)?;
-        // relaxed: one-way drain latch; a submission racing shutdown may
-        // land either side of the drain, both outcomes are correct.
-        if self.shutdown.load(Ordering::Relaxed) {
+        // One-way drain latch; a submission racing shutdown may land either
+        // side of the drain, both outcomes are correct (the threaded
+        // regression test fleetd/tests/shutdown_race.rs pins that neither
+        // side leaks a queue slot or spools a partial artifact).
+        if self.latch.is_shutting_down() {
             return Err(SubmitError::Draining);
         }
         let mut state = self.state.lock().expect("scheduler lock");
@@ -352,14 +357,11 @@ impl Scheduler {
     /// device boundary — their ranges simply re-run on restart, exercising
     /// the same recovery path as a crash.
     pub fn begin_shutdown(&self, abort: bool) {
-        if abort {
-            // relaxed: one-way latch polled by `should_cancel`; no data is
-            // published under it.
-            self.abort.store(true, Ordering::Relaxed);
-        }
-        // relaxed: one-way latch; the lock/notify below provides the edge
-        // workers actually synchronize on.
-        self.shutdown.store(true, Ordering::Relaxed);
+        // One-way latch; the lock/notify below provides the edge workers
+        // actually synchronize on. Setting both flags through one RMW means
+        // no worker can ever observe abort without the drain
+        // (model-checked in fleetd/tests/interleave_harness.rs).
+        self.latch.begin(abort);
         // Take the lock so a worker between its shutdown check and its wait
         // cannot miss the wakeup.
         let _state = self.state.lock().expect("scheduler lock");
@@ -368,8 +370,7 @@ impl Scheduler {
 
     /// Whether shutdown has begun (new submissions are rejected).
     pub fn is_shutting_down(&self) -> bool {
-        // relaxed: advisory read of a one-way latch.
-        self.shutdown.load(Ordering::Relaxed)
+        self.latch.is_shutting_down()
     }
 
     fn worker_loop(&self) {
@@ -385,10 +386,10 @@ impl Scheduler {
     fn next_task(&self) -> Option<Task> {
         let mut state = self.state.lock().expect("scheduler lock");
         loop {
-            // relaxed: checked under the scheduler mutex, which (with the
-            // lock taken in `begin_shutdown`) already orders the latch
-            // against the condvar wait.
-            if self.shutdown.load(Ordering::Relaxed) {
+            // Checked under the scheduler mutex, which (with the lock taken
+            // in `begin_shutdown`) already orders the latch against the
+            // condvar wait.
+            if self.latch.is_shutting_down() {
                 return None;
             }
             if let Some(task) = Self::claim(&mut state) {
@@ -460,7 +461,7 @@ impl Scheduler {
                 .map_err(|e| ShardFail::Other(e.to_string()))?;
             let progress = JobProgress {
                 counters: &counters,
-                abort: &self.abort,
+                latch: &self.latch,
             };
             let shard = sim
                 .run_shard_with_options(

@@ -18,14 +18,15 @@
 use std::io::{self, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
 use std::time::Duration;
 
 use telemetry::Stability;
 
 use crate::http::{read_request, Request, Response};
 use crate::job::JobSpec;
+use crate::latch::ShutdownLatch;
 use crate::scheduler::{ReportOutcome, Scheduler, SubmitError};
 use crate::spool::Spool;
 
@@ -91,7 +92,7 @@ pub struct Daemon {
     listener: TcpListener,
     scheduler: Arc<Scheduler>,
     workers: Vec<std::thread::JoinHandle<()>>,
-    stop: Arc<AtomicBool>,
+    stop: Arc<ShutdownLatch>,
 }
 
 impl Daemon {
@@ -112,7 +113,7 @@ impl Daemon {
             listener,
             scheduler,
             workers,
-            stop: Arc::new(AtomicBool::new(false)),
+            stop: Arc::new(ShutdownLatch::new()),
         })
     }
 
@@ -141,10 +142,10 @@ impl Daemon {
     pub fn run(self) -> io::Result<()> {
         let mut handlers = Vec::new();
         for stream in self.listener.incoming() {
-            // relaxed: one-way latch; a stale read costs at most one extra
-            // served connection, and the poison-pill self-connect in
-            // `shutdown` guarantees a fresh accept (and thus a fresh load).
-            if self.stop.load(Ordering::Relaxed) {
+            // One-way latch; a stale read costs at most one extra served
+            // connection, and the poison-pill self-connect in `shutdown`
+            // guarantees a fresh accept (and thus a fresh load).
+            if self.stop.is_shutting_down() {
                 break;
             }
             let stream = match stream {
@@ -175,7 +176,7 @@ impl Daemon {
 fn handle_connection(
     stream: TcpStream,
     scheduler: &Arc<Scheduler>,
-    stop: &AtomicBool,
+    stop: &ShutdownLatch,
     local_addr: io::Result<std::net::SocketAddr>,
 ) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
@@ -213,7 +214,7 @@ fn count_request(request: &Request) {
 fn route(
     request: &Request,
     scheduler: &Arc<Scheduler>,
-    stop: &AtomicBool,
+    stop: &ShutdownLatch,
     local_addr: io::Result<std::net::SocketAddr>,
 ) -> Response {
     let path = request.path.as_str();
@@ -297,7 +298,7 @@ fn job_route(path: &str, scheduler: &Arc<Scheduler>) -> Response {
 fn shutdown(
     request: &Request,
     scheduler: &Arc<Scheduler>,
-    stop: &AtomicBool,
+    stop: &ShutdownLatch,
     local_addr: io::Result<std::net::SocketAddr>,
 ) -> Response {
     let mode = request.query.as_deref().unwrap_or("");
@@ -309,10 +310,10 @@ fn shutdown(
         }
     };
     scheduler.begin_shutdown(abort);
-    // relaxed: one-way latch (see the matching load in `Daemon::run`); no
-    // data is published under this flag — drain state lives in the
-    // scheduler's mutex.
-    stop.store(true, Ordering::Relaxed);
+    // One-way latch (see the matching check in `Daemon::run`); no data is
+    // published under this flag — drain state lives in the scheduler's
+    // mutex.
+    stop.begin(abort);
     if let Ok(addr) = local_addr {
         // Poison pill: unblock the accept loop. The accepted connection
         // sends nothing and is answered with nothing.

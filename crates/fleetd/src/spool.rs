@@ -20,7 +20,8 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 use fleet::{FleetReport, ShardMeta, ShardReport, SketchInfo, SketchedReport, ENGINE_VERSION};
 

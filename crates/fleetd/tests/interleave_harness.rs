@@ -1,0 +1,110 @@
+//! Exhaustive model-checking harness for the daemon's shutdown latch.
+//!
+//! Runs only with `--features interleave` (see `crates/interleave`).
+//!
+//! [`fleetd::ShutdownLatch`] folds the scheduler's old `shutdown`/`abort`
+//! `AtomicBool` pair into one atomic word precisely so these properties
+//! hold *by construction*; the harness pins them against every
+//! interleaving the shims admit:
+//!
+//! * **coherence** — no reader ever observes an abort request without
+//!   shutdown having begun;
+//! * **monotonicity** — a thread that has observed shutdown can never
+//!   observe it revoked;
+//! * **merging** — racing `begin(true)` / `begin(false)` calls commute:
+//!   the abort request is never lost to a concurrent plain drain.
+
+#![cfg(feature = "interleave")]
+
+use std::sync::{Arc, Mutex};
+
+use fleetd::ShutdownLatch;
+
+/// Racing `begin(abort)` / `begin(drain)` against a polling reader: in
+/// every interleaving the reader's observations are coherent and
+/// monotone, and after both beginners retire every reader agrees the
+/// abort survived the race.
+#[test]
+fn shutdown_latch_is_monotone_and_coherent() {
+    // Proof the reader really races the latch: some execution observes
+    // the pre-shutdown state and some observes the abort mid-race.
+    let saw = Arc::new(Mutex::new((false, false)));
+    let witness = Arc::clone(&saw);
+
+    let stats = interleave::explore(&interleave::Options::default(), move || {
+        let latch = Arc::new(ShutdownLatch::new());
+        assert!(!latch.is_shutting_down());
+        assert!(!latch.abort_requested());
+
+        let aborter = {
+            let latch = Arc::clone(&latch);
+            interleave::thread::spawn(move || latch.begin(true))
+        };
+        let drainer = {
+            let latch = Arc::clone(&latch);
+            interleave::thread::spawn(move || latch.begin(false))
+        };
+
+        // A polling reader, as the accept loop and workers poll it.
+        let mut shutdown_seen = false;
+        for _ in 0..2 {
+            if latch.abort_requested() {
+                // Coherence: abort implies shutdown — both bits travel in
+                // one cell and were set by one RMW, and later loads of the
+                // same cell can only see the same or newer latch states.
+                assert!(latch.is_shutting_down(), "observed abort without shutdown");
+                witness.lock().unwrap().1 = true;
+            }
+            let now = latch.is_shutting_down();
+            // Monotonicity: once this thread has seen the latch set, no
+            // later read may see it clear again.
+            assert!(now || !shutdown_seen, "shutdown observation revoked");
+            shutdown_seen = shutdown_seen || now;
+            if !now {
+                witness.lock().unwrap().0 = true;
+            }
+        }
+
+        aborter.join().expect("begin(true) must not panic");
+        drainer.join().expect("begin(false) must not panic");
+        // Merging: the join edges publish both calls; the abort request
+        // must have survived the racing plain drain.
+        assert!(latch.is_shutting_down(), "shutdown lost in the merge");
+        assert!(latch.abort_requested(), "abort lost to the racing drain");
+    })
+    .unwrap_or_else(|failure| panic!("{failure}"));
+
+    assert!(stats.complete, "schedule space not exhausted: {stats:?}");
+    assert!(
+        stats.executions > 1,
+        "expected many interleavings: {stats:?}"
+    );
+    let (saw_running, saw_abort) = *saw.lock().unwrap();
+    assert!(
+        saw_running && saw_abort,
+        "reader never raced the beginners: running={saw_running} abort={saw_abort}"
+    );
+}
+
+/// `begin` is idempotent and only ever widens: a drain following an abort
+/// never narrows the latch back to a plain drain.
+#[test]
+fn repeated_begin_calls_only_widen_the_latch() {
+    let stats = interleave::explore(&interleave::Options::default(), || {
+        let latch = Arc::new(ShutdownLatch::new());
+        let widener = {
+            let latch = Arc::clone(&latch);
+            interleave::thread::spawn(move || {
+                latch.begin(true);
+                // A later plain drain must not clear the abort bit.
+                latch.begin(false);
+                assert!(latch.abort_requested(), "abort narrowed by a drain");
+            })
+        };
+        latch.begin(false);
+        widener.join().expect("widener must not panic");
+        assert!(latch.is_shutting_down() && latch.abort_requested());
+    })
+    .unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(stats.complete, "schedule space not exhausted: {stats:?}");
+}

@@ -1,0 +1,1456 @@
+//! The exploration engine: a cooperative scheduler that serializes model
+//! threads onto one runnable thread at a time, enumerates every scheduling
+//! and visibility decision by depth-first search, and replays decision
+//! prefixes deterministically.
+//!
+//! ## Execution protocol
+//!
+//! Model threads are real OS threads (reused across executions through a
+//! small worker pool), but only one ever runs user code at a time. Every
+//! shimmed operation is a *yield point*: the thread announces the operation
+//! it is about to perform, the scheduler picks which announced thread runs
+//! next (a DFS decision), and the granted thread executes its operation
+//! under the engine lock before running user code to its next yield point.
+//!
+//! ## Decisions
+//!
+//! Three kinds of nondeterminism are enumerated, and together they form the
+//! replayable schedule:
+//!
+//! * **`tN`** — which runnable thread performs the next operation;
+//! * **`rK`** — which store in a cell's modification order a non-SeqCst
+//!   load reads (any store at or after the thread's coherence floor is a
+//!   legal C11 outcome — this is what gives Release/Acquire bugs teeth);
+//! * **`co` / `cf`** — whether a `compare_exchange_weak` that would succeed
+//!   instead fails spuriously (bounded per execution).
+//!
+//! ## Memory model (C11-lite)
+//!
+//! Each atomic cell keeps its full store history (modification order =
+//! execution order). Each thread keeps a per-cell *coherence floor*: the
+//! earliest store it may still legally read. Floors rise on every access,
+//! are inherited on spawn, joined on join, captured by Release stores and
+//! joined into the reader by Acquire loads that read them — so an Acquire
+//! load from a Release store makes everything the writer had seen visible,
+//! and a Relaxed load does not. RMWs always read the latest store and
+//! continue release sequences. `SeqCst` is approximated as
+//! AcqRel-plus-read-latest; the checker targets Relaxed/Acquire/Release
+//! protocols, not SC-dependent algorithms.
+//!
+//! ## Pruning
+//!
+//! * **Sleep sets** (DPOR-lite, Godefroid-style): after a thread's subtree
+//!   is fully explored at a node, the thread sleeps in the node's sibling
+//!   subtrees until a *dependent* operation (same cell, at least one write,
+//!   or any non-cell operation) executes. Sleep-set-blocked executions are
+//!   pruned. Sound for full DFS; can be disabled for cross-validation.
+//! * **Preemption bound**: switching away from a still-runnable thread
+//!   costs one preemption; schedules beyond the bound are not explored
+//!   (an under-approximation, like every bounded search).
+//!
+//! The exploration budget is an execution *count*, never wall-clock time,
+//! so runs are reproducible byte-for-byte.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Model-checker configuration. `Default` gives a fully exhaustive search
+/// (no preemption bound, sleep sets on) under conservative budgets.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Maximum number of context switches away from a still-runnable
+    /// thread per execution; `None` explores every schedule.
+    pub preemption_bound: Option<usize>,
+    /// Hard budget on explored executions; hitting it ends the search with
+    /// `Stats::complete == false` instead of running forever.
+    pub max_executions: u64,
+    /// Per-execution step budget; exceeding it fails the execution as a
+    /// possible livelock (the budget is a count, never wall-clock time).
+    pub max_steps: u64,
+    /// Maximum live model threads per execution.
+    pub max_threads: usize,
+    /// How many spurious `compare_exchange_weak` failures may be injected
+    /// per execution.
+    pub max_spurious_cas_failures: usize,
+    /// Permutes the exploration order of alternatives at every decision
+    /// point; `0` keeps the natural order. Any seed explores the same
+    /// space — seeds only matter for *bounded* runs, which sample
+    /// different corners first.
+    pub seed: u64,
+    /// Sleep-set pruning; disable to cross-validate the pruning itself.
+    pub sleep_sets: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            preemption_bound: None,
+            max_executions: 200_000,
+            max_steps: 10_000,
+            max_threads: 6,
+            max_spurious_cas_failures: 1,
+            seed: 0,
+            sleep_sets: true,
+        }
+    }
+}
+
+/// Outcome of a completed exploration (no invariant violation found).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Executions run, including pruned ones.
+    pub executions: u64,
+    /// Whether the (possibly preemption-bounded) schedule space was
+    /// exhausted before `max_executions` was hit. Harnesses that claim a
+    /// proof must assert this.
+    pub complete: bool,
+    /// Executions cut short by sleep-set pruning.
+    pub pruned: u64,
+    /// Deepest decision stack seen (schedule length).
+    pub max_depth: usize,
+}
+
+/// A failing schedule: the assertion (or deadlock / livelock) message, the
+/// replayable decision string, and the per-operation trace.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Panic message, deadlock report, or budget violation.
+    pub message: String,
+    /// Comma-separated decision string, replayable via [`crate::replay`]:
+    /// `tN` = run thread N, `rK` = read store K, `co`/`cf` = weak-CAS
+    /// success/spurious failure.
+    pub schedule: String,
+    /// One line per executed operation of the failing execution.
+    pub trace: Vec<String>,
+    /// How many executions ran before this one failed.
+    pub executions: u64,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "model checking failed: {}", self.message)?;
+        writeln!(f, "after {} execution(s)", self.executions)?;
+        writeln!(
+            f,
+            "schedule: {}   (replay with interleave::replay)",
+            self.schedule
+        )?;
+        writeln!(f, "trace:")?;
+        for (i, line) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:>3}. {line}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Failure {}
+
+/// One decision in a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Choice {
+    /// Grant thread `N` the next operation.
+    Thread(usize),
+    /// A load reads the cell's store at history index `K`.
+    Read(usize),
+    /// Weak-CAS outcome: `false` = succeed, `true` = fail spuriously.
+    CasFail(bool),
+}
+
+impl Choice {
+    fn format(self) -> String {
+        match self {
+            Choice::Thread(t) => format!("t{t}"),
+            Choice::Read(k) => format!("r{k}"),
+            Choice::CasFail(false) => "co".to_string(),
+            Choice::CasFail(true) => "cf".to_string(),
+        }
+    }
+
+    fn parse(text: &str) -> Option<Choice> {
+        if text == "co" {
+            return Some(Choice::CasFail(false));
+        }
+        if text == "cf" {
+            return Some(Choice::CasFail(true));
+        }
+        if let Some(rest) = text.strip_prefix('t') {
+            return rest.parse().ok().map(Choice::Thread);
+        }
+        if let Some(rest) = text.strip_prefix('r') {
+            return rest.parse().ok().map(Choice::Read);
+        }
+        None
+    }
+}
+
+/// One node of the persistent DFS decision tree.
+struct Node {
+    /// The choice the current/next execution takes at this depth.
+    taken: Choice,
+    /// Alternatives not yet explored, in exploration order.
+    untried: Vec<Choice>,
+    /// Thread choices already fully explored here — they sleep in the
+    /// remaining sibling subtrees (Thread nodes only).
+    slept: Vec<usize>,
+}
+
+/// Per-thread, per-cell earliest readable store index.
+type View = BTreeMap<usize, usize>;
+
+/// One store in a cell's modification order.
+struct StoreRec {
+    value: u64,
+    /// For Release stores (and RMWs continuing a release sequence): the
+    /// writer's view at the store, joined into any Acquire reader.
+    release_view: Option<View>,
+}
+
+struct Cell {
+    kind: &'static str,
+    stores: Vec<StoreRec>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Parked at a yield point with an announced operation; schedulable.
+    Ready,
+    /// Currently executing user code (at most one thread at a time).
+    Running,
+    /// Waiting for the target thread to finish.
+    Blocked(usize),
+    Finished,
+}
+
+/// Sleep-set dependence summary of an announced operation.
+#[derive(Debug, Clone, Copy)]
+struct OpDesc {
+    /// `None` for thread-structure ops (begin/spawn/join/finish/yield),
+    /// which are conservatively dependent with everything.
+    cell: Option<usize>,
+    writes: bool,
+}
+
+fn dependent(a: OpDesc, b: OpDesc) -> bool {
+    match (a.cell, b.cell) {
+        (Some(x), Some(y)) => x == y && (a.writes || b.writes),
+        _ => true,
+    }
+}
+
+struct ThreadState {
+    status: Status,
+    pending: Option<OpDesc>,
+    floors: View,
+    result: Option<Box<dyn Any + Send>>,
+}
+
+impl ThreadState {
+    fn new(floors: View, pending: Option<OpDesc>) -> Self {
+        Self {
+            status: Status::Ready,
+            pending,
+            floors,
+            result: None,
+        }
+    }
+}
+
+enum Outcome {
+    Complete,
+    Pruned,
+    Failed(Failure),
+}
+
+/// Per-execution state, reset by `run_once`.
+struct Exec {
+    threads: Vec<ThreadState>,
+    cells: Vec<Cell>,
+    cell_of_addr: BTreeMap<usize, usize>,
+    /// Thread currently granted the next operation.
+    turn: Option<usize>,
+    /// Thread that executed the previous operation (preemption accounting).
+    prev: Option<usize>,
+    preemptions: usize,
+    cas_fails_left: usize,
+    sleep: Vec<usize>,
+    /// Next decision index (= schedule position).
+    depth: usize,
+    /// Length of the replayed prefix in `tree`.
+    prefix_len: usize,
+    steps: u64,
+    trace: Vec<String>,
+    outcome: Option<Outcome>,
+    /// OS jobs (model threads) that have not yet exited `thread_main`.
+    live: usize,
+}
+
+impl Exec {
+    fn empty() -> Self {
+        Self {
+            threads: Vec::new(),
+            cells: Vec::new(),
+            cell_of_addr: BTreeMap::new(),
+            turn: None,
+            prev: None,
+            preemptions: 0,
+            cas_fails_left: 0,
+            sleep: Vec::new(),
+            depth: 0,
+            prefix_len: 0,
+            steps: 0,
+            trace: Vec::new(),
+            outcome: None,
+            live: 0,
+        }
+    }
+}
+
+struct Shared {
+    tree: Vec<Node>,
+    exec: Exec,
+    last_depth: usize,
+}
+
+/// A model-thread body dispatched to the worker pool.
+type Job = Box<dyn FnOnce() + Send>;
+
+/// Closure run as a model thread; its return value is stored for `join`.
+pub(crate) type BodyFn = Box<dyn FnOnce() -> Box<dyn Any + Send> + Send>;
+
+/// Reusable OS-thread pool: model threads are logical; their OS carriers
+/// are recycled across executions to keep per-execution cost at context
+/// switches, not thread spawns.
+struct Pool {
+    state: Arc<Mutex<PoolState>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+struct PoolState {
+    txs: Vec<mpsc::Sender<Job>>,
+    idle: Vec<usize>,
+}
+
+impl Pool {
+    fn new() -> Self {
+        Self {
+            state: Arc::new(Mutex::new(PoolState {
+                txs: Vec::new(),
+                idle: Vec::new(),
+            })),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn dispatch(&self, job: Job) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(i) = state.idle.pop() {
+            state.txs[i].send(job).expect("pool worker exited early");
+            return;
+        }
+        let (tx, rx) = mpsc::channel::<Job>();
+        let index = state.txs.len();
+        state.txs.push(tx);
+        let pool_state = Arc::clone(&self.state);
+        let handle = std::thread::Builder::new()
+            .name(format!("interleave-worker-{index}"))
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                    pool_state
+                        .lock()
+                        .expect("pool state poisoned")
+                        .idle
+                        .push(index);
+                }
+            })
+            .expect("spawning pool worker");
+        self.handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(handle);
+        state.txs[index]
+            .send(job)
+            .expect("fresh pool worker exited");
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Closing the channels ends the worker loops; joining makes thread
+        // teardown deterministic (no carriers outliving the exploration).
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .txs
+            .clear();
+        for handle in self
+            .handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Panic payload used to unwind parked model threads when an execution
+/// aborts (failure, prune, or completion with stragglers). Never reported.
+struct AbortToken;
+
+pub(crate) struct Engine {
+    opts: Options,
+    state: Mutex<Shared>,
+    cv: Condvar,
+    pool: Pool,
+}
+
+/// Identity of a shimmed atomic at a yield point.
+pub(crate) struct CellRef {
+    pub addr: usize,
+    pub initial: u64,
+    pub kind: &'static str,
+}
+
+/// An announced operation, executed by the engine when the thread is
+/// granted its step.
+pub(crate) enum OpReq<'a> {
+    Yield,
+    Load {
+        order: Ordering,
+    },
+    Store {
+        order: Ordering,
+        value: u64,
+    },
+    /// Generic read-modify-write: `fetch_add`, `swap`, `fetch_update`, the
+    /// successful arm of `compare_exchange`. Returning `None` from `apply`
+    /// makes it a pure load of the latest store (`fetch_update` declining).
+    Rmw {
+        acquires: bool,
+        releases: bool,
+        apply: &'a mut dyn FnMut(u64) -> Option<u64>,
+        label: &'a str,
+    },
+    Cas {
+        expected: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+        weak: bool,
+    },
+    Spawn {
+        body: Option<BodyFn>,
+    },
+    Join {
+        target: usize,
+    },
+}
+
+pub(crate) enum OpOut {
+    Unit,
+    Value(u64),
+    Rmw(Result<u64, u64>),
+    Spawned(usize),
+    Joined(Box<dyn Any + Send>),
+}
+
+pub(crate) fn acquires(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+pub(crate) fn releases(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn read_latest_only(order: Ordering) -> bool {
+    matches!(order, Ordering::SeqCst)
+}
+
+fn join_view(dst: &mut View, src: &View) {
+    for (&cell, &floor) in src {
+        let entry = dst.entry(cell).or_insert(0);
+        *entry = (*entry).max(floor);
+    }
+}
+
+/// Deterministic Fisher–Yates permutation keyed on `(seed, depth)`; the
+/// identity when `seed == 0`.
+fn permute(choices: &mut [Choice], seed: u64, depth: usize) {
+    if seed == 0 || choices.len() < 2 {
+        return;
+    }
+    let mut s = seed ^ (depth as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for i in (1..choices.len()).rev() {
+        s = s
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let j = ((s >> 33) % (i as u64 + 1)) as usize;
+        choices.swap(i, j);
+    }
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Engine>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The engine/tid pair of the calling thread when it is a model thread.
+pub(crate) fn current() -> Option<(Arc<Engine>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(ctx: Option<(Arc<Engine>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+fn panic_abort() -> ! {
+    std::panic::panic_any(AbortToken)
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked with a non-string payload".to_string()
+    }
+}
+
+impl Engine {
+    fn new(opts: Options) -> Self {
+        Self {
+            opts,
+            state: Mutex::new(Shared {
+                tree: Vec::new(),
+                exec: Exec::empty(),
+                last_depth: 0,
+            }),
+            cv: Condvar::new(),
+            pool: Pool::new(),
+        }
+    }
+
+    /// Records a failure (first one wins), wakes everyone, and leaves the
+    /// caller to unwind via [`panic_abort`].
+    fn fail_locked(&self, st: &mut Shared, message: String) {
+        if st.exec.outcome.is_none() {
+            let schedule: Vec<String> = st.tree[..st.exec.depth]
+                .iter()
+                .map(|n| n.taken.format())
+                .collect();
+            st.exec.outcome = Some(Outcome::Failed(Failure {
+                message,
+                schedule: schedule.join(","),
+                trace: st.exec.trace.clone(),
+                executions: 0,
+            }));
+        }
+        self.cv.notify_all();
+    }
+
+    /// Takes the next decision at the current depth: replays the tree
+    /// prefix, or materializes a new node with `alternatives` (first entry
+    /// taken). Returns the chosen alternative.
+    fn decide(&self, st: &mut Shared, mut alternatives: Vec<Choice>) -> Choice {
+        let depth = st.exec.depth;
+        let chosen = if depth < st.exec.prefix_len {
+            let taken = st.tree[depth].taken;
+            if !alternatives.contains(&taken) {
+                self.fail_locked(
+                    st,
+                    format!(
+                        "replay diverged at depth {depth}: schedule says {} but the \
+                         execution offers {:?}",
+                        taken.format(),
+                        alternatives.iter().map(|c| c.format()).collect::<Vec<_>>()
+                    ),
+                );
+                panic_abort();
+            }
+            taken
+        } else {
+            permute(&mut alternatives, self.opts.seed, depth);
+            let taken = alternatives.remove(0);
+            st.tree.push(Node {
+                taken,
+                untried: alternatives,
+                slept: Vec::new(),
+            });
+            taken
+        };
+        st.exec.depth += 1;
+        st.last_depth = st.last_depth.max(st.exec.depth);
+        chosen
+    }
+
+    /// Picks the next thread to run after the caller parked, blocked or
+    /// finished. Detects completion, deadlock, and sleep-set blocking.
+    fn next_turn(&self, st: &mut Shared) {
+        let runnable: Vec<usize> = st
+            .exec
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Ready)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            let all_finished = st.exec.threads.iter().all(|t| t.status == Status::Finished);
+            if all_finished {
+                st.exec.outcome = Some(Outcome::Complete);
+            } else {
+                let blocked: Vec<String> = st
+                    .exec
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| match t.status {
+                        Status::Blocked(on) => Some(format!("t{i} joins t{on}")),
+                        _ => None,
+                    })
+                    .collect();
+                self.fail_locked(
+                    st,
+                    format!("deadlock: no runnable thread ({})", blocked.join(", ")),
+                );
+            }
+            self.cv.notify_all();
+            return;
+        }
+
+        // Fold this node's fully-explored siblings into the live sleep set
+        // before choosing (fresh nodes contribute nothing).
+        if st.exec.depth < st.exec.prefix_len {
+            for &t in &st.tree[st.exec.depth].slept {
+                if !st.exec.sleep.contains(&t) {
+                    st.exec.sleep.push(t);
+                }
+            }
+        }
+
+        let chosen = if st.exec.depth < st.exec.prefix_len {
+            match self.decide(st, runnable.iter().map(|&t| Choice::Thread(t)).collect()) {
+                Choice::Thread(t) => t,
+                other => {
+                    self.fail_locked(
+                        st,
+                        format!(
+                            "replay schedule has {} where a thread choice is due",
+                            other.format()
+                        ),
+                    );
+                    self.cv.notify_all();
+                    return;
+                }
+            }
+        } else {
+            let mut viable: Vec<usize> = if self.opts.sleep_sets {
+                runnable
+                    .iter()
+                    .copied()
+                    .filter(|t| !st.exec.sleep.contains(t))
+                    .collect()
+            } else {
+                runnable.clone()
+            };
+            if let Some(bound) = self.opts.preemption_bound {
+                if st.exec.preemptions >= bound {
+                    if let Some(p) = st.exec.prev {
+                        if runnable.contains(&p) {
+                            viable.retain(|&t| t == p);
+                        }
+                    }
+                }
+            }
+            if viable.is_empty() {
+                // Every runnable thread sleeps (or the preemption budget
+                // pins a sleeping thread): this execution is redundant.
+                st.exec.outcome = Some(Outcome::Pruned);
+                self.cv.notify_all();
+                return;
+            }
+            // Natural order: continue the previous thread first (cheapest
+            // schedule), then ascending thread id.
+            let mut ordered: Vec<Choice> = Vec::with_capacity(viable.len());
+            if let Some(p) = st.exec.prev {
+                if viable.contains(&p) {
+                    ordered.push(Choice::Thread(p));
+                }
+            }
+            for &t in &viable {
+                if Some(t) != st.exec.prev {
+                    ordered.push(Choice::Thread(t));
+                }
+            }
+            match self.decide(st, ordered) {
+                Choice::Thread(t) => t,
+                _ => unreachable!("thread nodes only offer thread choices"),
+            }
+        };
+        if let Some(p) = st.exec.prev {
+            if p != chosen && st.exec.threads[p].status == Status::Ready {
+                st.exec.preemptions += 1;
+            }
+        }
+        st.exec.turn = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    /// Parks until this thread is granted its step (or the execution
+    /// aborts, which unwinds via [`panic_abort`]).
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, Shared>,
+        tid: usize,
+    ) -> MutexGuard<'a, Shared> {
+        loop {
+            if st.exec.outcome.is_some() {
+                drop(st);
+                panic_abort();
+            }
+            if st.exec.turn == Some(tid) {
+                st.exec.turn = None;
+                st.exec.threads[tid].status = Status::Running;
+                return st;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Registers (or resolves) the cell behind `cell`.
+    fn resolve_cell(&self, st: &mut Shared, cell: &CellRef) -> usize {
+        if let Some(&idx) = st.exec.cell_of_addr.get(&cell.addr) {
+            return idx;
+        }
+        let idx = st.exec.cells.len();
+        st.exec.cells.push(Cell {
+            kind: cell.kind,
+            stores: vec![StoreRec {
+                value: cell.initial,
+                // Pre-execution writes are visible to every thread from the
+                // start (floor 0), so no release view is needed.
+                release_view: None,
+            }],
+        });
+        st.exec.cell_of_addr.insert(cell.addr, idx);
+        idx
+    }
+
+    pub(crate) fn drop_cell(&self, addr: usize) {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Forget the address mapping so a reused allocation registers as a
+        // fresh cell; history stays for the trace.
+        st.exec.cell_of_addr.remove(&addr);
+    }
+
+    fn cell_name(st: &Shared, idx: usize) -> String {
+        format!("{}#{idx}", st.exec.cells[idx].kind)
+    }
+
+    /// The heart of the shim layer: announce `req` at a yield point, wait
+    /// to be scheduled, execute it, and return its result.
+    pub(crate) fn op(
+        self: &Arc<Self>,
+        tid: usize,
+        cell: Option<CellRef>,
+        mut req: OpReq<'_>,
+    ) -> OpOut {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if st.exec.outcome.is_some() {
+            drop(st);
+            panic_abort();
+        }
+        st.exec.steps += 1;
+        if st.exec.steps > self.opts.max_steps {
+            self.fail_locked(
+                &mut st,
+                format!(
+                    "step budget exceeded ({} steps): possible livelock or unbounded spin",
+                    self.opts.max_steps
+                ),
+            );
+            drop(st);
+            panic_abort();
+        }
+        let cell_idx = cell.map(|c| self.resolve_cell(&mut st, &c));
+        let desc = OpDesc {
+            cell: cell_idx,
+            writes: !matches!(req, OpReq::Load { .. }),
+        };
+        {
+            let target_finished = match req {
+                OpReq::Join { target } => Some(st.exec.threads[target].status == Status::Finished),
+                _ => None,
+            };
+            let t = &mut st.exec.threads[tid];
+            t.pending = Some(desc);
+            t.status = match (&req, target_finished) {
+                (OpReq::Join { target }, Some(false)) => Status::Blocked(*target),
+                _ => Status::Ready,
+            };
+        }
+        self.next_turn(&mut st);
+        st = self.wait_for_turn(st, tid);
+        let out = self.execute(&mut st, tid, cell_idx, &mut req);
+        st.exec.prev = Some(tid);
+        self.wake_sleepers(&mut st, desc);
+        out
+    }
+
+    /// Removes sleeping threads whose pending operation depends on the one
+    /// just executed.
+    fn wake_sleepers(&self, st: &mut Shared, executed: OpDesc) {
+        let exec = &mut st.exec;
+        let threads = &exec.threads;
+        exec.sleep.retain(|&u| {
+            let pending = threads[u].pending.unwrap_or(OpDesc {
+                cell: None,
+                writes: true,
+            });
+            !dependent(executed, pending)
+        });
+    }
+
+    fn execute(
+        self: &Arc<Self>,
+        st: &mut MutexGuard<'_, Shared>,
+        tid: usize,
+        cell_idx: Option<usize>,
+        req: &mut OpReq<'_>,
+    ) -> OpOut {
+        match req {
+            OpReq::Yield => {
+                st.exec.trace.push(format!("t{tid}: yield"));
+                OpOut::Unit
+            }
+            OpReq::Load { order } => {
+                let order = *order;
+                let cell = cell_idx.expect("load has a cell");
+                let value = self.exec_load(st, tid, cell, order);
+                OpOut::Value(value)
+            }
+            OpReq::Store { order, value } => {
+                let (order, value) = (*order, *value);
+                let cell = cell_idx.expect("store has a cell");
+                let view = self.release_view_for(st, tid, cell, releases(order));
+                let c = &mut st.exec.cells[cell];
+                c.stores.push(StoreRec {
+                    value,
+                    release_view: view,
+                });
+                let idx = c.stores.len() - 1;
+                st.exec.threads[tid].floors.insert(cell, idx);
+                let name = Self::cell_name(st, cell);
+                st.exec
+                    .trace
+                    .push(format!("t{tid}: {name} store {value} ({order:?})"));
+                OpOut::Unit
+            }
+            OpReq::Rmw {
+                acquires: acq,
+                releases: rel,
+                apply,
+                label,
+            } => {
+                let (acq, rel) = (*acq, *rel);
+                let cell = cell_idx.expect("rmw has a cell");
+                let result = self.exec_rmw(st, tid, cell, acq, rel, apply, label);
+                OpOut::Rmw(result)
+            }
+            OpReq::Cas {
+                expected,
+                new,
+                success,
+                failure,
+                weak,
+            } => {
+                let (expected, new, success, failure, weak) =
+                    (*expected, *new, *success, *failure, *weak);
+                let cell = cell_idx.expect("cas has a cell");
+                let result = self.exec_cas(st, tid, cell, expected, new, success, failure, weak);
+                OpOut::Rmw(result)
+            }
+            OpReq::Spawn { body } => {
+                if st.exec.threads.len() >= self.opts.max_threads {
+                    self.fail_locked(
+                        st,
+                        format!(
+                            "thread limit exceeded (max_threads = {})",
+                            self.opts.max_threads
+                        ),
+                    );
+                    panic_abort();
+                }
+                let child = st.exec.threads.len();
+                let floors = st.exec.threads[tid].floors.clone();
+                // The child is announced by its parent: schedulable before
+                // its OS carrier even starts.
+                st.exec.threads.push(ThreadState::new(
+                    floors,
+                    Some(OpDesc {
+                        cell: None,
+                        writes: true,
+                    }),
+                ));
+                st.exec.live += 1;
+                st.exec.trace.push(format!("t{tid}: spawn t{child}"));
+                let engine = Arc::clone(self);
+                let body = body.take().expect("spawn body taken once");
+                self.pool
+                    .dispatch(Box::new(move || thread_main(engine, child, body)));
+                OpOut::Spawned(child)
+            }
+            OpReq::Join { target } => {
+                let target = *target;
+                let (child_floors, boxed) = {
+                    let t = &mut st.exec.threads[target];
+                    debug_assert_eq!(t.status, Status::Finished);
+                    (
+                        t.floors.clone(),
+                        t.result.take().expect("thread result joined once"),
+                    )
+                };
+                // Join edge: everything the child saw is visible here.
+                join_view(&mut st.exec.threads[tid].floors, &child_floors);
+                st.exec.trace.push(format!("t{tid}: join t{target}"));
+                OpOut::Joined(boxed)
+            }
+        }
+    }
+
+    /// The writer's view captured by a Release store (including the store
+    /// itself), or `None` for Relaxed.
+    fn release_view_for(
+        &self,
+        st: &mut Shared,
+        tid: usize,
+        cell: usize,
+        is_release: bool,
+    ) -> Option<View> {
+        if !is_release {
+            return None;
+        }
+        let next_idx = st.exec.cells[cell].stores.len();
+        let mut view = st.exec.threads[tid].floors.clone();
+        view.insert(cell, next_idx);
+        Some(view)
+    }
+
+    fn exec_load(
+        self: &Arc<Self>,
+        st: &mut MutexGuard<'_, Shared>,
+        tid: usize,
+        cell: usize,
+        order: Ordering,
+    ) -> u64 {
+        let floor = st.exec.threads[tid].floors.get(&cell).copied().unwrap_or(0);
+        let latest = st.exec.cells[cell].stores.len() - 1;
+        let idx = if read_latest_only(order) || floor == latest {
+            latest
+        } else {
+            // Newest-first: the realistic outcome is explored before the
+            // stale ones.
+            let alternatives: Vec<Choice> = (floor..=latest).rev().map(Choice::Read).collect();
+            match self.decide(st, alternatives) {
+                Choice::Read(k) => k,
+                _ => unreachable!("read nodes only offer read choices"),
+            }
+        };
+        let stale = latest - idx;
+        if acquires(order) {
+            let view = st.exec.cells[cell].stores[idx].release_view.clone();
+            if let Some(view) = view {
+                join_view(&mut st.exec.threads[tid].floors, &view);
+            }
+        }
+        let value = st.exec.cells[cell].stores[idx].value;
+        let floors = &mut st.exec.threads[tid].floors;
+        let entry = floors.entry(cell).or_insert(0);
+        *entry = (*entry).max(idx);
+        let name = Self::cell_name(st, cell);
+        let staleness = if stale == 0 {
+            String::new()
+        } else {
+            format!(" [stale by {stale}]")
+        };
+        st.exec.trace.push(format!(
+            "t{tid}: {name} load -> {value}{staleness} ({order:?})"
+        ));
+        value
+    }
+
+    /// RMWs read the latest store (they are atomic against the
+    /// modification order) and continue any release sequence they extend.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_rmw(
+        self: &Arc<Self>,
+        st: &mut MutexGuard<'_, Shared>,
+        tid: usize,
+        cell: usize,
+        acq: bool,
+        rel: bool,
+        apply: &mut dyn FnMut(u64) -> Option<u64>,
+        label: &str,
+    ) -> Result<u64, u64> {
+        let latest = st.exec.cells[cell].stores.len() - 1;
+        let prev = st.exec.cells[cell].stores[latest].value;
+        if acq {
+            let view = st.exec.cells[cell].stores[latest].release_view.clone();
+            if let Some(view) = view {
+                join_view(&mut st.exec.threads[tid].floors, &view);
+            }
+        }
+        let name = Self::cell_name(st, cell);
+        match apply(prev) {
+            Some(new) => {
+                // Release-sequence continuation: an RMW inherits the view
+                // of the store it replaces, merged with its own when it is
+                // itself a release.
+                let inherited = st.exec.cells[cell].stores[latest].release_view.clone();
+                let own = self.release_view_for(st, tid, cell, rel);
+                let view = match (inherited, own) {
+                    (Some(mut a), Some(b)) => {
+                        join_view(&mut a, &b);
+                        Some(a)
+                    }
+                    (Some(a), None) => Some(a),
+                    (None, b) => b,
+                };
+                let c = &mut st.exec.cells[cell];
+                c.stores.push(StoreRec {
+                    value: new,
+                    release_view: view,
+                });
+                let idx = c.stores.len() - 1;
+                st.exec.threads[tid].floors.insert(cell, idx);
+                st.exec
+                    .trace
+                    .push(format!("t{tid}: {name} {label} {prev} -> {new}"));
+                Ok(prev)
+            }
+            None => {
+                let floors = &mut st.exec.threads[tid].floors;
+                let entry = floors.entry(cell).or_insert(0);
+                *entry = (*entry).max(latest);
+                st.exec
+                    .trace
+                    .push(format!("t{tid}: {name} {label} declined at {prev}"));
+                Err(prev)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_cas(
+        self: &Arc<Self>,
+        st: &mut MutexGuard<'_, Shared>,
+        tid: usize,
+        cell: usize,
+        expected: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+        weak: bool,
+    ) -> Result<u64, u64> {
+        let latest = st.exec.cells[cell].stores.len() - 1;
+        let current = st.exec.cells[cell].stores[latest].value;
+        let would_succeed = current == expected;
+        let spurious = if would_succeed && weak && st.exec.cas_fails_left > 0 {
+            match self.decide(st, vec![Choice::CasFail(false), Choice::CasFail(true)]) {
+                Choice::CasFail(fail) => fail,
+                _ => unreachable!("cas nodes only offer cas choices"),
+            }
+        } else {
+            false
+        };
+        if spurious {
+            st.exec.cas_fails_left -= 1;
+        }
+        let name = Self::cell_name(st, cell);
+        if would_succeed && !spurious {
+            let mut apply = |_: u64| Some(new);
+            let kind = if weak { "cas-weak" } else { "cas" };
+            st.exec.trace.push(format!(
+                "t{tid}: {name} {kind} {expected} -> {new} ok ({success:?})"
+            ));
+            self.exec_rmw_in_place(
+                st,
+                tid,
+                cell,
+                acquires(success),
+                releases(success),
+                &mut apply,
+            );
+            Ok(current)
+        } else {
+            // A failed (or spuriously failed) CAS is a load of the latest
+            // store with the failure ordering.
+            if acquires(failure) {
+                let view = st.exec.cells[cell].stores[latest].release_view.clone();
+                if let Some(view) = view {
+                    join_view(&mut st.exec.threads[tid].floors, &view);
+                }
+            }
+            let floors = &mut st.exec.threads[tid].floors;
+            let entry = floors.entry(cell).or_insert(0);
+            *entry = (*entry).max(latest);
+            let why = if spurious { "spurious-fail" } else { "fail" };
+            st.exec.trace.push(format!(
+                "t{tid}: {name} cas {expected} -> {new} {why}, observed {current} ({failure:?})"
+            ));
+            Err(current)
+        }
+    }
+
+    /// The store half of a successful CAS (read already accounted).
+    fn exec_rmw_in_place(
+        &self,
+        st: &mut MutexGuard<'_, Shared>,
+        tid: usize,
+        cell: usize,
+        acq: bool,
+        rel: bool,
+        apply: &mut dyn FnMut(u64) -> Option<u64>,
+    ) {
+        let latest = st.exec.cells[cell].stores.len() - 1;
+        let prev = st.exec.cells[cell].stores[latest].value;
+        if acq {
+            let view = st.exec.cells[cell].stores[latest].release_view.clone();
+            if let Some(view) = view {
+                join_view(&mut st.exec.threads[tid].floors, &view);
+            }
+        }
+        let new = apply(prev).expect("cas store applies");
+        let inherited = st.exec.cells[cell].stores[latest].release_view.clone();
+        let own = self.release_view_for(st, tid, cell, rel);
+        let view = match (inherited, own) {
+            (Some(mut a), Some(b)) => {
+                join_view(&mut a, &b);
+                Some(a)
+            }
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        };
+        let c = &mut st.exec.cells[cell];
+        c.stores.push(StoreRec {
+            value: new,
+            release_view: view,
+        });
+        let idx = c.stores.len() - 1;
+        st.exec.threads[tid].floors.insert(cell, idx);
+    }
+
+    /// First yield point of every model thread: wait to be scheduled (the
+    /// creator already announced us), then mark the begin step.
+    fn begin(self: &Arc<Self>, tid: usize) {
+        let st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut st = self.wait_for_turn(st, tid);
+        st.exec.trace.push(format!("t{tid}: begin"));
+        st.exec.prev = Some(tid);
+        self.wake_sleepers(
+            &mut st,
+            OpDesc {
+                cell: None,
+                writes: true,
+            },
+        );
+    }
+
+    /// Normal completion of a model thread's body.
+    fn finish(self: &Arc<Self>, tid: usize, value: Box<dyn Any + Send>) {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if st.exec.outcome.is_some() {
+            return; // aborted while running: nothing left to schedule
+        }
+        {
+            let t = &mut st.exec.threads[tid];
+            t.status = Status::Finished;
+            t.pending = None;
+            t.result = Some(value);
+        }
+        st.exec.trace.push(format!("t{tid}: finish"));
+        // Wake joiners.
+        for t in st.exec.threads.iter_mut() {
+            if t.status == Status::Blocked(tid) {
+                t.status = Status::Ready;
+            }
+        }
+        st.exec.prev = Some(tid);
+        self.wake_sleepers(
+            &mut st,
+            OpDesc {
+                cell: None,
+                writes: true,
+            },
+        );
+        self.next_turn(&mut st);
+    }
+
+    /// A model thread panicked: an assertion failure unless it is our own
+    /// abort unwinding.
+    fn thread_panicked(self: &Arc<Self>, tid: usize, payload: Box<dyn Any + Send>) {
+        if payload.downcast_ref::<AbortToken>().is_some() {
+            return;
+        }
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.exec.threads[tid].status = Status::Finished;
+        let message = format!("t{tid} panicked: {}", panic_message(payload.as_ref()));
+        self.fail_locked(&mut st, message);
+    }
+
+    /// Final bookkeeping of a model thread's OS carrier.
+    fn thread_exited(&self) {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.exec.live -= 1;
+        self.cv.notify_all();
+    }
+
+    /// Runs one execution of `body` as thread 0; returns its outcome.
+    fn run_once(self: &Arc<Self>, body: BodyFn) -> Outcome {
+        {
+            let mut st = self
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let prefix_len = st.tree.len();
+            st.exec = Exec::empty();
+            st.exec.prefix_len = prefix_len;
+            st.exec.cas_fails_left = self.opts.max_spurious_cas_failures;
+            st.exec.threads.push(ThreadState::new(
+                View::new(),
+                Some(OpDesc {
+                    cell: None,
+                    writes: true,
+                }),
+            ));
+            st.exec.live = 1;
+        }
+        let engine = Arc::clone(self);
+        self.pool
+            .dispatch(Box::new(move || thread_main(engine, 0, body)));
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.next_turn(&mut st);
+        loop {
+            if st.exec.outcome.is_some() && st.exec.live == 0 {
+                return st.exec.outcome.take().expect("outcome just checked");
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Advances the DFS to the next unexplored schedule. Returns `false`
+    /// when the space is exhausted.
+    fn backtrack(&self) -> bool {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while let Some(node) = st.tree.last_mut() {
+            if node.untried.is_empty() {
+                st.tree.pop();
+                continue;
+            }
+            let next = node.untried.remove(0);
+            if let Choice::Thread(t) = node.taken {
+                node.slept.push(t);
+            }
+            node.taken = next;
+            return true;
+        }
+        false
+    }
+
+    fn last_depth(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .last_depth
+    }
+
+    fn take_trace(&self) -> Vec<String> {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::mem::take(&mut st.exec.trace)
+    }
+}
+
+/// Body wrapper running on a pool worker: registers the model context,
+/// waits for the first grant, runs the body, and reports the outcome.
+fn thread_main(engine: Arc<Engine>, tid: usize, body: BodyFn) {
+    set_current(Some((Arc::clone(&engine), tid)));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        engine.begin(tid);
+        body()
+    }));
+    set_current(None);
+    match result {
+        Ok(value) => engine.finish(tid, value),
+        Err(payload) => engine.thread_panicked(tid, payload),
+    }
+    engine.thread_exited();
+}
+
+/// Explores every schedule of `body` under `opts`.
+///
+/// # Errors
+///
+/// The first [`Failure`] found: an assertion panic in any model thread, a
+/// deadlock, a step-budget (livelock) violation, or a thread-limit
+/// violation — with its replayable schedule and trace.
+pub fn explore<F>(opts: &Options, body: F) -> Result<Stats, Box<Failure>>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    assert!(
+        current().is_none(),
+        "nested model checking is not supported"
+    );
+    let engine = Arc::new(Engine::new(opts.clone()));
+    let body = Arc::new(body);
+    let mut stats = Stats::default();
+    loop {
+        let run: BodyFn = {
+            let body = Arc::clone(&body);
+            Box::new(move || {
+                body();
+                Box::new(()) as Box<dyn Any + Send>
+            })
+        };
+        let outcome = engine.run_once(run);
+        stats.executions += 1;
+        stats.max_depth = stats.max_depth.max(engine.last_depth());
+        match outcome {
+            Outcome::Failed(mut failure) => {
+                failure.executions = stats.executions;
+                return Err(Box::new(failure));
+            }
+            Outcome::Pruned => stats.pruned += 1,
+            Outcome::Complete => {}
+        }
+        if !engine.backtrack() {
+            stats.complete = true;
+            return Ok(stats);
+        }
+        if stats.executions >= opts.max_executions {
+            stats.complete = false;
+            return Ok(stats);
+        }
+    }
+}
+
+/// Model-checks `body` under default [`Options`], panicking with the full
+/// failure report (message, schedule, trace) when an invariant breaks.
+pub fn model<F>(body: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(&Options::default(), body)
+}
+
+/// [`model`] under explicit [`Options`].
+pub fn model_with<F>(opts: &Options, body: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match explore(opts, body) {
+        Ok(stats) => stats,
+        Err(failure) => panic!("{failure}"),
+    }
+}
+
+/// Replays one schedule (as printed in a [`Failure`]) against `body`,
+/// returning the execution trace on success.
+///
+/// # Errors
+///
+/// The reproduced [`Failure`] — or a `replay diverged` failure when the
+/// schedule does not fit `body` (e.g. the code under test changed).
+pub fn replay<F>(schedule: &str, body: F) -> Result<Vec<String>, Box<Failure>>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let mut tree = Vec::new();
+    for part in schedule.split(',').filter(|p| !p.is_empty()) {
+        let choice = Choice::parse(part.trim()).ok_or_else(|| {
+            Box::new(Failure {
+                message: format!("unparseable schedule step `{part}`"),
+                schedule: schedule.to_string(),
+                trace: Vec::new(),
+                executions: 0,
+            })
+        })?;
+        tree.push(Node {
+            taken: choice,
+            untried: Vec::new(),
+            slept: Vec::new(),
+        });
+    }
+    let engine = Arc::new(Engine::new(Options::default()));
+    {
+        let mut st = engine
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.tree = tree;
+    }
+    let body = Arc::new(body);
+    let run: BodyFn = {
+        let body = Arc::clone(&body);
+        Box::new(move || {
+            body();
+            Box::new(()) as Box<dyn Any + Send>
+        })
+    };
+    match engine.run_once(run) {
+        Outcome::Failed(mut failure) => {
+            failure.executions = 1;
+            Err(Box::new(failure))
+        }
+        Outcome::Complete | Outcome::Pruned => Ok(engine.take_trace()),
+    }
+}

@@ -1,0 +1,66 @@
+//! `interleave` — a vendored, dependency-free loom-style model checker
+//! for the workspace's lock-free core.
+//!
+//! The workspace's telemetry registry, fleet executor, and daemon
+//! scheduler carry small cross-thread state machines built from atomics.
+//! `detlint` rule A1 makes every `Ordering::Relaxed` carry a written
+//! justification — but a comment is an argument, not a proof. This crate
+//! turns the arguments into checked properties: a test body runs under a
+//! cooperative scheduler that explores **every** thread interleaving (and
+//! every legal weak-memory read, and every spurious `compare_exchange_weak`
+//! failure), asserting the documented invariant in each one.
+//!
+//! # Using it
+//!
+//! Code under test imports atomics through a crate-local `sync` facade
+//! that re-exports `std::sync::atomic` normally and [`sync::atomic`] under
+//! that crate's `interleave` feature. Harnesses then drive the real types:
+//!
+//! ```
+//! use interleave::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! let stats = interleave::model(|| {
+//!     let counter = Arc::new(AtomicU64::new(0));
+//!     let c2 = Arc::clone(&counter);
+//!     let t = interleave::thread::spawn(move || {
+//!         c2.fetch_add(1, Ordering::Relaxed); // relaxed: counting only, checked here
+//!     });
+//!     counter.fetch_add(1, Ordering::Relaxed); // relaxed: counting only, checked here
+//!     t.join().unwrap();
+//!     assert_eq!(counter.load(Ordering::Relaxed), 2); // relaxed: join synchronizes
+//! });
+//! assert!(stats.complete, "schedule space exhausted, invariant proven");
+//! ```
+//!
+//! On failure, [`model`] panics with the assertion message, a replayable
+//! schedule string (`t0,t1,r0,co,...`), and a per-operation trace; feed
+//! the schedule to [`replay`] to re-execute exactly that interleaving.
+//!
+//! # What the model covers (and what it does not)
+//!
+//! * Scheduling: full DFS over yield points, optionally preemption-bounded
+//!   ([`Options::preemption_bound`]), with sleep-set pruning
+//!   ([`Options::sleep_sets`]) that skips provably redundant schedules.
+//! * Weak memory, C11-lite: Relaxed loads may read stale stores;
+//!   Release stores publish the writer's view to Acquire readers; RMWs
+//!   read the latest store and continue release sequences. `SeqCst` is
+//!   approximated as AcqRel-plus-read-latest — sufficient for the
+//!   Relaxed/Acquire/Release protocols this workspace uses, but **not** a
+//!   decision procedure for algorithms that need a total store order.
+//! * Liveness: deadlocks (join cycles) and unbounded spins
+//!   ([`Options::max_steps`]) are failures, so harnesses must be loop-free
+//!   or rely on CAS loops that converge (a failed CAS observes the latest
+//!   value, so claim-style loops terminate).
+//!
+//! Budgets are execution *counts*, never wall-clock time: a run either
+//! proves the property for the explored space or fails reproducibly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+pub mod sync;
+pub mod thread;
+
+pub use engine::{explore, model, model_with, replay, Failure, Options, Stats};

@@ -1,0 +1,496 @@
+//! Drop-in shims for `std::sync::atomic`.
+//!
+//! Each type wraps the real std atomic. Outside a model-checking run the
+//! wrapper is a zero-overhead passthrough (every method delegates to the
+//! inner atomic with the caller's ordering). Inside [`crate::explore`],
+//! every operation becomes a scheduler yield point whose outcome is
+//! resolved by the engine's C11-lite memory model instead of the host
+//! hardware — which is what lets the checker inject stale reads for
+//! Relaxed loads and spurious `compare_exchange_weak` failures.
+//!
+//! The intended consumer is a crate-local `sync` facade:
+//!
+//! ```ignore
+//! #[cfg(not(feature = "interleave"))]
+//! pub use std::sync::atomic;
+//! #[cfg(feature = "interleave")]
+//! pub use interleave::sync::atomic;
+//! ```
+//!
+//! One rule: an atomic must not be shared between model threads and
+//! non-model threads during a run. Harnesses create their state inside
+//! the model closure (or only touch it from model threads), so this does
+//! not come up in practice.
+
+/// Shimmed `std::sync::atomic` namespace, mirroring the std layout so
+/// `use crate::sync::atomic::{AtomicU64, Ordering};` works unchanged.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::engine::{self, current, CellRef, OpOut, OpReq};
+
+    macro_rules! int_atomic {
+        ($(#[$meta:meta])* $name:ident, $ty:ty, $kind:literal) => {
+            $(#[$meta])*
+            pub struct $name {
+                inner: std::sync::atomic::$name,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                #[must_use]
+                pub const fn new(value: $ty) -> Self {
+                    Self {
+                        inner: std::sync::atomic::$name::new(value),
+                    }
+                }
+
+                /// Identity + seed value for engine cell registration. The
+                /// seed is only consulted the first time the cell is
+                /// touched in an execution; after that the engine's store
+                /// history is authoritative.
+                fn cell(&self) -> CellRef {
+                    CellRef {
+                        addr: std::ptr::from_ref(self) as usize,
+                        initial: self.inner.load(Ordering::SeqCst) as u64,
+                        kind: $kind,
+                    }
+                }
+
+                fn value(out: OpOut) -> $ty {
+                    match out {
+                        OpOut::Value(v) => v as $ty,
+                        _ => unreachable!("load yields a value"),
+                    }
+                }
+
+                fn rmw(out: OpOut) -> Result<$ty, $ty> {
+                    match out {
+                        OpOut::Rmw(Ok(v)) => Ok(v as $ty),
+                        OpOut::Rmw(Err(v)) => Err(v as $ty),
+                        _ => unreachable!("rmw yields a result"),
+                    }
+                }
+
+                /// Loads the value; under the model a non-SeqCst load may
+                /// observe any store the memory model permits.
+                pub fn load(&self, order: Ordering) -> $ty {
+                    match current() {
+                        None => self.inner.load(order),
+                        Some((engine, tid)) => Self::value(engine.op(
+                            tid,
+                            Some(self.cell()),
+                            OpReq::Load { order },
+                        )),
+                    }
+                }
+
+                /// Stores a value.
+                pub fn store(&self, value: $ty, order: Ordering) {
+                    match current() {
+                        None => self.inner.store(value, order),
+                        Some((engine, tid)) => {
+                            engine.op(
+                                tid,
+                                Some(self.cell()),
+                                OpReq::Store {
+                                    order,
+                                    value: value as u64,
+                                },
+                            );
+                        }
+                    }
+                }
+
+                /// Atomically replaces the value, returning the previous one.
+                pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                    match current() {
+                        None => self.inner.swap(value, order),
+                        Some(ctx) => self.model_rmw(ctx, order, "swap", move |_| value),
+                    }
+                }
+
+                /// Atomically adds (wrapping), returning the previous value.
+                pub fn fetch_add(&self, delta: $ty, order: Ordering) -> $ty {
+                    match current() {
+                        None => self.inner.fetch_add(delta, order),
+                        Some(ctx) => self.model_rmw(ctx, order, "fetch_add", move |v| {
+                            v.wrapping_add(delta)
+                        }),
+                    }
+                }
+
+                /// Atomically subtracts (wrapping), returning the previous value.
+                pub fn fetch_sub(&self, delta: $ty, order: Ordering) -> $ty {
+                    match current() {
+                        None => self.inner.fetch_sub(delta, order),
+                        Some(ctx) => self.model_rmw(ctx, order, "fetch_sub", move |v| {
+                            v.wrapping_sub(delta)
+                        }),
+                    }
+                }
+
+                /// Atomically takes the maximum, returning the previous value.
+                pub fn fetch_max(&self, value: $ty, order: Ordering) -> $ty {
+                    match current() {
+                        None => self.inner.fetch_max(value, order),
+                        Some(ctx) => {
+                            self.model_rmw(ctx, order, "fetch_max", move |v| v.max(value))
+                        }
+                    }
+                }
+
+                /// Atomically takes the minimum, returning the previous value.
+                pub fn fetch_min(&self, value: $ty, order: Ordering) -> $ty {
+                    match current() {
+                        None => self.inner.fetch_min(value, order),
+                        Some(ctx) => {
+                            self.model_rmw(ctx, order, "fetch_min", move |v| v.min(value))
+                        }
+                    }
+                }
+
+                /// Atomically bitwise-ANDs, returning the previous value.
+                pub fn fetch_and(&self, value: $ty, order: Ordering) -> $ty {
+                    match current() {
+                        None => self.inner.fetch_and(value, order),
+                        Some(ctx) => {
+                            self.model_rmw(ctx, order, "fetch_and", move |v| v & value)
+                        }
+                    }
+                }
+
+                /// Atomically bitwise-ORs, returning the previous value.
+                pub fn fetch_or(&self, value: $ty, order: Ordering) -> $ty {
+                    match current() {
+                        None => self.inner.fetch_or(value, order),
+                        Some(ctx) => {
+                            self.model_rmw(ctx, order, "fetch_or", move |v| v | value)
+                        }
+                    }
+                }
+
+                /// Model-side RMW path: one engine step, always writes.
+                fn model_rmw(
+                    &self,
+                    (engine, tid): (std::sync::Arc<crate::engine::Engine>, usize),
+                    order: Ordering,
+                    label: &str,
+                    mut f: impl FnMut($ty) -> $ty,
+                ) -> $ty {
+                    let mut apply = move |bits: u64| Some(f(bits as $ty) as u64);
+                    let out = engine.op(
+                        tid,
+                        Some(self.cell()),
+                        OpReq::Rmw {
+                            acquires: engine::acquires(order),
+                            releases: engine::releases(order),
+                            apply: &mut apply,
+                            label,
+                        },
+                    );
+                    match Self::rmw(out) {
+                        Ok(prev) | Err(prev) => prev,
+                    }
+                }
+
+                /// Fetches the value and applies `f`; stores the result if
+                /// `Some`. Under the model this is a single atomic step —
+                /// matching the lock-free retry loop's externally visible
+                /// behaviour while keeping the schedule space small.
+                pub fn fetch_update(
+                    &self,
+                    set_order: Ordering,
+                    fetch_order: Ordering,
+                    mut f: impl FnMut($ty) -> Option<$ty>,
+                ) -> Result<$ty, $ty> {
+                    match current() {
+                        None => self.inner.fetch_update(set_order, fetch_order, f),
+                        Some((engine, tid)) => {
+                            let mut apply =
+                                move |bits: u64| f(bits as $ty).map(|n| n as u64);
+                            let out = engine.op(
+                                tid,
+                                Some(self.cell()),
+                                OpReq::Rmw {
+                                    acquires: engine::acquires(set_order)
+                                        || engine::acquires(fetch_order),
+                                    releases: engine::releases(set_order),
+                                    apply: &mut apply,
+                                    label: "fetch_update",
+                                },
+                            );
+                            Self::rmw(out)
+                        }
+                    }
+                }
+
+                /// Strong compare-and-exchange: never fails spuriously.
+                pub fn compare_exchange(
+                    &self,
+                    expected: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.cas(expected, new, success, failure, false)
+                }
+
+                /// Weak compare-and-exchange: under the model, a would-be
+                /// success may additionally fail spuriously (a scheduler
+                /// decision), so retry loops must tolerate `Err(expected)`.
+                pub fn compare_exchange_weak(
+                    &self,
+                    expected: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.cas(expected, new, success, failure, true)
+                }
+
+                fn cas(
+                    &self,
+                    expected: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                    weak: bool,
+                ) -> Result<$ty, $ty> {
+                    match current() {
+                        None => {
+                            if weak {
+                                self.inner
+                                    .compare_exchange_weak(expected, new, success, failure)
+                            } else {
+                                self.inner.compare_exchange(expected, new, success, failure)
+                            }
+                        }
+                        Some((engine, tid)) => Self::rmw(engine.op(
+                            tid,
+                            Some(self.cell()),
+                            OpReq::Cas {
+                                expected: expected as u64,
+                                new: new as u64,
+                                success,
+                                failure,
+                                weak,
+                            },
+                        )),
+                    }
+                }
+
+                /// Consumes the atomic, returning the contained value.
+                /// Outside the model only (a model cell's history lives in
+                /// the engine, not in `inner`).
+                #[must_use]
+                pub fn into_inner(self) -> $ty {
+                    assert!(
+                        current().is_none(),
+                        "into_inner is not meaningful on a model thread"
+                    );
+                    // A load stands in for the move: `self` has a `Drop`
+                    // impl, so the field cannot be moved out, and we hold
+                    // the only reference.
+                    self.inner.load(Ordering::SeqCst)
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(0 as $ty)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    match current() {
+                        None => f
+                            .debug_tuple(stringify!($name))
+                            .field(&self.inner.load(Ordering::SeqCst))
+                            .finish(),
+                        Some(_) => f.write_str(concat!(stringify!($name), "(<modeled>)")),
+                    }
+                }
+            }
+
+            impl Drop for $name {
+                fn drop(&mut self) {
+                    // Deregister the address so a reused allocation starts
+                    // a fresh cell instead of inheriting stale history.
+                    if let Some((engine, _)) = current() {
+                        engine.drop_cell(std::ptr::from_ref(self) as usize);
+                    }
+                }
+            }
+        };
+    }
+
+    int_atomic!(
+        /// Shimmed [`std::sync::atomic::AtomicU64`].
+        AtomicU64,
+        u64,
+        "AtomicU64"
+    );
+    int_atomic!(
+        /// Shimmed [`std::sync::atomic::AtomicUsize`].
+        AtomicUsize,
+        usize,
+        "AtomicUsize"
+    );
+    int_atomic!(
+        /// Shimmed [`std::sync::atomic::AtomicI64`]. Values round-trip
+        /// through the engine as two's-complement `u64` bit patterns, so
+        /// wrapping arithmetic and comparisons behave identically.
+        AtomicI64,
+        i64,
+        "AtomicI64"
+    );
+
+    /// Shimmed [`std::sync::atomic::AtomicBool`].
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic with the given initial value.
+        #[must_use]
+        pub const fn new(value: bool) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicBool::new(value),
+            }
+        }
+
+        fn cell(&self) -> CellRef {
+            CellRef {
+                addr: std::ptr::from_ref(self) as usize,
+                initial: u64::from(self.inner.load(Ordering::SeqCst)),
+                kind: "AtomicBool",
+            }
+        }
+
+        /// Loads the value; under the model a non-SeqCst load may observe
+        /// any store the memory model permits.
+        pub fn load(&self, order: Ordering) -> bool {
+            match current() {
+                None => self.inner.load(order),
+                Some((engine, tid)) => {
+                    match engine.op(tid, Some(self.cell()), OpReq::Load { order }) {
+                        OpOut::Value(v) => v != 0,
+                        _ => unreachable!("load yields a value"),
+                    }
+                }
+            }
+        }
+
+        /// Stores a value.
+        pub fn store(&self, value: bool, order: Ordering) {
+            match current() {
+                None => self.inner.store(value, order),
+                Some((engine, tid)) => {
+                    engine.op(
+                        tid,
+                        Some(self.cell()),
+                        OpReq::Store {
+                            order,
+                            value: u64::from(value),
+                        },
+                    );
+                }
+            }
+        }
+
+        /// Atomically replaces the value, returning the previous one.
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            match current() {
+                None => self.inner.swap(value, order),
+                Some((engine, tid)) => {
+                    let mut apply = move |_: u64| Some(u64::from(value));
+                    let out = engine.op(
+                        tid,
+                        Some(self.cell()),
+                        OpReq::Rmw {
+                            acquires: engine::acquires(order),
+                            releases: engine::releases(order),
+                            apply: &mut apply,
+                            label: "swap",
+                        },
+                    );
+                    match out {
+                        OpOut::Rmw(Ok(prev) | Err(prev)) => prev != 0,
+                        _ => unreachable!("rmw yields a result"),
+                    }
+                }
+            }
+        }
+
+        /// Strong compare-and-exchange: never fails spuriously.
+        pub fn compare_exchange(
+            &self,
+            expected: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            match current() {
+                None => self.inner.compare_exchange(expected, new, success, failure),
+                Some((engine, tid)) => {
+                    let out = engine.op(
+                        tid,
+                        Some(self.cell()),
+                        OpReq::Cas {
+                            expected: u64::from(expected),
+                            new: u64::from(new),
+                            success,
+                            failure,
+                            weak: false,
+                        },
+                    );
+                    match out {
+                        OpOut::Rmw(Ok(v)) => Ok(v != 0),
+                        OpOut::Rmw(Err(v)) => Err(v != 0),
+                        _ => unreachable!("cas yields a result"),
+                    }
+                }
+            }
+        }
+
+        /// Consumes the atomic, returning the contained value. Outside the
+        /// model only.
+        #[must_use]
+        pub fn into_inner(self) -> bool {
+            assert!(
+                current().is_none(),
+                "into_inner is not meaningful on a model thread"
+            );
+            // See the integer shims: Drop forbids moving the field out.
+            self.inner.load(Ordering::SeqCst)
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match current() {
+                None => f
+                    .debug_tuple("AtomicBool")
+                    .field(&self.inner.load(Ordering::SeqCst))
+                    .finish(),
+                Some(_) => f.write_str("AtomicBool(<modeled>)"),
+            }
+        }
+    }
+
+    impl Drop for AtomicBool {
+        fn drop(&mut self) {
+            if let Some((engine, _)) = current() {
+                engine.drop_cell(std::ptr::from_ref(self) as usize);
+            }
+        }
+    }
+}

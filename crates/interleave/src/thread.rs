@@ -1,0 +1,97 @@
+//! Thread shims: [`spawn`] / [`JoinHandle`] / [`yield_now`] that map onto
+//! `std::thread` outside a model run and onto model threads inside one.
+//!
+//! Model threads are created, scheduled, and joined by the engine; the
+//! number of live model threads per execution is bounded by
+//! [`crate::Options::max_threads`].
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use crate::engine::{current, BodyFn, Engine, OpOut, OpReq};
+
+/// Handle to a spawned (real or model) thread.
+pub struct JoinHandle<T>(Imp<T>);
+
+enum Imp<T> {
+    Os(std::thread::JoinHandle<T>),
+    Model {
+        engine: Arc<Engine>,
+        target: usize,
+        _result: PhantomData<fn() -> T>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// Under the model, joining is a blocking scheduler edge: the joiner
+    /// is only schedulable again once the target has finished, and the
+    /// target's memory view becomes visible to the joiner. A panicking
+    /// model thread fails the whole execution (with a replayable
+    /// schedule), so the `Err` arm is only ever taken in passthrough mode.
+    ///
+    /// # Errors
+    ///
+    /// The target thread's panic payload (passthrough mode only).
+    pub fn join(self) -> std::thread::Result<T>
+    where
+        T: 'static,
+    {
+        match self.0 {
+            Imp::Os(handle) => handle.join(),
+            Imp::Model { engine, target, .. } => {
+                let (cur_engine, tid) =
+                    current().expect("model JoinHandle joined outside its model run");
+                assert!(
+                    Arc::ptr_eq(&engine, &cur_engine),
+                    "model JoinHandle joined under a different model run"
+                );
+                match cur_engine.op(tid, None, OpReq::Join { target }) {
+                    OpOut::Joined(boxed) => Ok(*boxed
+                        .downcast::<T>()
+                        .expect("joined thread result has the spawned type")),
+                    _ => unreachable!("join yields the thread result"),
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a thread running `f`.
+///
+/// On a model thread this creates a model thread that inherits the
+/// spawner's memory view and participates in the exhaustive schedule
+/// exploration; otherwise it is `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current() {
+        None => JoinHandle(Imp::Os(std::thread::spawn(f))),
+        Some((engine, tid)) => {
+            let body: BodyFn = Box::new(move || Box::new(f()) as Box<dyn Any + Send>);
+            match engine.op(tid, None, OpReq::Spawn { body: Some(body) }) {
+                OpOut::Spawned(target) => JoinHandle(Imp::Model {
+                    engine,
+                    target,
+                    _result: PhantomData,
+                }),
+                _ => unreachable!("spawn yields the child id"),
+            }
+        }
+    }
+}
+
+/// A pure scheduling yield point: lets the model insert a context switch
+/// with no memory effect (maps to `std::thread::yield_now` outside).
+pub fn yield_now() {
+    match current() {
+        None => std::thread::yield_now(),
+        Some((engine, tid)) => {
+            engine.op(tid, None, OpReq::Yield);
+        }
+    }
+}

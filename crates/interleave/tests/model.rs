@@ -1,0 +1,446 @@
+//! Self-tests for the model checker: each test either proves a correct
+//! protocol exhaustively (`stats.complete`) or demonstrates that a broken
+//! protocol is caught with a replayable schedule — the checker's teeth.
+
+use std::sync::{Arc, Mutex};
+
+use interleave::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use interleave::{explore, model, replay, Options};
+
+fn opts() -> Options {
+    Options::default()
+}
+
+#[test]
+fn release_acquire_message_passing_holds_in_every_interleaving() {
+    let stats = model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let writer = interleave::thread::spawn(move || {
+            // relaxed: publication happens via the flag's Release store below
+            d.store(42, Ordering::Relaxed);
+            f.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) {
+            // relaxed: the Acquire load above synchronized with the Release store
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        writer.join().unwrap();
+    });
+    assert!(
+        stats.complete,
+        "schedule space must be exhausted: {stats:?}"
+    );
+    assert!(stats.executions > 1, "must explore several schedules");
+}
+
+#[test]
+fn relaxed_publication_is_caught_and_replayable() {
+    let broken = || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let writer = interleave::thread::spawn(move || {
+            // relaxed: deliberately broken publication — this test proves
+            // the checker rejects it
+            d.store(42, Ordering::Relaxed);
+            f.store(true, Ordering::Relaxed); // relaxed: intentionally unordered flag store
+        });
+        if flag.load(Ordering::Acquire) {
+            // relaxed: stale read is the expected counterexample here
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        writer.join().unwrap();
+    };
+    let failure = explore(&opts(), broken).expect_err("relaxed publication must fail");
+    assert!(
+        failure.message.contains("assertion"),
+        "failure should be the harness assert: {}",
+        failure.message
+    );
+    assert!(!failure.schedule.is_empty());
+    assert!(!failure.trace.is_empty());
+
+    // The printed schedule replays to the same assertion failure.
+    let replayed = replay(&failure.schedule, broken).expect_err("replay must reproduce");
+    assert_eq!(replayed.message, failure.message);
+}
+
+#[test]
+fn lost_update_from_non_atomic_increment_is_found() {
+    let broken = || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                interleave::thread::spawn(move || {
+                    // relaxed: deliberately racy load/store pair (not an RMW)
+                    let v = c.load(Ordering::Relaxed);
+                    c.store(v + 1, Ordering::Relaxed); // relaxed: racy store is the subject
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // relaxed: join edges make both increments visible
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    };
+    let failure = explore(&opts(), broken).expect_err("lost update must be found");
+    assert!(failure.message.contains("assertion"), "{}", failure.message);
+}
+
+#[test]
+fn preemption_bound_zero_hides_the_seqcst_lost_update() {
+    // SeqCst accesses always read the latest store, so this lost update
+    // needs a genuine context switch between the load and the store. With
+    // no preemptions allowed each thread runs its pair as a block and the
+    // bug is unreachable — a demonstration that a preemption bound is an
+    // under-approximation. (The Relaxed variant above is caught even
+    // without preemptions, through a stale read.)
+    let racy_seqcst_increment = || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                interleave::thread::spawn(move || {
+                    let v = c.load(Ordering::SeqCst);
+                    c.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    };
+
+    let bounded = Options {
+        preemption_bound: Some(0),
+        ..opts()
+    };
+    let stats =
+        explore(&bounded, racy_seqcst_increment).expect("bounded search must not reach the bug");
+    assert!(stats.complete);
+
+    explore(&opts(), racy_seqcst_increment)
+        .expect_err("unbounded search must find the lost update");
+}
+
+#[test]
+fn atomic_counter_is_correct_with_and_without_sleep_sets() {
+    let body = || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                interleave::thread::spawn(move || {
+                    // relaxed: counting only; totals read after join
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // relaxed: join edges order the increments before this load
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    };
+    let pruned = explore(&opts(), body).expect("atomic counter is correct");
+    assert!(pruned.complete);
+
+    let unpruned_opts = Options {
+        sleep_sets: false,
+        ..opts()
+    };
+    let unpruned = explore(&unpruned_opts, body).expect("correct without pruning too");
+    assert!(unpruned.complete);
+    assert!(
+        unpruned.executions >= pruned.executions,
+        "sleep sets must not add executions: {} pruned vs {} unpruned",
+        pruned.executions,
+        unpruned.executions
+    );
+}
+
+#[test]
+fn spurious_weak_cas_failures_are_injected() {
+    let naive = || {
+        let cell = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&cell);
+        let t = interleave::thread::spawn(move || {
+            // relaxed: the CAS result itself is the property under test
+            c.compare_exchange_weak(0, 1, Ordering::Relaxed, Ordering::Relaxed)
+        });
+        let result = t.join().unwrap();
+        assert!(result.is_ok(), "naively assumes weak CAS cannot fail");
+    };
+    let failure = explore(&opts(), naive).expect_err("spurious failure must be injected");
+    assert!(
+        failure.schedule.contains("cf"),
+        "schedule: {}",
+        failure.schedule
+    );
+
+    // With injection disabled the naive assumption holds (uncontended CAS).
+    let no_spurious = Options {
+        max_spurious_cas_failures: 0,
+        ..opts()
+    };
+    let stats = explore(&no_spurious, naive).expect("no spurious failures left");
+    assert!(stats.complete);
+}
+
+#[test]
+fn unbounded_spin_fails_the_step_budget() {
+    let options = Options {
+        max_steps: 64,
+        ..opts()
+    };
+    let failure = explore(&options, || {
+        let flag = AtomicBool::new(false);
+        // relaxed: deliberate unbounded spin; nobody ever sets the flag
+        while !flag.load(Ordering::Relaxed) {}
+    })
+    .expect_err("spin loop must be flagged as a livelock");
+    assert!(
+        failure.message.contains("step budget"),
+        "{}",
+        failure.message
+    );
+}
+
+#[test]
+fn thread_limit_is_enforced() {
+    let options = Options {
+        max_threads: 2,
+        ..opts()
+    };
+    let failure = explore(&options, || {
+        let a = interleave::thread::spawn(|| {});
+        let b = interleave::thread::spawn(|| {});
+        a.join().unwrap();
+        b.join().unwrap();
+    })
+    .expect_err("third thread must exceed the limit");
+    assert!(
+        failure.message.contains("thread limit"),
+        "{}",
+        failure.message
+    );
+}
+
+#[test]
+fn join_returns_the_value_and_publishes_the_child_view() {
+    let stats = model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let d = Arc::clone(&data);
+        let child = interleave::thread::spawn(move || {
+            // relaxed: the join edge below publishes this store
+            d.store(7, Ordering::Relaxed);
+            41_u64
+        });
+        let got = child.join().unwrap();
+        assert_eq!(got, 41);
+        // relaxed: reading after the join edge
+        assert_eq!(data.load(Ordering::Relaxed), 7);
+    });
+    assert!(stats.complete);
+}
+
+#[test]
+fn store_buffer_litmus_exhibits_the_weak_outcome() {
+    // SB litmus: with only Relaxed accesses, both readers may observe the
+    // other cell's initial value. The model must reach that outcome.
+    let weak_outcome_seen = Arc::new(Mutex::new(false));
+    let seen = Arc::clone(&weak_outcome_seen);
+    let stats = explore(&opts(), move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x1, y1) = (Arc::clone(&x), Arc::clone(&y));
+        let t = interleave::thread::spawn(move || {
+            // relaxed: litmus test body — weak outcomes are the point
+            x1.store(1, Ordering::Relaxed);
+            y1.load(Ordering::Relaxed) // relaxed: litmus load
+        });
+        // relaxed: litmus test body — weak outcomes are the point
+        y.store(1, Ordering::Relaxed);
+        let r2 = x.load(Ordering::Relaxed); // relaxed: litmus load
+        let r1 = t.join().unwrap();
+        if r1 == 0 && r2 == 0 {
+            *seen.lock().unwrap() = true;
+        }
+    })
+    .expect("litmus test has no assertions");
+    assert!(stats.complete);
+    assert!(
+        *weak_outcome_seen.lock().unwrap(),
+        "the r1 == r2 == 0 outcome must be explored"
+    );
+}
+
+#[test]
+fn seeded_exploration_finds_the_same_bug() {
+    let broken = || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let writer = interleave::thread::spawn(move || {
+            // relaxed: deliberately broken publication
+            d.store(1, Ordering::Relaxed);
+            f.store(true, Ordering::Relaxed); // relaxed: intentionally unordered flag store
+        });
+        if flag.load(Ordering::Acquire) {
+            // relaxed: stale read expected
+            assert_eq!(data.load(Ordering::Relaxed), 1);
+        }
+        writer.join().unwrap();
+    };
+    for seed in [1_u64, 7, 0xDEAD_BEEF] {
+        let options = Options { seed, ..opts() };
+        explore(&options, broken).expect_err("every seed explores the same space");
+    }
+}
+
+#[test]
+fn empty_schedule_replay_runs_one_natural_execution() {
+    let trace = replay("", || {
+        let cell = AtomicU64::new(0);
+        cell.store(3, Ordering::Relaxed); // relaxed: single-threaded
+    })
+    .expect("nothing fails");
+    assert!(trace.iter().any(|line| line.contains("begin")), "{trace:?}");
+    assert!(
+        trace.iter().any(|line| line.contains("store 3")),
+        "{trace:?}"
+    );
+}
+
+#[test]
+fn garbage_schedules_are_rejected() {
+    let failure = replay("t0,zz", || {}).expect_err("unparseable step");
+    assert!(
+        failure.message.contains("unparseable"),
+        "{}",
+        failure.message
+    );
+}
+
+#[test]
+fn yield_now_is_a_pure_scheduling_point() {
+    let stats = model(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f = Arc::clone(&flag);
+        let t = interleave::thread::spawn(move || {
+            f.store(true, Ordering::Release);
+        });
+        interleave::thread::yield_now();
+        // Either order is fine; the value is just observed.
+        let _ = flag.load(Ordering::Acquire);
+        t.join().unwrap();
+    });
+    assert!(stats.complete);
+}
+
+#[test]
+fn passthrough_mode_behaves_like_std() {
+    // Outside `explore` the shims delegate to std: real threads, real
+    // atomics, no engine.
+    let counter = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let c = Arc::clone(&counter);
+            interleave::thread::spawn(move || {
+                // relaxed: counting only; totals read after join
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.load(Ordering::SeqCst), 4);
+
+    let cell = AtomicU64::new(9);
+    assert_eq!(
+        cell.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| Some(v + 1)),
+        Ok(9)
+    );
+    assert_eq!(cell.swap(1, Ordering::SeqCst), 10);
+    assert_eq!(cell.fetch_max(5, Ordering::SeqCst), 1);
+    assert_eq!(
+        cell.compare_exchange(5, 6, Ordering::SeqCst, Ordering::SeqCst),
+        Ok(5)
+    );
+    assert_eq!(cell.into_inner(), 6);
+    let flag = AtomicBool::new(false);
+    assert!(!flag.swap(true, Ordering::SeqCst));
+    assert_eq!(
+        flag.compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst),
+        Ok(true)
+    );
+}
+
+/// Heavier suites for the dedicated CI job (`--features exhaustive`):
+/// wider fan-out and unpruned cross-validation on a bigger state machine.
+#[cfg(feature = "exhaustive")]
+mod exhaustive {
+    use super::*;
+
+    #[test]
+    fn three_writer_counter_is_exhaustively_correct() {
+        let options = Options {
+            max_executions: 2_000_000,
+            ..opts()
+        };
+        let stats = explore(&options, || {
+            let counter = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    interleave::thread::spawn(move || {
+                        // relaxed: counting only; totals read after join
+                        c.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            // relaxed: join edges order the increments before this load
+            assert_eq!(counter.load(Ordering::Relaxed), 3);
+        })
+        .expect("three-writer counter is correct");
+        assert!(stats.complete, "{stats:?}");
+    }
+
+    #[test]
+    fn sleep_set_pruning_agrees_with_full_enumeration() {
+        // The same broken protocol must fail with pruning on and off —
+        // pruning may only drop redundant interleavings, never the
+        // counterexample.
+        let broken = || {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+            let writer = interleave::thread::spawn(move || {
+                // relaxed: deliberately broken publication
+                d.store(1, Ordering::Relaxed);
+                f.store(true, Ordering::Relaxed); // relaxed: intentionally unordered flag store
+            });
+            if flag.load(Ordering::Acquire) {
+                // relaxed: stale read expected
+                assert_eq!(data.load(Ordering::Relaxed), 1);
+            }
+            writer.join().unwrap();
+        };
+        for sleep_sets in [true, false] {
+            let options = Options {
+                sleep_sets,
+                ..opts()
+            };
+            explore(&options, broken).expect_err("bug must be found either way");
+        }
+    }
+}

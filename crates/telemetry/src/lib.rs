@@ -42,6 +42,7 @@ mod error;
 mod registry;
 mod scope;
 mod snapshot;
+pub mod sync;
 mod text;
 
 pub use error::TelemetryError;

@@ -1,7 +1,7 @@
 //! The instrument registry and its handle types.
 
+use crate::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
@@ -158,7 +158,10 @@ impl Histogram {
         // transaction on purpose — a scrape may see count ahead of a bucket,
         // and the exposition layer re-derives a consistent view by clamping
         // cumulative buckets monotonically (PR 7). Stronger orderings here
-        // would not close that window, only slow the hot path.
+        // would not close that window, only slow the hot path. Every
+        // interleaving of this method against a snapshot is exhaustively
+        // model-checked in telemetry/tests/interleave_harness.rs
+        // (histogram_snapshot_tearing_is_repaired_by_the_exposition_clamp).
         if let Some(i) = self.core.bounds.iter().position(|&b| value <= b) {
             // relaxed: see the tearing note above.
             self.core.buckets[i].fetch_add(1, Ordering::Relaxed);
@@ -568,7 +571,9 @@ impl Registry {
                         .iter()
                         // relaxed: snapshot reads race in-flight `observe`
                         // calls by design; the exposition clamp repairs
-                        // cross-cell skew, so acquire loads buy nothing.
+                        // cross-cell skew, so acquire loads buy nothing —
+                        // proven over every interleaving in
+                        // telemetry/tests/interleave_harness.rs.
                         .map(|b| b.load(Ordering::Relaxed))
                         .collect(),
                     // relaxed: see the bucket note above.

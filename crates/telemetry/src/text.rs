@@ -71,13 +71,18 @@ pub fn render_text(snapshot: &MetricsSnapshot) -> String {
         }
         // `observe()` bumps bucket and count as independent relaxed atomics,
         // so a snapshot taken mid-observation can hold a `count` smaller
-        // than a finite cumulative bucket. Clamp the rendered `+Inf` line so
-        // the exposition is always a valid monotone CDF.
+        // than a finite cumulative bucket. Clamp the rendered `+Inf` line —
+        // and `_count`, which Prometheus requires to equal it — so the
+        // exposition is always a valid monotone CDF. The whole repaired
+        // family (monotone buckets, `+Inf == _count`, totals never ahead of
+        // the true ones) is model-checked against every interleaving of
+        // observe/snapshot in telemetry/tests/interleave_harness.rs.
+        let clamped_count = sample.count.max(cumulative);
         lines.push(format!(
             "{}_bucket{} {}",
             sample.name,
             label_block(&sample.labels, Some(("le", "+Inf"))),
-            sample.count.max(cumulative)
+            clamped_count
         ));
         lines.push(format!(
             "{}_sum{} {}",
@@ -89,7 +94,7 @@ pub fn render_text(snapshot: &MetricsSnapshot) -> String {
             "{}_count{} {}",
             sample.name,
             label_block(&sample.labels, None),
-            sample.count
+            clamped_count
         ));
         for line in lines {
             push_family(&mut families, &sample.name, "histogram", &sample.help, line);

@@ -1,0 +1,148 @@
+//! Exhaustive model-checking harness for the metrics hot path.
+//!
+//! Runs only with `--features interleave`: the facade in
+//! `telemetry::sync` then resolves to the `interleave` crate's shimmed
+//! atomics, and every test body below is re-executed under **every**
+//! thread interleaving and every C11-lite weak-memory read the shims
+//! admit (see `crates/interleave`).
+//!
+//! Subject under proof: the histogram observe/snapshot tearing window.
+//! `Histogram::observe` bumps bucket, sum and count as three independent
+//! relaxed RMWs, and `Registry::snapshot` reads them back with three
+//! independent relaxed loads — torn views are *designed in*, and the
+//! exposition layer (`telemetry::text`) repairs them by clamping. These
+//! harnesses prove the repair is total: in every interleaving the
+//! rendered family is a valid monotone CDF with `+Inf == _count`, and
+//! never reports more than was truly observed.
+
+#![cfg(feature = "interleave")]
+
+use std::sync::{Arc, Mutex};
+
+use telemetry::{parse_exposition, render_text, sample_value, Registry, Stability};
+
+/// Values observed by the writer; both land in the single finite bucket.
+const OBSERVATIONS: [u64; 2] = [5, 7];
+const TRUE_SUM: u64 = OBSERVATIONS[0] + OBSERVATIONS[1];
+const TRUE_COUNT: u64 = OBSERVATIONS.len() as u64;
+
+/// One writer racing one scraper over a fresh registry. Every interleaving
+/// (and every legal stale read) must yield a well-formed exposition whose
+/// totals never run ahead of the observations that actually happened.
+#[test]
+fn histogram_snapshot_tearing_is_repaired_by_the_exposition_clamp() {
+    // Set to true whenever some execution actually witnesses a torn
+    // snapshot (cumulative bucket ahead of count) — proving the clamp in
+    // `telemetry::text` is load-bearing, not dead code.
+    let torn_seen = Arc::new(Mutex::new(false));
+    let torn = Arc::clone(&torn_seen);
+
+    let stats = interleave::explore(&interleave::Options::default(), move || {
+        let registry = Registry::new();
+        let histogram = registry
+            .histogram(
+                "chris_probe_ns",
+                &[],
+                "tearing probe",
+                Stability::Observational,
+                &[10],
+            )
+            .expect("fresh registry accepts the series");
+
+        let writer = {
+            let histogram = histogram.clone();
+            interleave::thread::spawn(move || {
+                for value in OBSERVATIONS {
+                    histogram.observe(value);
+                }
+            })
+        };
+
+        // Race a scrape against the in-flight observations.
+        let snapshot = registry.snapshot();
+        let sample = &snapshot.histograms[0];
+        if sample.buckets[0] > sample.count {
+            *torn.lock().unwrap() = true;
+        }
+        let rendered = render_text(&snapshot);
+        let samples = parse_exposition(&rendered).expect("exposition is grammatical");
+        let finite = sample_value(&samples, "chris_probe_ns_bucket{le=\"10\"}")
+            .expect("finite bucket rendered");
+        let inf = sample_value(&samples, "chris_probe_ns_bucket{le=\"+Inf\"}")
+            .expect("+Inf bucket rendered");
+        let count = sample_value(&samples, "chris_probe_ns_count").expect("_count rendered");
+        let sum = sample_value(&samples, "chris_probe_ns_sum").expect("_sum rendered");
+        // Monotone CDF: cumulative buckets never decrease.
+        assert!(finite <= inf, "CDF must be monotone: {finite} > {inf}");
+        // Prometheus requires the +Inf bucket and _count to agree.
+        assert!(
+            (inf - count).abs() < f64::EPSILON,
+            "+Inf bucket {inf} != _count {count}"
+        );
+        // The scrape may lag the writer but can never run ahead of it.
+        assert!(inf <= TRUE_COUNT as f64, "over-reported count: {inf}");
+        assert!(sum <= TRUE_SUM as f64, "over-reported sum: {sum}");
+
+        // Quiescent after the join: the snapshot is exact and unclamped.
+        writer.join().expect("writer must not panic");
+        let settled = registry.snapshot();
+        let sample = &settled.histograms[0];
+        assert_eq!(sample.buckets, vec![TRUE_COUNT]);
+        assert_eq!(sample.count, TRUE_COUNT);
+        assert_eq!(sample.sum, TRUE_SUM);
+        let samples =
+            parse_exposition(&render_text(&settled)).expect("settled exposition is grammatical");
+        assert_eq!(
+            sample_value(&samples, "chris_probe_ns_count"),
+            Some(TRUE_COUNT as f64)
+        );
+        assert_eq!(
+            sample_value(&samples, "chris_probe_ns_bucket{le=\"+Inf\"}"),
+            Some(TRUE_COUNT as f64)
+        );
+    })
+    .unwrap_or_else(|failure| panic!("{failure}"));
+
+    assert!(stats.complete, "schedule space not exhausted: {stats:?}");
+    assert!(
+        stats.executions > 1,
+        "expected many interleavings, got {stats:?}"
+    );
+    assert!(
+        *torn_seen.lock().unwrap(),
+        "no execution witnessed a torn snapshot — the harness lost its subject"
+    );
+}
+
+/// Counters are a single relaxed RMW cell: no interleaving of two
+/// incrementers and a scraper can lose an update or over-report.
+#[test]
+fn counter_increments_are_never_lost_or_over_reported() {
+    let stats = interleave::explore(&interleave::Options::default(), || {
+        let registry = Registry::new();
+        let counter = registry
+            .counter("chris_ops_total", &[], "counter probe", Stability::Stable)
+            .expect("fresh registry accepts the series");
+
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = counter.clone();
+                interleave::thread::spawn(move || counter.add(3))
+            })
+            .collect();
+        // A racing read sees some prefix of the increments, never more.
+        let mid = counter.value();
+        assert!(mid <= 6, "over-reported counter: {mid}");
+        assert!(mid.is_multiple_of(3), "torn counter value: {mid}");
+        for worker in workers {
+            worker.join().expect("incrementer must not panic");
+        }
+        assert_eq!(counter.value(), 6, "lost update");
+    })
+    .unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(stats.complete, "schedule space not exhausted: {stats:?}");
+    assert!(
+        stats.executions > 1,
+        "expected many interleavings, got {stats:?}"
+    );
+}

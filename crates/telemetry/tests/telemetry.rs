@@ -86,16 +86,19 @@ fn torn_histogram_snapshot_still_renders_a_monotone_cdf() {
         sample_value(&samples, "chris_torn_ns_bucket{le=\"1000\"}"),
         Some(5.0)
     );
-    // ...while _count still reports what the atomic held.
-    assert_eq!(sample_value(&samples, "chris_torn_ns_count"), Some(4.0));
+    // ...and _count is clamped with it: Prometheus requires
+    // `_count == _bucket{le="+Inf"}`, and a scraper that trusts the raw
+    // torn count would see a CDF whose tail exceeds its total.
+    assert_eq!(sample_value(&samples, "chris_torn_ns_count"), Some(5.0));
 
-    // A consistent snapshot is untouched: +Inf equals count.
+    // A consistent snapshot is untouched: +Inf and _count equal the count.
     snapshot.histograms[0].count = 6;
     let samples = parse_exposition(&render_text(&snapshot)).unwrap();
     assert_eq!(
         sample_value(&samples, "chris_torn_ns_bucket{le=\"+Inf\"}"),
         Some(6.0)
     );
+    assert_eq!(sample_value(&samples, "chris_torn_ns_count"), Some(6.0));
 }
 
 #[test]
